@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper's evaluation and
+prints the corresponding rows/series.  Absolute numbers differ from the
+paper (different radio substrate), but the shapes — who wins, by roughly
+what factor, where crossovers fall — are asserted in the paired
+integration tests and visible in the printed tables.
+
+Benchmarks run each experiment exactly once (``rounds=1``): the measured
+quantity is the simulated experiment itself, not a micro-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark timing and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

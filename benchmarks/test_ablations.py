@@ -1,0 +1,119 @@
+"""Ablations of TTMQO's design choices (DESIGN.md section 2).
+
+Each ablation disables one tier-2 mechanism and measures what it buys:
+
+* **sleep mode** — energy per node with/without Section 3.2.2's sleep;
+* **shared acquisition** — physical sensor acquisitions under the GCD
+  clock vs the baseline's per-query sampling (Section 3.2.1);
+* **alpha extremes** — rebuild churn at alpha 0 vs the recommended 0.6
+  (Algorithm 2).
+"""
+
+import pytest
+
+from repro.core.innetwork import TTMQOParams
+from repro.harness import DeploymentConfig, Strategy, print_table, run_workload
+from repro.harness.tier1_sim import default_cost_model, run_tier1
+from repro.queries import parse_query
+from repro.sim import EnergyModel
+from repro.workloads import Workload, dynamic_workload, fig4_query_model
+
+from _util import run_once
+
+DURATION_MS = 90_000.0
+SEED = 11
+
+
+def _selective_workload():
+    """Few matching nodes: most of the network can sleep."""
+    return Workload.static([
+        parse_query("SELECT light FROM sensors WHERE light > 900 "
+                    "EPOCH DURATION 4096"),
+        parse_query("SELECT temp FROM sensors WHERE temp > 90 "
+                    "EPOCH DURATION 8192"),
+    ], duration_ms=DURATION_MS, description="selective")
+
+
+def _sleep_ablation():
+    results = {}
+    for sleep_enabled in (True, False):
+        params = TTMQOParams(sleep_enabled=sleep_enabled)
+        run = run_workload(Strategy.TTMQO, _selective_workload(),
+                           DeploymentConfig(side=4, seed=SEED,
+                                            ttmqo_params=params))
+        sim = run.deployment.sim
+        energy = sim.trace.average_energy_mj(
+            sim.topology.node_ids, EnergyModel(),
+            include_base_station=sim.topology.base_station)
+        results[sleep_enabled] = {
+            "energy_mj": energy,
+            "avg_tx": run.average_transmission_time,
+            "rows": run.deployment.results.total_rows(),
+        }
+    return results
+
+
+def test_ablation_sleep_mode(benchmark):
+    results = run_once(benchmark, _sleep_ablation)
+    print_table(
+        ["sleep mode", "avg energy / node (mJ)", "avg tx time", "rows"],
+        [[label, f"{r['energy_mj']:.0f}", f"{r['avg_tx']:.5f}", r["rows"]]
+         for label, r in (("enabled", results[True]),
+                          ("disabled", results[False]))],
+        title="Ablation — Section 3.2.2 sleep mode (selective workload)",
+    )
+    # Sleep must save energy without losing results.
+    assert results[True]["energy_mj"] < results[False]["energy_mj"] * 0.9
+    assert results[True]["rows"] >= results[False]["rows"] * 0.9
+
+
+def _acquisition_sharing():
+    queries = [
+        parse_query("SELECT light FROM sensors EPOCH DURATION 4096"),
+        parse_query("SELECT light, temp FROM sensors EPOCH DURATION 4096"),
+        parse_query("SELECT light FROM sensors EPOCH DURATION 8192"),
+        parse_query("SELECT MAX(light) FROM sensors EPOCH DURATION 8192"),
+    ]
+    workload = Workload.static(queries, duration_ms=DURATION_MS)
+    out = {}
+    for strategy in (Strategy.BASELINE, Strategy.INNET_ONLY, Strategy.TTMQO):
+        run = run_workload(strategy, workload,
+                           DeploymentConfig(side=4, seed=SEED))
+        out[strategy] = run.acquisitions
+    return out
+
+
+def test_ablation_shared_acquisition(benchmark):
+    acquisitions = run_once(benchmark, _acquisition_sharing)
+    print_table(
+        ["strategy", "physical sensor acquisitions"],
+        [[s.value, acquisitions[s]] for s in acquisitions],
+        title="Ablation — shared data acquisition (Section 3.2.1)",
+    )
+    # The GCD clock's shared acquisition must sample far less than the
+    # per-query baseline; tier-1 on top reduces it further or equally.
+    assert acquisitions[Strategy.INNET_ONLY] < acquisitions[Strategy.BASELINE]
+    assert acquisitions[Strategy.TTMQO] <= acquisitions[Strategy.INNET_ONLY] * 1.1
+
+
+def _alpha_churn():
+    cost_model = default_cost_model(64, 5)
+    workload = dynamic_workload(fig4_query_model(), 64, n_queries=400,
+                                concurrency=8, seed=6)
+    return {
+        alpha: run_tier1(workload, cost_model, alpha=alpha)
+        for alpha in (0.0, 0.6, 2.0)
+    }
+
+
+def test_ablation_alpha_extremes(benchmark):
+    stats = run_once(benchmark, _alpha_churn)
+    print_table(
+        ["alpha", "abort/inject floods", "absorbed events", "benefit ratio"],
+        [[a, s.network_operations, s.absorbed_operations,
+          f"{s.benefit_ratio:.4f}"] for a, s in stats.items()],
+        title="Ablation — Algorithm 2 alpha extremes",
+    )
+    assert stats[0.0].network_operations > stats[2.0].network_operations
+    assert stats[0.6].benefit_ratio >= min(stats[0.0].benefit_ratio,
+                                           stats[2.0].benefit_ratio)

@@ -1,0 +1,56 @@
+"""Figure 2: the Section 3.2.2 worked example, measured live.
+
+Replays the hand-drawn 9-node topology with data acquisition queries q_i
+over {D,E,F,G,H} and q_j over {D,G,H}, and the aggregation variant, under
+the fixed TinyDB tree and under the tier-2 DAG.
+
+Paper's per-epoch accounting:
+
+==============  ========  =====
+scenario        messages  nodes
+==============  ========  =====
+TinyDB acq          20      8
+TTMQO acq           12      6
+TinyDB agg          14      --
+TTMQO agg            7      --
+==============  ========  =====
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                       / "tests" / "integration"))
+
+from test_fig2_example import _run  # noqa: E402
+
+from repro.harness import print_table  # noqa: E402
+from _util import run_once  # noqa: E402
+
+
+def _measure():
+    rows = []
+    for label, use_ttmqo, aggregation, expected in (
+        ("TinyDB acquisition", False, False, 20.0),
+        ("TTMQO acquisition", True, False, 12.0),
+        ("TinyDB aggregation", False, True, 14.0),
+        ("TTMQO aggregation", True, True, 7.0),
+    ):
+        per_epoch, involved, _ = _run(use_ttmqo=use_ttmqo,
+                                      aggregation=aggregation)
+        rows.append((label, per_epoch, len(involved), expected))
+    return rows
+
+
+def test_fig2_worked_example(benchmark):
+    rows = run_once(benchmark, _measure)
+    print_table(
+        ["scenario", "messages/epoch (measured)", "involved nodes",
+         "paper's count"],
+        [[label, f"{m:.1f}", n, f"{e:.0f}"] for label, m, n, e in rows],
+        title="Figure 2 — worked example, measured on the simulator",
+    )
+    for label, measured, _, expected in rows:
+        assert measured == pytest.approx(expected, abs=0.5), label

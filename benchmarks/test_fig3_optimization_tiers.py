@@ -1,0 +1,35 @@
+"""Figure 3: average transmission time per optimization tier (Section 4.2).
+
+Reproduces the three bar groups — WORKLOAD_A / WORKLOAD_B / WORKLOAD_C at
+16 and 64 nodes — comparing the baseline (TinyDB per-query), base-station
+optimization only, in-network optimization only, and full TTMQO.
+
+Expected shapes (paper):
+
+* WORKLOAD_A — both tiers eliminate the same redundancy: similar savings
+  (~61% at 16 nodes, ~75% at 64 nodes vs baseline);
+* WORKLOAD_B — in-network optimization beats base-station optimization;
+* WORKLOAD_C — the tiers are mutually complementary: TTMQO beats either
+  tier alone (up to ~82% overall in the paper).
+"""
+
+import pytest
+
+from repro.harness import Strategy, print_table
+from repro.harness.experiments import fig3_results, fig3_rows
+
+from _util import run_once
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+@pytest.mark.parametrize("side", [4, 8], ids=["16nodes", "64nodes"])
+def test_fig3(benchmark, name: str, side: int):
+    results = run_once(benchmark, fig3_results, name, side)
+    print_table(
+        ["strategy", "avg tx time", "frames", "result frames", "savings"],
+        fig3_rows(results),
+        title=f"Figure 3 — WORKLOAD_{name}, {side * side} nodes",
+    )
+    baseline = results[Strategy.BASELINE].average_transmission_time
+    ttmqo = results[Strategy.TTMQO].average_transmission_time
+    assert ttmqo < baseline, "TTMQO must beat the baseline on every workload"

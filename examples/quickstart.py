@@ -1,0 +1,72 @@
+"""Quickstart: run two queries through the full TTMQO stack.
+
+Builds the paper's 16-node grid, injects one acquisition query and one
+aggregation query through the two-tier optimizer, and prints the answers
+each user query receives — including how the tier-1 rewriter served the
+aggregation query from the acquisition query's detail rows.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DeploymentConfig,
+    ResultMapper,
+    Strategy,
+    Workload,
+    parse_query,
+    run_workload,
+)
+
+QUERIES = [
+    "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096",
+    "SELECT MAX(light) FROM sensors WHERE light > 400 EPOCH DURATION 8192",
+]
+
+
+def main() -> None:
+    queries = [parse_query(text) for text in QUERIES]
+    workload = Workload.static(queries, duration_ms=60_000.0,
+                               description="quickstart")
+
+    result = run_workload(Strategy.TTMQO, workload,
+                          DeploymentConfig(side=4, seed=42))
+    deployment = result.deployment
+
+    print("=== network behaviour ===")
+    print(f"average transmission time : {result.average_transmission_time:.5f}")
+    print(f"radio frames              : {result.total_frames} "
+          f"({result.result_frames} results, {result.query_frames} query floods)")
+    print(f"sensor acquisitions       : {result.acquisitions}")
+
+    print("\n=== what actually ran in the network ===")
+    for query in deployment.optimizer.synthetic_queries():
+        print(f"  synthetic {query.qid}: {query}")
+    print(f"  ({len(queries)} user queries -> "
+          f"{deployment.optimizer.synthetic_count()} synthetic)")
+
+    mapper = ResultMapper(deployment.results)
+
+    acquisition = queries[0]
+    synthetic = deployment.optimizer.synthetic_for(acquisition.qid)
+    rows = mapper.acquisition_rows(acquisition, synthetic)
+    print(f"\n=== {acquisition} ===")
+    print(f"{len(rows)} rows; last epoch:")
+    last_epoch = rows[-1].epoch_time
+    for row in rows:
+        if row.epoch_time == last_epoch:
+            print(f"  t={row.epoch_time:8.0f}  node {row.origin:2d}  "
+                  f"light={row.values['light']:.1f}")
+
+    aggregation = queries[1]
+    synthetic = deployment.optimizer.synthetic_for(aggregation.qid)
+    answers = mapper.aggregation_results(aggregation, synthetic)
+    print(f"\n=== {aggregation} ===")
+    print("(derived at the base station from the acquisition query's rows)")
+    for answer in answers[-5:]:
+        value = answer.values[aggregation.aggregates[0]]
+        rendered = f"{value:.1f}" if value is not None else "no qualifying node"
+        print(f"  t={answer.epoch_time:8.0f}  MAX(light) = {rendered}")
+
+
+if __name__ == "__main__":
+    main()

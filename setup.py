@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so environments
+without the `wheel` package (where PEP 660 editable installs are
+unavailable) can still `pip install -e . --no-use-pep517`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``     — execute ad-hoc queries under a chosen strategy and print
+  the network metrics, the synthetic query set, and sample answers;
+* ``compare`` — run one of the Figure 3 workloads (A/B/C) under all four
+  strategies and print the comparison table;
+* ``fig``     — regenerate a paper figure's table (fig3, fig4a, fig4b,
+  fig4c, fig5).
+
+Examples::
+
+    python -m repro run --strategy ttmqo --side 4 \\
+        "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096" \\
+        "SELECT MAX(light) FROM sensors EPOCH DURATION 8192"
+    python -m repro compare --workload C --side 8
+    python -m repro fig fig4a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.basestation import ResultMapper
+from .harness import (
+    DeploymentConfig,
+    Strategy,
+    print_table,
+    run_workload,
+)
+from .harness.experiments import (
+    STRATEGY_ORDER,
+    fig3_results,
+    fig3_rows,
+    fig4a_series,
+    fig4b_series,
+    fig4c_table,
+    fig5_table,
+)
+from .queries import ParseError, parse_query
+from .workloads import Workload
+
+_STRATEGY_NAMES = {
+    "baseline": Strategy.BASELINE,
+    "bs": Strategy.BS_ONLY,
+    "innet": Strategy.INNET_ONLY,
+    "ttmqo": Strategy.TTMQO,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-Tier Multiple Query Optimization (ICDCS 2007) "
+                    "reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run ad-hoc queries on the simulator")
+    run_p.add_argument("queries", nargs="+",
+                       help="TinyDB-dialect query strings")
+    run_p.add_argument("--strategy", choices=sorted(_STRATEGY_NAMES),
+                       default="ttmqo")
+    run_p.add_argument("--side", type=int, default=4,
+                       help="grid side (nodes = side^2)")
+    run_p.add_argument("--duration", type=float, default=60.0,
+                       help="simulated seconds")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--world", choices=["uniform", "correlated"],
+                       default="uniform")
+
+    cmp_p = sub.add_parser("compare",
+                           help="run a Figure 3 workload under all strategies")
+    cmp_p.add_argument("--workload", choices=["A", "B", "C"], default="A")
+    cmp_p.add_argument("--side", type=int, default=4)
+    cmp_p.add_argument("--duration", type=float, default=90.0)
+    cmp_p.add_argument("--seed", type=int, default=11)
+
+    fig_p = sub.add_parser("fig", help="regenerate a paper figure's table")
+    fig_p.add_argument("name",
+                       choices=["fig3", "fig4a", "fig4b", "fig4c", "fig5"])
+    fig_p.add_argument("--side", type=int, default=4,
+                       help="grid side for fig3/fig5")
+
+    topo_p = sub.add_parser("topo", help="render a deployment as ASCII")
+    topo_p.add_argument("--kind", choices=["grid", "random"], default="grid")
+    topo_p.add_argument("--side", type=int, default=8,
+                        help="grid side (grid kind)")
+    topo_p.add_argument("--nodes", type=int, default=36,
+                        help="node count (random kind)")
+    topo_p.add_argument("--area", type=float, default=150.0,
+                        help="field size in feet (random kind)")
+    topo_p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        queries = [parse_query(text) for text in args.queries]
+    except ParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    strategy = _STRATEGY_NAMES[args.strategy]
+    workload = Workload.static(queries, duration_ms=args.duration * 1000.0)
+    config = DeploymentConfig(side=args.side, seed=args.seed, world=args.world)
+    result = run_workload(strategy, workload, config)
+    deployment = result.deployment
+
+    print(f"strategy            : {strategy.value}")
+    print(f"network             : {args.side * args.side} nodes "
+          f"({args.world} world, seed {args.seed})")
+    print(f"avg transmission    : {result.average_transmission_time:.5f}")
+    print(f"frames              : {result.total_frames} total, "
+          f"{result.result_frames} results, {result.retransmissions} retx")
+    print(f"sensor acquisitions : {result.acquisitions}")
+
+    if deployment.optimizer is not None:
+        print(f"\n{len(queries)} user queries -> "
+              f"{deployment.optimizer.synthetic_count()} synthetic:")
+        for synthetic in deployment.optimizer.synthetic_queries():
+            print(f"  [{synthetic.qid}] {synthetic}")
+        mapper = ResultMapper(deployment.results)
+
+    for user in queries:
+        network_query = deployment.network_query_for(user.qid)
+        print(f"\n== {user} ==")
+        if user.is_acquisition:
+            if deployment.optimizer is not None:
+                rows = mapper.acquisition_rows(user, network_query)
+                pairs = [(r.epoch_time, r.origin, r.values) for r in rows]
+            else:
+                pairs = [(r.epoch_time, r.origin, r.values)
+                         for r in deployment.results.rows(user.qid)]
+            print(f"{len(pairs)} rows"
+                  + (f"; last: t={pairs[-1][0]:.0f} node {pairs[-1][1]} "
+                     f"{pairs[-1][2]}" if pairs else ""))
+        else:
+            if deployment.optimizer is not None:
+                answers = [(a.epoch_time, a.values)
+                           for a in mapper.aggregation_results(user,
+                                                               network_query)]
+            else:
+                answers = [
+                    (t, {agg: deployment.results.aggregate(user.qid, t, agg)
+                         for agg in user.aggregates})
+                    for t in deployment.results.aggregate_epochs(user.qid)
+                ]
+            for t, values in answers[-3:]:
+                rendered = ", ".join(
+                    f"{agg}={v:.2f}" if v is not None else f"{agg}=(none)"
+                    for agg, v in values.items())
+                print(f"  t={t:.0f}  {rendered}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = fig3_results(args.workload, args.side,
+                           duration_ms=args.duration * 1000.0, seed=args.seed)
+    print_table(
+        ["strategy", "avg tx time", "frames", "result frames", "savings"],
+        fig3_rows(results),
+        title=f"WORKLOAD_{args.workload}, {args.side * args.side} nodes, "
+              f"{args.duration:.0f}s simulated",
+    )
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    if args.name == "fig3":
+        for workload_name in ("A", "B", "C"):
+            results = fig3_results(workload_name, args.side)
+            print_table(
+                ["strategy", "avg tx time", "frames", "result frames",
+                 "savings"],
+                fig3_rows(results),
+                title=f"Figure 3 — WORKLOAD_{workload_name}, "
+                      f"{args.side * args.side} nodes",
+            )
+    elif args.name == "fig4a":
+        series = fig4a_series()
+        print_table(
+            ["concurrent queries", "benefit ratio", "avg synthetic queries"],
+            [[c, f"{r:.3f}", f"{s:.2f}"] for c, r, s in series],
+            title="Figure 4(a)")
+    elif args.name == "fig4b":
+        series = fig4b_series()
+        print_table(
+            ["alpha", "benefit ratio", "network operations"],
+            [[a, f"{r:.4f}", f"{o:.0f}"] for a, r, o in series],
+            title="Figure 4(b)")
+    elif args.name == "fig4c":
+        concurrencies = (8, 16, 24, 32, 40, 48)
+        alphas = (0.2, 0.6, 1.0)
+        table = fig4c_table(concurrencies, alphas)
+        print_table(
+            ["concurrent queries"] + [f"alpha={a}" for a in alphas],
+            [[c] + [f"{table[(c, a)]:.2f}" for a in alphas]
+             for c in concurrencies],
+            title="Figure 4(c)")
+    elif args.name == "fig5":
+        selectivities = (0.2, 0.4, 0.6, 0.8, 1.0)
+        compositions = ((0.0, "100% acquisition"), (0.5, "50/50 mix"),
+                        (1.0, "100% aggregation"))
+        table = fig5_table(selectivities, tuple(f for f, _ in compositions),
+                           side=args.side)
+        print_table(
+            ["composition"] + [f"sel={s}" for s in selectivities],
+            [[label] + [f"{table[(f, s)]:.1f}%" for s in selectivities]
+             for f, label in compositions],
+            title="Figure 5")
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    from .harness.reporting import render_topology
+    from .sim import Topology
+
+    if args.kind == "grid":
+        topology = Topology.grid(args.side, quality_seed=args.seed)
+    else:
+        topology = Topology.random(args.nodes, args.area, seed=args.seed)
+    print(render_topology(topology))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "fig":
+        return _cmd_fig(args)
+    if args.command == "topo":
+        return _cmd_topo(args)
+    return 2  # pragma: no cover - argparse enforces the choices

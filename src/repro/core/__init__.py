@@ -1,0 +1,45 @@
+"""The paper's contribution: Two-Tier Multiple Query Optimization.
+
+* :mod:`repro.core.basestation` — tier 1, cost-based query rewriting;
+* :mod:`repro.core.innetwork` — tier 2, in-network sharing over time/space.
+"""
+
+from .basestation import (
+    BaseStationOptimizer,
+    CostModel,
+    DEFAULT_ALPHA,
+    NetworkActions,
+    NetworkProfile,
+    QueryTable,
+    ResultMapper,
+    SyntheticQueryRecord,
+    synthetic_benefit,
+)
+from .qos import QoSClass, QoSRegistry, strongest
+from .innetwork import (
+    GcdClock,
+    TTMQOBaseStationApp,
+    TTMQONodeApp,
+    TTMQOParams,
+    UpperNeighborView,
+)
+
+__all__ = [
+    "BaseStationOptimizer",
+    "CostModel",
+    "DEFAULT_ALPHA",
+    "GcdClock",
+    "NetworkActions",
+    "NetworkProfile",
+    "QoSClass",
+    "QoSRegistry",
+    "QueryTable",
+    "ResultMapper",
+    "SyntheticQueryRecord",
+    "TTMQOBaseStationApp",
+    "TTMQONodeApp",
+    "TTMQOParams",
+    "UpperNeighborView",
+    "strongest",
+    "synthetic_benefit",
+]

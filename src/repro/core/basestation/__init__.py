@@ -1,0 +1,36 @@
+"""Tier-1: cost-based multi-query rewriting at the base station (S5)."""
+
+from .cost_model import CostModel, NetworkProfile
+from .insertion import insert_query
+from .optimizer import BaseStationOptimizer, DEFAULT_ALPHA, NetworkActions
+from .query_table import (
+    QueryTable,
+    SyntheticQueryRecord,
+    SyntheticStatus,
+    UserQueryRecord,
+)
+from .result_mapper import MappedAggregates, MappedRow, ResultMapper
+from .rewriter import BenefitAssessment, beneficial, integrate, update_count
+from .termination import synthetic_benefit, terminate_query
+
+__all__ = [
+    "BaseStationOptimizer",
+    "BenefitAssessment",
+    "CostModel",
+    "DEFAULT_ALPHA",
+    "MappedAggregates",
+    "MappedRow",
+    "NetworkActions",
+    "NetworkProfile",
+    "QueryTable",
+    "ResultMapper",
+    "SyntheticQueryRecord",
+    "SyntheticStatus",
+    "UserQueryRecord",
+    "beneficial",
+    "insert_query",
+    "integrate",
+    "synthetic_benefit",
+    "terminate_query",
+    "update_count",
+]

@@ -1,0 +1,170 @@
+"""Tier-1 facade: the base-station optimizer.
+
+Applications hand user queries to :meth:`BaseStationOptimizer.register` /
+:meth:`BaseStationOptimizer.terminate`; the optimizer maintains the query
+table via Algorithms 1 and 2 and returns the :class:`NetworkActions` (query
+abortions and injections) that must be applied to the sensor network —
+"corresponding query abortion and injection operations will be invoked to
+complete the whole process".
+
+The optimizer is pure (no simulator dependency), which is what lets the
+Figure 4 experiments sweep 500-query workloads in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ...queries.ast import Query
+from ..qos import QoSClass, QoSRegistry
+from .cost_model import CostModel
+from .insertion import insert_query
+from .query_table import QueryTable, SyntheticQueryRecord, SyntheticStatus
+from .termination import synthetic_benefit, terminate_query
+
+#: Default rewriting aggressiveness; the paper's sweep peaks at 0.6.
+DEFAULT_ALPHA = 0.6
+
+
+@dataclass(frozen=True)
+class NetworkActions:
+    """Abort/inject operations one optimizer step asks the network to run."""
+
+    abort_qids: tuple
+    inject: tuple
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the step was absorbed entirely at the base station."""
+        return not self.abort_qids and not self.inject
+
+    @property
+    def n_operations(self) -> int:
+        return len(self.abort_qids) + len(self.inject)
+
+
+class BaseStationOptimizer:
+    """Maintains the synthetic query set for a dynamic user-query workload."""
+
+    def __init__(self, cost_model: CostModel, alpha: float = DEFAULT_ALPHA) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative (got {alpha})")
+        self.cost_model = cost_model
+        self.alpha = alpha
+        self.table = QueryTable()
+        #: QoS extension: user/synthetic reliability classes; synthetic
+        #: classes are re-derived after every table change.
+        self.qos_registry = QoSRegistry()
+        #: user qid -> ordered synthetic qids that served it over time.
+        #: Re-optimization remaps user queries; answering "all my results"
+        #: needs the whole history, not just the current mapping.
+        self._mapping_history: Dict[int, List[int]] = {}
+        #: synthetic qid -> query snapshot (synthetic records are removed
+        #: from the table on abort, but mapping history still needs them).
+        self._synthetic_snapshots: Dict[int, Query] = {}
+        #: Cumulative count of abort/inject operations sent to the network.
+        self.network_operations = 0
+        #: Registrations/terminations fully absorbed at the base station.
+        self.absorbed_operations = 0
+
+    # ------------------------------------------------------------------
+    # Workload interface
+    # ------------------------------------------------------------------
+    def register(self, query: Query,
+                 qos: QoSClass = QoSClass.BEST_EFFORT) -> NetworkActions:
+        """Admit a new user query (Algorithm 1).  Returns network actions.
+
+        ``qos`` is the extension hook: a RELIABLE user query makes every
+        synthetic query serving it reliable (multipath delivery in tier 2).
+        """
+        before = self._running_qids()
+        self.table.add_user(query)
+        self.qos_registry.register_user(query.qid, qos)
+        insert_query(query, {query.qid: query}, self.table, self.cost_model)
+        self.qos_registry.sync_with_table(self.table)
+        return self._diff(before)
+
+    def terminate(self, user_qid: int) -> NetworkActions:
+        """Retire a user query (Algorithm 2).  Returns network actions."""
+        before = self._running_qids()
+        terminate_query(user_qid, self.table, self.cost_model, self.alpha)
+        self.qos_registry.forget_user(user_qid)
+        self.qos_registry.sync_with_table(self.table)
+        return self._diff(before)
+
+    # ------------------------------------------------------------------
+    # Introspection (metrics for the Figure 4 experiments)
+    # ------------------------------------------------------------------
+    def synthetic_queries(self) -> List[Query]:
+        """Currently running synthetic queries, ascending qid."""
+        return [r.query for r in sorted(self.table.synthetic.values(),
+                                        key=lambda r: r.qid)]
+
+    def synthetic_count(self) -> int:
+        return len(self.table.synthetic)
+
+    def user_count(self) -> int:
+        return len(self.table.user)
+
+    def synthetic_for(self, user_qid: int) -> Query:
+        """The synthetic query currently serving a user query."""
+        return self.table.synthetic_for(user_qid).query
+
+    def synthetic_history(self, user_qid: int) -> List[Query]:
+        """Every synthetic query that served a user query, in order.
+
+        Includes already-aborted synthetic queries; a complete answer for a
+        long-lived user query in a dynamic workload unions the results of
+        all of them (see :meth:`ResultMapper` and
+        ``Deployment.user_answer_rows``).
+        """
+        return [self._synthetic_snapshots[qid]
+                for qid in self._mapping_history.get(user_qid, [])]
+
+    def total_synthetic_cost(self) -> float:
+        """Modelled per-ms transmission cost of the running synthetic set."""
+        return sum(self.cost_model.cost(q) for q in self.synthetic_queries())
+
+    def total_user_cost(self) -> float:
+        """Modelled cost had every user query run unoptimized."""
+        return sum(self.cost_model.cost(r.query) for r in self.table.user.values())
+
+    def total_benefit(self) -> float:
+        """Current modelled saving: sum of per-synthetic-query benefits."""
+        return sum(synthetic_benefit(r, self.cost_model)
+                   for r in self.table.synthetic.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _running_qids(self) -> Set[int]:
+        return set(self.table.synthetic)
+
+    def _record_mappings(self) -> None:
+        for user_qid, user in self.table.user.items():
+            if user.synthetic_qid is None:
+                continue
+            history = self._mapping_history.setdefault(user_qid, [])
+            if not history or history[-1] != user.synthetic_qid:
+                history.append(user.synthetic_qid)
+            self._synthetic_snapshots.setdefault(
+                user.synthetic_qid,
+                self.table.synthetic[user.synthetic_qid].query)
+
+    def _diff(self, before: Set[int]) -> NetworkActions:
+        after = set(self.table.synthetic)
+        self._record_mappings()
+        aborted = sorted(before - after)
+        injected = sorted(after - before)
+        for qid in injected:
+            self.table.synthetic[qid].flag = SyntheticStatus.RUNNING
+        actions = NetworkActions(
+            abort_qids=tuple(aborted),
+            inject=tuple(self.table.synthetic[qid].query for qid in injected),
+        )
+        if actions.is_noop:
+            self.absorbed_operations += 1
+        else:
+            self.network_operations += actions.n_operations
+        return actions

@@ -1,0 +1,223 @@
+"""The base station's query table (Section 3.1.1).
+
+User queries are stored as ``<qid, attribute_list|agg_list, predicates,
+epoch_duration, qid'>`` where ``qid'`` names the synthetic query the user
+query was rewritten into.  Synthetic queries additionally carry:
+
+(a) *count* fields — per attribute, per aggregate, per epoch value — giving
+    the number of contained user queries that require each piece of data;
+(b) a *from_list* — the user queries the synthetic query is responsible
+    for;
+(c) a *flag* — current status;
+(d) a *benefit* — gain versus running the contained user queries
+    individually (computed from the cost model on demand, so it always
+    reflects current statistics).
+
+All of these live only at the base station; the network sees plain queries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...queries.ast import Aggregate, Query, next_qid
+from ...queries.semantics import covers, merge_all
+
+
+class SyntheticStatus(enum.Enum):
+    """Lifecycle flag of a synthetic query."""
+
+    PENDING = "pending"      # created by rewriting, not yet injected
+    RUNNING = "running"      # injected into the network
+    ABORTED = "aborted"      # abortion flooded
+
+
+@dataclass
+class UserQueryRecord:
+    """One user query and the synthetic query serving it (``qid'``)."""
+
+    query: Query
+    synthetic_qid: Optional[int] = None
+
+    @property
+    def qid(self) -> int:
+        return self.query.qid
+
+
+@dataclass
+class SyntheticQueryRecord:
+    """A synthetic query plus the enhanced base-station-only fields."""
+
+    query: Query
+    from_list: Dict[int, Query] = field(default_factory=dict)
+    flag: SyntheticStatus = SyntheticStatus.PENDING
+
+    @property
+    def qid(self) -> int:
+        return self.query.qid
+
+    # ------------------------------------------------------------------
+    # Count fields (derived, so they can never drift out of sync)
+    # ------------------------------------------------------------------
+    def attribute_counts(self) -> Dict[str, int]:
+        """attribute -> number of contained user queries needing it."""
+        counts: Dict[str, int] = {}
+        for user in self.from_list.values():
+            for attr in user.requested_attributes():
+                counts[attr] = counts.get(attr, 0) + 1
+        return counts
+
+    def aggregate_counts(self) -> Dict[Aggregate, int]:
+        counts: Dict[Aggregate, int] = {}
+        for user in self.from_list.values():
+            for aggregate in user.aggregates:
+                counts[aggregate] = counts.get(aggregate, 0) + 1
+        return counts
+
+    def epoch_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for user in self.from_list.values():
+            counts[user.epoch_ms] = counts.get(user.epoch_ms, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Membership maintenance
+    # ------------------------------------------------------------------
+    def add_user_query(self, user: Query) -> None:
+        self.from_list[user.qid] = user
+
+    def remove_user_query(self, qid: int) -> Query:
+        return self.from_list.pop(qid)
+
+    def tight_query(self) -> Query:
+        """The minimal synthetic query covering the current from_list."""
+        return merge_all(list(self.from_list.values()), qid=self.query.qid)
+
+    def over_requests(self) -> bool:
+        """True if some count effectively dropped to zero (Algorithm 2 line 4).
+
+        The running synthetic query requests strictly more than its
+        remaining user queries need: some attribute, aggregate, predicate
+        width or epoch rate has no supporter any more.  Two cases beyond the
+        straightforward fold comparison:
+
+        * the remaining queries cannot even share one synthetic query (an
+          acquisition synthetic left holding only differing-predicate
+          aggregations) — certainly time to rebuild;
+        * the synthetic epoch's count hit zero: no remaining user query has
+          exactly the synthetic's epoch, so every tick that is not also a
+          boundary of some user epoch is wasted sampling, even though the
+          GCD of the survivors may still *equal* the synthetic epoch.
+        """
+        if not self.from_list:
+            return True
+        try:
+            tight = self.tight_query()
+        except ValueError:
+            return True
+        if tight.is_acquisition != self.query.is_acquisition:
+            return True
+        if tight.epoch_ms != self.query.epoch_ms:
+            return True
+        if set(tight.attributes) != set(self.query.attributes):
+            return True
+        if set(tight.aggregates) != set(self.query.aggregates):
+            return True
+        if tight.predicates != self.query.predicates:
+            return True
+        # Epoch count: some user query must run at exactly the synthetic
+        # epoch, otherwise the GCD only exists to serve a departed query.
+        if len(self.from_list) > 1 and self.query.epoch_ms not in self.epoch_counts():
+            return True
+        return False
+
+    def validate(self) -> None:
+        """Invariant: the synthetic query covers every contained user query."""
+        for user in self.from_list.values():
+            if not covers(self.query, user):
+                raise AssertionError(
+                    f"synthetic query {self.query.qid} does not cover user "
+                    f"query {user.qid}: {self.query} vs {user}"
+                )
+
+
+class QueryTable:
+    """All user and synthetic query records at the base station."""
+
+    def __init__(self) -> None:
+        self.user: Dict[int, UserQueryRecord] = {}
+        self.synthetic: Dict[int, SyntheticQueryRecord] = {}
+
+    # ------------------------------------------------------------------
+    # User-query records
+    # ------------------------------------------------------------------
+    def add_user(self, query: Query) -> UserQueryRecord:
+        if query.qid in self.user:
+            raise ValueError(f"user query {query.qid} already registered")
+        record = UserQueryRecord(query)
+        self.user[query.qid] = record
+        return record
+
+    def remove_user(self, qid: int) -> UserQueryRecord:
+        record = self.user.pop(qid, None)
+        if record is None:
+            raise KeyError(f"unknown user query {qid}")
+        return record
+
+    def synthetic_for(self, user_qid: int) -> SyntheticQueryRecord:
+        """The synthetic record a user query was rewritten into (``qid'``)."""
+        user = self.user.get(user_qid)
+        if user is None or user.synthetic_qid is None:
+            raise KeyError(f"user query {user_qid} is not mapped to a synthetic query")
+        return self.synthetic[user.synthetic_qid]
+
+    # ------------------------------------------------------------------
+    # Synthetic-query records
+    # ------------------------------------------------------------------
+    def add_synthetic(self, record: SyntheticQueryRecord) -> None:
+        if record.qid in self.synthetic:
+            raise ValueError(f"synthetic query {record.qid} already present")
+        self.synthetic[record.qid] = record
+        for user_qid in record.from_list:
+            user = self.user.get(user_qid)
+            if user is not None:
+                user.synthetic_qid = record.qid
+
+    def remove_synthetic(self, qid: int) -> SyntheticQueryRecord:
+        record = self.synthetic.pop(qid, None)
+        if record is None:
+            raise KeyError(f"unknown synthetic query {qid}")
+        return record
+
+    def map_user_to(self, user_qid: int, synthetic_qid: int) -> None:
+        """Point a user record's ``qid'`` at a synthetic query."""
+        self.user[user_qid].synthetic_qid = synthetic_qid
+        self.synthetic[synthetic_qid].add_user_query(self.user[user_qid].query)
+
+    def running_synthetic(self) -> List[SyntheticQueryRecord]:
+        return [r for r in self.synthetic.values()
+                if r.flag is not SyntheticStatus.ABORTED]
+
+    def validate(self) -> None:
+        """Cross-record invariants (used heavily by tests)."""
+        for user_qid, user in self.user.items():
+            if user.synthetic_qid is not None:
+                synthetic = self.synthetic.get(user.synthetic_qid)
+                assert synthetic is not None, (
+                    f"user {user_qid} maps to missing synthetic {user.synthetic_qid}"
+                )
+                assert user_qid in synthetic.from_list, (
+                    f"user {user_qid} missing from from_list of "
+                    f"synthetic {user.synthetic_qid}"
+                )
+        for record in self.synthetic.values():
+            record.validate()
+            for user_qid in record.from_list:
+                assert user_qid in self.user, (
+                    f"synthetic {record.qid} references unknown user {user_qid}"
+                )
+                assert self.user[user_qid].synthetic_qid == record.qid, (
+                    f"user {user_qid} not mapped back to synthetic {record.qid}"
+                )

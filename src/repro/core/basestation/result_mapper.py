@@ -1,0 +1,132 @@
+"""Mapping synthetic-query results back to user-query answers.
+
+"After the sensor network returns results for the synthetic queries,
+corresponding results for user queries can be easily obtained through
+mapping and calculation" (Section 1).  Three cases:
+
+* user acquisition <- synthetic acquisition: keep rows whose epoch time is
+  a boundary of the user query, re-filter with the user predicates (the
+  synthetic predicates are hulls, i.e. wider), and project the user's
+  attribute list;
+* user aggregation <- synthetic acquisition: re-filter rows per epoch and
+  aggregate centrally at the base station;
+* user aggregation <- synthetic aggregation: predicates are identical by
+  construction, so just select the user's epochs and finalise the subset of
+  partial aggregates the user asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...queries.ast import Aggregate, Query
+from ...tinydb.aggregation import compute_aggregates, compute_grouped_aggregates
+from ...tinydb.results import ResultLog, ResultRow
+
+
+@dataclass(frozen=True)
+class MappedRow:
+    """One user-visible acquisition result row."""
+
+    epoch_time: float
+    origin: int
+    values: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class MappedAggregates:
+    """User-visible aggregate values for one epoch (and GROUP BY bucket).
+
+    Ungrouped queries always use the empty ``group_key``.
+    """
+
+    epoch_time: float
+    values: Dict[Aggregate, Optional[float]]
+    group_key: tuple = ()
+
+
+class ResultMapper:
+    """Derives user-query answers from a base-station :class:`ResultLog`."""
+
+    def __init__(self, log: ResultLog) -> None:
+        self._log = log
+
+    # ------------------------------------------------------------------
+    # Acquisition user queries
+    # ------------------------------------------------------------------
+    def acquisition_rows(self, user: Query, synthetic: Query) -> List[MappedRow]:
+        """Answer rows for an acquisition user query."""
+        if not user.is_acquisition:
+            raise ValueError(f"query {user.qid} is not an acquisition query")
+        if not synthetic.is_acquisition:
+            raise ValueError(
+                f"synthetic query {synthetic.qid} is an aggregation query and "
+                f"cannot serve acquisition query {user.qid}"
+            )
+        needs_filter = synthetic.predicates != user.predicates
+        mapped: List[MappedRow] = []
+        for row in self._log.rows(synthetic.qid):
+            if not user.fires_at(row.epoch_time):
+                continue
+            if needs_filter and not user.predicates.matches(row.values):
+                continue
+            projected = {attr: row.values[attr] for attr in user.attributes}
+            mapped.append(MappedRow(row.epoch_time, row.origin, projected))
+        mapped.sort(key=lambda r: (r.epoch_time, r.origin))
+        return mapped
+
+    # ------------------------------------------------------------------
+    # Aggregation user queries
+    # ------------------------------------------------------------------
+    def aggregation_results(self, user: Query, synthetic: Query) -> List[MappedAggregates]:
+        """Answer aggregates for an aggregation user query."""
+        if not user.is_aggregation:
+            raise ValueError(f"query {user.qid} is not an aggregation query")
+        if synthetic.is_acquisition:
+            return self._aggregates_from_rows(user, synthetic)
+        return self._aggregates_from_partials(user, synthetic)
+
+    def _aggregates_from_rows(self, user: Query, synthetic: Query) -> List[MappedAggregates]:
+        needs_filter = synthetic.predicates != user.predicates
+        results: List[MappedAggregates] = []
+        for epoch_time in self._log.row_epochs(synthetic.qid):
+            if not user.fires_at(epoch_time):
+                continue
+            rows = [
+                row.values for row in self._log.rows(synthetic.qid, epoch_time)
+                if not needs_filter or user.predicates.matches(row.values)
+            ]
+            if user.group_by:
+                grouped = compute_grouped_aggregates(
+                    user.aggregates, user.group_by, rows)
+                for group_key in sorted(grouped):
+                    results.append(MappedAggregates(
+                        epoch_time, grouped[group_key], group_key))
+            else:
+                values = compute_aggregates(user.aggregates, rows)
+                results.append(MappedAggregates(epoch_time, values))
+        return results
+
+    def _aggregates_from_partials(self, user: Query, synthetic: Query) -> List[MappedAggregates]:
+        if synthetic.predicates != user.predicates:
+            raise ValueError(
+                f"aggregation synthetic query {synthetic.qid} has different "
+                f"predicates from user query {user.qid}; mapping would be wrong"
+            )
+        if synthetic.group_by != user.group_by:
+            raise ValueError(
+                f"aggregation synthetic query {synthetic.qid} has different "
+                f"grouping from user query {user.qid}; mapping would be wrong"
+            )
+        results: List[MappedAggregates] = []
+        for epoch_time in self._log.aggregate_epochs(synthetic.qid):
+            if not user.fires_at(epoch_time):
+                continue
+            for group_key in self._log.group_keys(synthetic.qid, epoch_time):
+                values: Dict[Aggregate, Optional[float]] = {}
+                for aggregate in user.aggregates:
+                    values[aggregate] = self._log.aggregate(
+                        synthetic.qid, epoch_time, aggregate, group_key)
+                results.append(MappedAggregates(epoch_time, values, group_key))
+        return results

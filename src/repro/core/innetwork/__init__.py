@@ -1,0 +1,35 @@
+"""Tier-2: in-network sharing over time and space (S6)."""
+
+from .dag import UpperNeighborView
+from .packing import (
+    group_equal_partials,
+    satisfied_acquisitions,
+    shared_row_content,
+    split_groups,
+    trim_row_values,
+)
+from .processor import TTMQOBaseStationApp, TTMQONodeApp, TTMQOParams
+from .routing import (
+    SharedAggPayload,
+    SharedRowPayload,
+    encode_responsibilities,
+    responsibilities_bytes,
+)
+from .schedule import GcdClock
+
+__all__ = [
+    "GcdClock",
+    "SharedAggPayload",
+    "SharedRowPayload",
+    "TTMQOBaseStationApp",
+    "TTMQONodeApp",
+    "TTMQOParams",
+    "UpperNeighborView",
+    "encode_responsibilities",
+    "group_equal_partials",
+    "responsibilities_bytes",
+    "satisfied_acquisitions",
+    "shared_row_content",
+    "split_groups",
+    "trim_row_values",
+]

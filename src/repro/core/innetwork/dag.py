@@ -1,0 +1,144 @@
+"""Sharing over space: the query-aware DAG and dynamic parent selection.
+
+Section 3.2.2: during query propagation "the DAG is formed by having an
+edge from every node to each of its upper level neighbors", and each flood
+frame piggybacks whether the sender "has the data the query retrieves".
+During result collection each node picks, *per message*, the upper-level
+neighbour that has data for the most of the message's queries (ties broken
+by link quality); when no single neighbour covers every query, the message
+is multicast and each chosen neighbour takes responsibility for a subset.
+
+:class:`UpperNeighborView` is one node's local knowledge about its DAG
+parents: per-query has-data evidence (from the flood piggyback and from
+promiscuously overheard result frames — the broadcast channel delivers
+every in-range frame) and liveness (sleeping neighbours stop transmitting,
+so evidence goes stale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+
+@dataclass
+class _NeighborInfo:
+    """Evidence about one upper-level neighbour."""
+
+    #: qid -> virtual time of the latest has-data evidence.
+    has_data_at: Dict[int, float] = field(default_factory=dict)
+    #: Latest time any frame was heard from this neighbour.
+    last_heard: float = float("-inf")
+    #: Believed asleep until this time (set on repeated delivery failures).
+    unavailable_until: float = float("-inf")
+
+
+class UpperNeighborView:
+    """One node's routing knowledge about its upper-level neighbours."""
+
+    def __init__(self, uppers: Iterable[int],
+                 link_quality: Mapping[int, float],
+                 freshness_ms: float = 65536.0) -> None:
+        self._info: Dict[int, _NeighborInfo] = {u: _NeighborInfo() for u in uppers}
+        self._quality = dict(link_quality)
+        self._freshness = freshness_ms
+
+    # ------------------------------------------------------------------
+    # Evidence updates
+    # ------------------------------------------------------------------
+    def note_has_data(self, neighbor: int, qid: int, now: float) -> None:
+        """Record piggybacked or overheard has-data evidence."""
+        info = self._info.get(neighbor)
+        if info is not None:
+            info.has_data_at[qid] = now
+            info.last_heard = max(info.last_heard, now)
+
+    def note_heard(self, neighbor: int, now: float) -> None:
+        """Record that any frame was heard from this neighbour (it is awake)."""
+        info = self._info.get(neighbor)
+        if info is not None:
+            info.last_heard = max(info.last_heard, now)
+            info.unavailable_until = float("-inf")
+
+    def note_unreachable(self, neighbor: int, now: float,
+                         backoff_ms: float = 4096.0) -> None:
+        """Record a delivery failure (likely sleeping); avoid it briefly."""
+        info = self._info.get(neighbor)
+        if info is not None:
+            info.unavailable_until = now + backoff_ms
+
+    def drop_query(self, qid: int) -> None:
+        """Forget per-query evidence when a query is aborted."""
+        for info in self._info.values():
+            info.has_data_at.pop(qid, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def neighbors(self) -> List[int]:
+        return sorted(self._info)
+
+    def has_data(self, neighbor: int, qid: int, now: float) -> bool:
+        """Fresh evidence that the neighbour has data for ``qid``."""
+        info = self._info.get(neighbor)
+        if info is None:
+            return False
+        seen = info.has_data_at.get(qid)
+        return seen is not None and now - seen <= self._freshness
+
+    def is_available(self, neighbor: int, now: float) -> bool:
+        info = self._info.get(neighbor)
+        return info is not None and now >= info.unavailable_until
+
+    def quality(self, neighbor: int) -> float:
+        return self._quality.get(neighbor, 0.0)
+
+    # ------------------------------------------------------------------
+    # Parent selection (the heart of sharing over space)
+    # ------------------------------------------------------------------
+    def select_parents(self, qids: FrozenSet[int], now: float,
+                       exclude: Optional[Set[int]] = None) -> Dict[int, FrozenSet[int]]:
+        """Assign the message's queries to upper-level parents.
+
+        Greedy set cover: repeatedly pick the available neighbour with data
+        for the most still-unassigned queries ("neighbors with data for more
+        queries have higher priority to be chosen"), ties broken by link
+        quality then id.  Queries no neighbour has data for fall back to the
+        best-quality available neighbour (plain TinyDB-style routing).
+
+        Returns parent -> responsible query subset; a single entry means
+        unicast, several mean one multicast frame (Section 3.2.2).
+        """
+        excluded = exclude or set()
+        candidates = [n for n in self._info
+                      if n not in excluded and self.is_available(n, now)]
+        if not candidates:
+            # Everyone believed unavailable: fall back to all non-excluded
+            # neighbours rather than dropping data.
+            candidates = [n for n in self._info if n not in excluded]
+        if not candidates:
+            return {}
+
+        assignment: Dict[int, Set[int]] = {}
+        remaining: Set[int] = set(qids)
+        while remaining:
+            best, best_cover = None, -1
+            for neighbor in candidates:
+                cover = sum(1 for qid in remaining
+                            if self.has_data(neighbor, qid, now))
+                key = (cover, self.quality(neighbor), -neighbor)
+                if best is None or key > (best_cover, self.quality(best), -best):
+                    best, best_cover = neighbor, cover
+            assert best is not None
+            if best_cover <= 0:
+                # No neighbour has data for any remaining query: route the
+                # rest over the best link.
+                fallback = max(candidates,
+                               key=lambda n: (self.quality(n), -n))
+                assignment.setdefault(fallback, set()).update(remaining)
+                remaining.clear()
+                break
+            covered = {qid for qid in remaining if self.has_data(best, qid, now)}
+            assignment.setdefault(best, set()).update(covered)
+            remaining -= covered
+        return {parent: frozenset(subset) for parent, subset in assignment.items()}

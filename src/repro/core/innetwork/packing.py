@@ -1,0 +1,97 @@
+"""Shared result-message construction (Section 3.2.2, Result Collection).
+
+* Acquisition: "the sensor node generates a result message that contains
+  the requesting attributes of all the queries whose predicates are
+  satisfied" — one frame, the attribute union, the qid set.
+* Aggregation: "one data message can be packed to share among all of the
+  queries whose partial aggregation value are the same" — queries whose
+  current partial-aggregate states are identical form one shared group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+from ...queries.ast import Query
+from ...tinydb.aggregation import PartialAggregate
+from ...tinydb.payloads import AggGroup
+
+#: A query's partial-aggregate state, keyed by (op, attribute).
+PartialMap = Mapping[tuple, PartialAggregate]
+
+
+def satisfied_acquisitions(queries: Sequence[Query],
+                           row: Mapping[str, float]) -> List[Query]:
+    """The firing acquisition queries this node's readings satisfy."""
+    return [q for q in queries
+            if q.is_acquisition and q.predicates.matches(row)]
+
+
+def shared_row_content(queries: Sequence[Query],
+                       row: Mapping[str, float]) -> Tuple[Dict[str, float], FrozenSet[int]]:
+    """Attribute-union values and qid set for one shared row frame."""
+    attributes: set = set()
+    for query in queries:
+        attributes.update(query.attributes)
+    values = {a: row[a] for a in attributes if a in row}
+    qids = frozenset(q.qid for q in queries)
+    return values, qids
+
+
+def trim_row_values(values: Mapping[str, float], queries: Sequence[Query],
+                    qids: FrozenSet[int]) -> Dict[str, float]:
+    """Drop attributes no remaining query needs (relays shrink split frames).
+
+    ``queries`` is the relay's knowledge of running queries; attributes for
+    unknown qids are conservatively kept.
+    """
+    known = {q.qid: q for q in queries}
+    if any(qid not in known for qid in qids):
+        return dict(values)
+    needed: set = set()
+    for qid in qids:
+        needed.update(known[qid].attributes)
+    return {a: v for a, v in values.items() if a in needed}
+
+
+def _canonical(partials: PartialMap) -> Tuple[PartialAggregate, ...]:
+    return tuple(partials[key] for key in sorted(partials, key=str))
+
+
+def group_equal_partials(
+    per_query: Mapping[int, Mapping[Tuple[float, ...], PartialMap]]
+) -> List[AggGroup]:
+    """Group (query, GROUP-BY-bucket) pairs with identical partial states.
+
+    ``per_query`` maps each query id to its *grouped* partial state
+    (ungrouped queries use the single empty group key).  Pairs sharing both
+    the bucket and the canonical partial tuple ride one :class:`AggGroup`
+    — one on-air encoding of those partials.  Empty states are skipped.
+    """
+    buckets: Dict[Tuple[Tuple[float, ...], Tuple[PartialAggregate, ...]],
+                  List[int]] = {}
+    for qid, grouped in per_query.items():
+        for group_key, partials in grouped.items():
+            if not partials:
+                continue
+            buckets.setdefault((group_key, _canonical(partials)),
+                               []).append(qid)
+    groups = [AggGroup(frozenset(qids), canonical, group_key)
+              for (group_key, canonical), qids in buckets.items()]
+    groups.sort(key=lambda g: (sorted(g.qids), g.group_key))
+    return groups
+
+
+def split_groups(groups: Sequence[AggGroup],
+                 qids: FrozenSet[int]) -> Tuple[AggGroup, ...]:
+    """Restrict groups to a parent's responsibility subset.
+
+    When a multicast splits queries across parents, each parent must only
+    forward the groups (or group fragments) for its own queries.
+    """
+    result: List[AggGroup] = []
+    for group in groups:
+        kept = group.qids & qids
+        if kept:
+            result.append(AggGroup(kept, group.partials, group.group_key))
+    return tuple(result)

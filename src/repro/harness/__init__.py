@@ -1,0 +1,46 @@
+"""Experiment harness: strategy matrix, runners, metrics, reporting (S8)."""
+
+from .analysis import (
+    LevelBreakdown,
+    busiest_nodes,
+    hotspot_ratio,
+    level_breakdown,
+    lifetime_estimate_days,
+)
+from .failures import (
+    FailureInjector,
+    Outage,
+    expected_rows,
+    row_completeness,
+)
+from .metrics import message_savings, percent_savings, savings_table
+from .reporting import format_table, print_table
+from .runner import DEFAULT_DRAIN_MS, RunResult, run_all_strategies, run_workload
+from .strategies import Deployment, DeploymentConfig, Strategy
+from .tier1_sim import Tier1RunStats, default_cost_model, run_tier1
+
+__all__ = [
+    "DEFAULT_DRAIN_MS",
+    "Deployment",
+    "FailureInjector",
+    "LevelBreakdown",
+    "Outage",
+    "DeploymentConfig",
+    "RunResult",
+    "Strategy",
+    "Tier1RunStats",
+    "default_cost_model",
+    "expected_rows",
+    "row_completeness",
+    "busiest_nodes",
+    "hotspot_ratio",
+    "level_breakdown",
+    "lifetime_estimate_days",
+    "format_table",
+    "message_savings",
+    "percent_savings",
+    "print_table",
+    "run_all_strategies",
+    "run_tier1",
+    "run_workload",
+]

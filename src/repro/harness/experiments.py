@@ -1,0 +1,164 @@
+"""Canonical experiment definitions: one function per paper table/figure.
+
+The benchmark suite (``benchmarks/``) and the command-line interface both
+call these, so a figure is regenerated identically no matter how it is
+invoked.  Each function returns plain data (rows/series); rendering is the
+caller's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..workloads import (
+    STATIC_WORKLOADS,
+    Workload,
+    dynamic_workload,
+    fig4_query_model,
+    fig5_queries,
+)
+from .metrics import percent_savings, savings_table
+from .runner import RunResult, run_all_strategies
+from .strategies import DeploymentConfig, Strategy
+from .tier1_sim import Tier1RunStats, default_cost_model, run_tier1
+
+#: Orderings used by every rendering of the strategy matrix.
+STRATEGY_ORDER = (Strategy.BASELINE, Strategy.BS_ONLY,
+                  Strategy.INNET_ONLY, Strategy.TTMQO)
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+def fig3_results(workload_name: str, side: int, duration_ms: float = 90_000.0,
+                 seed: int = 11) -> Dict[Strategy, RunResult]:
+    """Run one Figure 3 bar group (workload x network size)."""
+    queries = STATIC_WORKLOADS[workload_name]()
+    workload = Workload.static(
+        queries, duration_ms=duration_ms,
+        description=f"WORKLOAD_{workload_name}/{side * side}n")
+    return run_all_strategies(workload, DeploymentConfig(side=side, seed=seed))
+
+
+def fig3_rows(results: Mapping[Strategy, RunResult]) -> List[List[object]]:
+    """Table rows for one Figure 3 group."""
+    savings = savings_table(results)
+    rows: List[List[object]] = []
+    for strategy in STRATEGY_ORDER:
+        r = results[strategy]
+        rows.append([
+            strategy.value,
+            f"{r.average_transmission_time:.5f}",
+            r.total_frames,
+            r.result_frames,
+            f"{savings[strategy]:.1f}%" if strategy in savings else "-",
+        ])
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+def fig4a_series(
+    concurrencies: Sequence[int] = (8, 16, 24, 32, 40, 48),
+    seeds: Sequence[int] = (5, 6, 7),
+    n_nodes: int = 64,
+    alpha: float = 0.6,
+    n_queries: int = 500,
+) -> List[Tuple[int, float, float]]:
+    """(concurrency, mean benefit ratio, mean synthetic count) series."""
+    cost_model = default_cost_model(n_nodes, 5)
+    model = fig4_query_model()
+    series = []
+    for concurrency in concurrencies:
+        ratios, counts = [], []
+        for seed in seeds:
+            workload = dynamic_workload(model, n_nodes, n_queries=n_queries,
+                                        concurrency=concurrency, seed=seed)
+            stats = run_tier1(workload, cost_model, alpha=alpha)
+            ratios.append(stats.benefit_ratio)
+            counts.append(stats.average_synthetic_count)
+        series.append((concurrency, sum(ratios) / len(ratios),
+                       sum(counts) / len(counts)))
+    return series
+
+
+def fig4b_series(
+    alphas: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2),
+    seeds: Sequence[int] = (5, 6, 7, 8, 9, 10),
+    n_nodes: int = 64,
+    concurrency: int = 8,
+    n_queries: int = 500,
+) -> List[Tuple[float, float, float]]:
+    """(alpha, mean benefit ratio, mean network operations) series."""
+    cost_model = default_cost_model(n_nodes, 5)
+    model = fig4_query_model()
+    workloads = [
+        dynamic_workload(model, n_nodes, n_queries=n_queries,
+                         concurrency=concurrency, seed=seed)
+        for seed in seeds
+    ]
+    series = []
+    for alpha in alphas:
+        stats = [run_tier1(w, cost_model, alpha=alpha) for w in workloads]
+        series.append((
+            alpha,
+            sum(s.benefit_ratio for s in stats) / len(stats),
+            sum(s.network_operations for s in stats) / len(stats),
+        ))
+    return series
+
+
+def fig4c_table(
+    concurrencies: Sequence[int] = (8, 16, 24, 32, 40, 48),
+    alphas: Sequence[float] = (0.2, 0.6, 1.0),
+    seeds: Sequence[int] = (5, 6, 7),
+    n_nodes: int = 64,
+    n_queries: int = 500,
+) -> Dict[Tuple[int, float], float]:
+    """(concurrency, alpha) -> mean synthetic-query count."""
+    cost_model = default_cost_model(n_nodes, 5)
+    model = fig4_query_model()
+    table: Dict[Tuple[int, float], float] = {}
+    for concurrency in concurrencies:
+        workloads = [
+            dynamic_workload(model, n_nodes, n_queries=n_queries,
+                             concurrency=concurrency, seed=seed)
+            for seed in seeds
+        ]
+        for alpha in alphas:
+            counts = [run_tier1(w, cost_model, alpha=alpha).average_synthetic_count
+                      for w in workloads]
+            table[(concurrency, alpha)] = sum(counts) / len(counts)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
+def fig5_table(
+    selectivities: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    compositions: Sequence[float] = (0.0, 0.5, 1.0),
+    side: int = 4,
+    duration_ms: float = 90_000.0,
+    seed: int = 3,
+    workload_seed: int = 2,
+) -> Dict[Tuple[float, float], float]:
+    """(aggregation fraction, selectivity) -> % savings TTMQO vs baseline."""
+    from .runner import run_workload
+
+    table: Dict[Tuple[float, float], float] = {}
+    config = DeploymentConfig(side=side, seed=seed)
+    for fraction in compositions:
+        for selectivity in selectivities:
+            queries = fig5_queries(fraction, selectivity, side * side,
+                                   seed=workload_seed)
+            workload = Workload.static(queries, duration_ms=duration_ms,
+                                       description="fig5")
+            baseline = run_workload(Strategy.BASELINE, workload, config)
+            ttmqo = run_workload(Strategy.TTMQO, workload, config)
+            table[(fraction, selectivity)] = percent_savings(
+                baseline.average_transmission_time,
+                ttmqo.average_transmission_time)
+    return table

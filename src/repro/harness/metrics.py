@@ -1,0 +1,40 @@
+"""Metric helpers shared by the benchmarks and integration tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from .runner import RunResult
+from .strategies import Strategy
+
+
+def percent_savings(baseline: float, optimized: float) -> float:
+    """Relative improvement of ``optimized`` over ``baseline`` in percent.
+
+    The paper's "improved up to 82% in terms of the transmission time"
+    means the optimized strategy spends 82% less transmission time than the
+    baseline.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - optimized) / baseline
+
+
+def savings_table(results: Mapping[Strategy, RunResult]) -> Dict[Strategy, float]:
+    """Percent transmission-time savings of each strategy vs the baseline."""
+    baseline = results[Strategy.BASELINE].average_transmission_time
+    return {
+        strategy: percent_savings(baseline, result.average_transmission_time)
+        for strategy, result in results.items()
+        if strategy is not Strategy.BASELINE
+    }
+
+
+def message_savings(results: Mapping[Strategy, RunResult]) -> Dict[Strategy, float]:
+    """Percent result-frame savings of each strategy vs the baseline."""
+    baseline = results[Strategy.BASELINE].result_frames
+    return {
+        strategy: percent_savings(baseline, result.result_frames)
+        for strategy, result in results.items()
+        if strategy is not Strategy.BASELINE
+    }

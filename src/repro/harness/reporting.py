@@ -1,0 +1,71 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper figure
+reports, using these helpers so output stays uniform and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                title: str = "") -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)
+
+
+def render_topology(topology, width: int = 64, height: int = 24) -> str:
+    """ASCII map of a deployment: node ids plotted by position, the base
+    station marked ``BS``, and a level legend.
+
+    Useful for eyeballing random deployments and explaining routing depth
+    without a plotting stack.
+    """
+    xs = [p[0] for p in topology.positions.values()]
+    ys = [p[1] for p in topology.positions.values()]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for node, (x, y) in sorted(topology.positions.items()):
+        col = int((x - x_lo) / x_span * (width - 4))
+        row = int((y - y_lo) / y_span * (height - 1))
+        label = "BS" if node == topology.base_station else str(node)
+        for offset, char in enumerate(label):
+            if col + offset < width:
+                grid[row][col + offset] = char
+
+    lines = ["".join(row).rstrip() for row in grid]
+    sizes = topology.level_sizes()
+    legend = ", ".join(f"L{lvl}: {count}" for lvl, count in sorted(sizes.items()))
+    lines.append("")
+    lines.append(f"{topology.size} nodes; levels {legend}; "
+                 f"max depth {topology.max_depth}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Experiment runner: replay a workload against a strategy, collect metrics.
+
+The headline metric is the paper's *average transmission time* — "the
+average percentage of transmission time spent on each node for all running
+queries over the simulation time" (Section 4.1) — counting result frames,
+query propagation/abortion frames, maintenance beacons and retransmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim.messages import MessageKind
+from ..workloads.spec import EventKind, Workload
+from .strategies import Deployment, DeploymentConfig, Strategy
+
+#: Extra virtual time after the last workload event so in-flight frames land.
+DEFAULT_DRAIN_MS = 4_000.0
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one (strategy, workload) simulation."""
+
+    strategy: Strategy
+    workload_description: str
+    duration_ms: float
+    average_transmission_time: float
+    total_frames: int
+    result_frames: int
+    query_frames: int
+    abort_frames: int
+    maintenance_frames: int
+    collisions: int
+    retransmissions: int
+    dropped_frames: int
+    acquisitions: int
+    deployment: Deployment = field(repr=False)
+
+    def frames_by_kind(self) -> Dict[str, int]:
+        return {
+            "result": self.result_frames,
+            "query": self.query_frames,
+            "abort": self.abort_frames,
+            "maintenance": self.maintenance_frames,
+        }
+
+
+def run_workload(
+    strategy: Strategy,
+    workload: Workload,
+    config: Optional[DeploymentConfig] = None,
+    drain_ms: float = DEFAULT_DRAIN_MS,
+) -> RunResult:
+    """Simulate ``workload`` under ``strategy`` and return the measurements."""
+    config = config or DeploymentConfig()
+    deployment = Deployment(strategy, config)
+    sim = deployment.sim
+
+    for event in workload.events:
+        if event.kind is EventKind.ARRIVE:
+            sim.engine.schedule_at(event.time_ms, deployment.register, event.query)
+        else:
+            sim.engine.schedule_at(event.time_ms, deployment.terminate,
+                                   event.query.qid)
+
+    sim.start()
+    horizon = workload.duration_ms + drain_ms
+    sim.run_until(horizon)
+
+    trace = sim.trace
+    return RunResult(
+        strategy=strategy,
+        workload_description=workload.description,
+        duration_ms=horizon,
+        average_transmission_time=sim.average_transmission_time(),
+        total_frames=trace.total_transmissions(),
+        result_frames=trace.total_transmissions([MessageKind.RESULT]),
+        query_frames=trace.total_transmissions([MessageKind.QUERY]),
+        abort_frames=trace.total_transmissions([MessageKind.ABORT]),
+        maintenance_frames=trace.total_transmissions([MessageKind.MAINTENANCE]),
+        collisions=trace.collisions,
+        retransmissions=trace.retransmissions,
+        dropped_frames=trace.dropped_frames,
+        acquisitions=deployment.total_acquisitions(),
+        deployment=deployment,
+    )
+
+
+def run_all_strategies(
+    workload: Workload,
+    config: Optional[DeploymentConfig] = None,
+    strategies: Optional[tuple] = None,
+    drain_ms: float = DEFAULT_DRAIN_MS,
+) -> Dict[Strategy, RunResult]:
+    """Run the same workload under several strategies (Figure 3's matrix)."""
+    chosen = strategies or (Strategy.BASELINE, Strategy.BS_ONLY,
+                            Strategy.INNET_ONLY, Strategy.TTMQO)
+    return {s: run_workload(s, workload, config, drain_ms) for s in chosen}

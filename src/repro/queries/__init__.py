@@ -1,0 +1,37 @@
+"""Declarative query layer: TinyDB dialect AST, parser, predicate algebra (S3)."""
+
+from .ast import (
+    Aggregate,
+    GroupBy,
+    AggregateOp,
+    MIN_EPOCH_MS,
+    Query,
+    QueryValidationError,
+    combined_epoch,
+    gcd_epoch,
+    next_qid,
+)
+from .parser import ParseError, parse_query
+from .predicates import Interval, PredicateSet
+from .semantics import MergeKind, MergePlan, covers, merge, mergeable
+
+__all__ = [
+    "Aggregate",
+    "GroupBy",
+    "AggregateOp",
+    "Interval",
+    "MIN_EPOCH_MS",
+    "MergeKind",
+    "MergePlan",
+    "ParseError",
+    "PredicateSet",
+    "Query",
+    "QueryValidationError",
+    "combined_epoch",
+    "covers",
+    "gcd_epoch",
+    "merge",
+    "mergeable",
+    "next_qid",
+    "parse_query",
+]

@@ -1,0 +1,263 @@
+"""Parser for the TinyDB query dialect used in the paper.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list FROM identifier
+                  [ WHERE condition { AND condition } ]
+                  EPOCH DURATION integer
+    select_list:= select_item { ',' select_item }
+    select_item:= identifier | AGGOP '(' identifier ')'
+    condition  := identifier cmp number
+                | number cmp identifier
+                | identifier BETWEEN number AND number
+
+Examples from the paper (Section 3.1.3)::
+
+    SELECT light FROM sensors WHERE 280 < light AND light < 600
+        EPOCH DURATION 4096
+    SELECT MAX(light) FROM sensors EPOCH DURATION 8192
+
+Strict and non-strict comparisons are normalised to closed intervals — on
+the continuous sensed domains they have identical selectivity, and the
+paper's own example treats ``280<light<600`` as the range ``[280, 600]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .ast import Aggregate, AggregateOp, GroupBy, MIN_EPOCH_MS, Query
+from .predicates import Interval, PredicateSet
+
+
+class ParseError(ValueError):
+    """Raised on any syntactic or semantic parse failure."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<|>|=)
+  | (?P<punct>[(),*/])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "EPOCH", "DURATION",
+    "SAMPLE", "PERIOD", "BETWEEN", "GROUP", "BY",
+}
+
+_AGG_NAMES = {op.value for op in AggregateOp}
+
+
+class _Tokens:
+    """A token cursor with keyword-aware matching."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+            pos = match.end()
+            if match.lastgroup == "ws":
+                continue
+            kind = match.lastgroup or ""
+            value = match.group()
+            if kind == "ident" and value.upper() in _KEYWORDS | _AGG_NAMES:
+                self._tokens.append(("keyword", value.upper()))
+            else:
+                self._tokens.append((kind, value))
+        self._index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token[0] == "keyword" and token[1] in names:
+            self._index += 1
+            return token[1]
+        return None
+
+    def expect_keyword(self, *names: str) -> str:
+        got = self.accept_keyword(*names)
+        if got is None:
+            raise ParseError(f"expected {' or '.join(names)}, got {self.peek()}")
+        return got
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise ParseError(f"expected {kind}, got {token}")
+        return token[1]
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "punct" and token[1] == char:
+            self._index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+def parse_query(text: str, qid: Optional[int] = None) -> Query:
+    """Parse one query string into a :class:`Query`.
+
+    Raises :class:`ParseError` on malformed input (including mixing plain
+    attributes with aggregates, which the paper's query model forbids).
+    """
+    tokens = _Tokens(text)
+    tokens.expect_keyword("SELECT")
+    attributes, aggregates = _parse_select_list(tokens)
+    tokens.expect_keyword("FROM")
+    tokens.expect("ident")  # table name; TinyDB has the single table `sensors`
+    predicates = PredicateSet.true()
+    if tokens.accept_keyword("WHERE"):
+        predicates = _parse_conditions(tokens)
+    group_by = _parse_group_by(tokens)
+    epoch = _parse_epoch(tokens)
+    if not tokens.at_end():
+        raise ParseError(f"trailing tokens at end of query: {tokens.peek()}")
+    if attributes and aggregates:
+        raise ParseError(
+            "a query must be either data-acquisition or aggregation; "
+            "mixing plain attributes and aggregates is not supported"
+        )
+    if group_by and not aggregates:
+        raise ParseError("GROUP BY requires an aggregation query")
+    if aggregates:
+        return Query.aggregation(aggregates, predicates, epoch, qid=qid,
+                                 group_by=group_by)
+    return Query.acquisition(attributes, predicates, epoch, qid=qid)
+
+
+def _parse_select_list(tokens: _Tokens) -> Tuple[List[str], List[Aggregate]]:
+    attributes: List[str] = []
+    aggregates: List[Aggregate] = []
+    while True:
+        token = tokens.next()
+        if token[0] == "keyword" and token[1] in _AGG_NAMES:
+            if not tokens.accept_punct("("):
+                raise ParseError(f"expected '(' after {token[1]}")
+            attr = tokens.expect("ident")
+            if not tokens.accept_punct(")"):
+                raise ParseError(f"expected ')' after {token[1]}({attr}")
+            aggregates.append(Aggregate(AggregateOp(token[1]), attr))
+        elif token[0] == "ident":
+            attributes.append(token[1])
+        elif token[0] == "punct" and token[1] == "*":
+            raise ParseError("SELECT * is not supported; list attributes explicitly")
+        else:
+            raise ParseError(f"unexpected token in select list: {token}")
+        if not tokens.accept_punct(","):
+            break
+    if not attributes and not aggregates:
+        raise ParseError("empty select list")
+    return attributes, aggregates
+
+
+def _parse_conditions(tokens: _Tokens) -> PredicateSet:
+    constraints: List[Tuple[str, Interval]] = []
+    while True:
+        constraints.append(_parse_condition(tokens))
+        if not tokens.accept_keyword("AND"):
+            break
+    merged: Dict[str, Interval] = {}
+    for attr, interval in constraints:
+        if attr in merged:
+            intersection = merged[attr].intersect(interval)
+            if intersection is None:
+                raise ParseError(f"contradictory constraints on {attr!r}")
+            merged[attr] = intersection
+        else:
+            merged[attr] = interval
+    return PredicateSet(merged)
+
+
+def _parse_condition(tokens: _Tokens) -> Tuple[str, Interval]:
+    token = tokens.next()
+    if token[0] == "ident":
+        attr = token[1]
+        if tokens.accept_keyword("BETWEEN"):
+            lo = float(tokens.expect("number"))
+            tokens.expect_keyword("AND")
+            hi = float(tokens.expect("number"))
+            if lo > hi:
+                raise ParseError(f"BETWEEN bounds reversed: {lo} > {hi}")
+            return attr, Interval(lo, hi)
+        op = tokens.expect("op")
+        value = float(tokens.expect("number"))
+        return attr, _interval_for(attr, op, value, attr_on_left=True)
+    if token[0] == "number":
+        value = float(token[1])
+        op = tokens.expect("op")
+        attr = tokens.expect("ident")
+        return attr, _interval_for(attr, op, value, attr_on_left=False)
+    raise ParseError(f"unexpected token in condition: {token}")
+
+
+def _interval_for(attr: str, op: str, value: float, attr_on_left: bool) -> Interval:
+    import math
+
+    if op == "!=":
+        raise ParseError("!= predicates are not supported by the range model")
+    if op == "=":
+        return Interval(value, value)
+    # Normalise `value OP attr` to `attr OP' value` by flipping direction.
+    less = op in ("<", "<=")
+    attr_below_value = less if attr_on_left else not less
+    if attr_below_value:
+        return Interval(-math.inf, value)
+    return Interval(value, math.inf)
+
+
+def _parse_group_by(tokens: _Tokens) -> "list[GroupBy]":
+    """``GROUP BY attr [/ number] {, attr [/ number]}`` (optional clause)."""
+    if not tokens.accept_keyword("GROUP"):
+        return []
+    tokens.expect_keyword("BY")
+    terms: "list[GroupBy]" = []
+    while True:
+        attr = tokens.expect("ident")
+        divisor = 1.0
+        if tokens.accept_punct("/"):
+            divisor = float(tokens.expect("number"))
+            if divisor <= 0:
+                raise ParseError(f"GROUP BY divisor must be positive "
+                                 f"(got {divisor})")
+        terms.append(GroupBy(attr, divisor))
+        if not tokens.accept_punct(","):
+            break
+    return terms
+
+
+def _parse_epoch(tokens: _Tokens) -> int:
+    first = tokens.expect_keyword("EPOCH", "SAMPLE")
+    tokens.expect_keyword("DURATION" if first == "EPOCH" else "PERIOD")
+    raw = tokens.expect("number")
+    try:
+        epoch = int(raw)
+    except ValueError:
+        raise ParseError(f"epoch duration must be an integer, got {raw!r}")
+    if epoch % MIN_EPOCH_MS != 0:
+        raise ParseError(
+            f"epoch duration {epoch} ms must be a multiple of {MIN_EPOCH_MS} ms"
+        )
+    return epoch

@@ -1,0 +1,33 @@
+"""Synthetic sensed environment and data-distribution statistics (S2)."""
+
+from .distributions import (
+    Distribution,
+    DistributionSet,
+    HistogramDistribution,
+    UniformDistribution,
+)
+from .field import (
+    AttributeSpec,
+    CorrelatedModel,
+    LIGHT_RANGE,
+    SensorWorld,
+    TEMP_RANGE,
+    UniformModel,
+    standard_attributes,
+)
+from .sampler import Sampler
+
+__all__ = [
+    "AttributeSpec",
+    "CorrelatedModel",
+    "Distribution",
+    "DistributionSet",
+    "HistogramDistribution",
+    "LIGHT_RANGE",
+    "Sampler",
+    "SensorWorld",
+    "TEMP_RANGE",
+    "UniformDistribution",
+    "UniformModel",
+    "standard_attributes",
+]

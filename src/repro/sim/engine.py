@@ -1,0 +1,201 @@
+"""Discrete-event simulation engine.
+
+This is the foundation of the TOSSIM-replacement simulator (system S1 in
+DESIGN.md).  It provides a classic event-queue kernel: events are callbacks
+scheduled at absolute virtual times (milliseconds, ``float``), executed in
+non-decreasing time order with FIFO tie-breaking.
+
+The engine knows nothing about radios or sensor nodes; those layers
+(:mod:`repro.sim.radio`, :mod:`repro.sim.mac`, :mod:`repro.sim.node`) schedule
+events through it.
+
+Example
+-------
+>>> eq = EventQueue()
+>>> fired = []
+>>> _ = eq.schedule(5.0, fired.append, "a")
+>>> _ = eq.schedule(2.0, fired.append, "b")
+>>> eq.run_until(10.0)
+>>> fired
+['b', 'a']
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. time travel)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`EventQueue.schedule` and can be used to
+    cancel the event before it fires.  Events are lightweight: cancellation
+    is lazy (the queue skips cancelled entries when they are popped).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, fn={getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class EventQueue:
+    """A deterministic discrete-event scheduler.
+
+    Time is a monotonically non-decreasing ``float`` in milliseconds.  Events
+    scheduled for the same instant fire in the order they were scheduled,
+    which keeps runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now.
+
+        ``delay`` must be non-negative.  Returns the :class:`Event`, which may
+        be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time`` (ms)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue was
+        empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        event.fn(*event.args)
+        return True
+
+    def run_until(self, t_end: float) -> None:
+        """Run events with ``time <= t_end``; afterwards ``now == t_end``.
+
+        Events scheduled during execution are honoured if they fall within the
+        horizon.
+        """
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0].time > t_end:
+                break
+            self.step()
+        if t_end > self._now:
+            self._now = t_end
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or ``max_events`` events executed)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                return
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+
+class PeriodicTimer:
+    """A repeating timer built on :class:`EventQueue`.
+
+    Fires ``fn()`` every ``period`` ms starting at ``start`` (absolute time,
+    defaults to one period from now).  ``stop()`` cancels future firings.
+    The first firing time is exposed for epoch-alignment logic.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        period: float,
+        fn: Callable[[], Any],
+        start: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive (got {period})")
+        self._queue = queue
+        self.period = period
+        self._fn = fn
+        self._stopped = False
+        self.first_fire = queue.now + period if start is None else start
+        if self.first_fire < queue.now:
+            raise SimulationError(
+                f"timer start t={self.first_fire} is before now t={queue.now}"
+            )
+        self._event: Optional[Event] = queue.schedule_at(self.first_fire, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        # Re-arm first so that fn() may stop/reconfigure the timer safely.
+        self._event = self._queue.schedule(self.period, self._fire)
+        self._fn()
+
+    def stop(self) -> None:
+        """Cancel all future firings.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

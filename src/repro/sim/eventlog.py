@@ -1,0 +1,136 @@
+"""Structured transmission log: record, query, and export radio activity.
+
+The trace collector aggregates; the event log remembers *every frame*:
+when it went on air, who sent it, to whom, what kind, how many bytes, and
+whether it was a retransmission.  Attach one to a simulation to debug
+protocol behaviour, build custom analyses, or export a run for external
+tooling (one JSON object per line).
+
+Recording every frame costs memory proportional to traffic, so the log is
+opt-in::
+
+    sim = Simulation(topology)
+    log = EventLog.attach(sim)
+    ...
+    for record in log.between(10_000, 20_000, kind=MessageKind.RESULT):
+        ...
+    log.dump_jsonl(path)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from .messages import Message, MessageKind
+from .radio import Channel, DeliveryReport
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One frame put on the air."""
+
+    time_ms: float
+    src: int
+    destination: str         # "broadcast", "5", or "3|7" for multicast
+    kind: str                # MessageKind value
+    length_bytes: int
+    msg_id: int
+    retransmission: bool
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def _destination_label(msg: Message) -> str:
+    destinations = msg.destinations()
+    if destinations is None:
+        return "broadcast"
+    return "|".join(str(d) for d in sorted(destinations))
+
+
+class EventLog:
+    """Chronological record of every transmission in a simulation."""
+
+    def __init__(self) -> None:
+        self.records: List[TransmissionRecord] = []
+        self._seen_retx: dict = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, sim) -> "EventLog":
+        """Intercept a simulation's channel to record every frame.
+
+        Must be called before ``sim.start()`` transmits anything; frames
+        sent earlier are not recorded.
+        """
+        log = cls()
+        channel: Channel = sim.channel
+        original = channel.transmit
+
+        def recording_transmit(src: int, msg: Message,
+                               on_complete: Callable[[DeliveryReport], None]):
+            prior = log._seen_retx.get(msg.msg_id, -1)
+            log.records.append(TransmissionRecord(
+                time_ms=sim.engine.now,
+                src=src,
+                destination=_destination_label(msg),
+                kind=msg.kind.value,
+                length_bytes=msg.length_bytes,
+                msg_id=msg.msg_id,
+                retransmission=msg.retransmissions > 0 and prior >= 0,
+            ))
+            log._seen_retx[msg.msg_id] = msg.retransmissions
+            return original(src, msg, on_complete)
+
+        channel.transmit = recording_transmit  # type: ignore[assignment]
+        return log
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_kind(self, kind: MessageKind) -> List[TransmissionRecord]:
+        return [r for r in self.records if r.kind == kind.value]
+
+    def by_node(self, node_id: int) -> List[TransmissionRecord]:
+        return [r for r in self.records if r.src == node_id]
+
+    def between(self, start_ms: float, end_ms: float,
+                kind: Optional[MessageKind] = None) -> List[TransmissionRecord]:
+        """Frames with ``start_ms <= time < end_ms``, optionally by kind."""
+        return [
+            r for r in self.records
+            if start_ms <= r.time_ms < end_ms
+            and (kind is None or r.kind == kind.value)
+        ]
+
+    def originals(self) -> List[TransmissionRecord]:
+        """Frames excluding MAC retransmissions."""
+        return [r for r in self.records if not r.retransmission]
+
+    # ------------------------------------------------------------------
+    # Export / import
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, path) -> int:
+        """Write one JSON object per record; returns the record count."""
+        with open(path, "w") as handle:
+            for record in self.records:
+                handle.write(record.to_json())
+                handle.write("\n")
+        return len(self.records)
+
+    @classmethod
+    def load_jsonl(cls, path) -> "EventLog":
+        log = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    log.records.append(TransmissionRecord(**json.loads(line)))
+        return log

@@ -1,0 +1,216 @@
+"""Broadcast radio channel with packet-level collision semantics.
+
+Reproduces the aspects of TOSSIM's packet-level radio that the paper's
+metric observes:
+
+* every transmission occupies the channel for
+  ``C_start + C_trans * length_bytes`` milliseconds (the paper's Eq. 3 cost
+  of a single hop);
+* the channel is a shared broadcast medium — every powered-on node within
+  radio range hears a frame, which tier-2 exploits for multicast and
+  snooping;
+* two frames overlapping in time at a receiver that is in range of both
+  senders collide and neither is received ("transmission failures, such as
+  collisions", Section 3.1.2);
+* nodes are half-duplex: a node cannot receive while transmitting.
+
+The paper otherwise assumes a lossless environment (Section 4.1), so there
+is no independent bit-error loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+
+from .engine import EventQueue
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Topology
+    from .trace import TraceCollector
+
+
+@dataclass(frozen=True)
+class RadioParams:
+    """Physical-layer timing constants.
+
+    Defaults model the mica2 CC1000 radio the paper's TinyDB ran on:
+    38.4 kbps => 4.8 bytes/ms, with a startup cost covering preamble and
+    synchronisation.  ``C_trans`` is the reciprocal of the data rate, exactly
+    how the paper instantiates its cost model ("we use the reciprocal of the
+    data rate of the sensor nodes as the value of C_trans").
+
+    ``loss_rate`` is an independent per-receiver frame-loss probability.
+    The paper "assume[s] a lossless communication environment" (its default
+    here, 0.0) and names unreliable transmission as future work; a non-zero
+    rate enables that extension (see the robustness benchmark).
+    """
+
+    data_rate_bytes_per_ms: float = 4.8
+    startup_ms: float = 2.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1) (got {self.loss_rate})")
+
+    @property
+    def c_trans(self) -> float:
+        """Per-byte transmission cost in ms (the paper's ``C_trans``)."""
+        return 1.0 / self.data_rate_bytes_per_ms
+
+    @property
+    def c_start(self) -> float:
+        """Per-frame startup cost in ms (the paper's ``C_start``)."""
+        return self.startup_ms
+
+    def airtime_ms(self, length_bytes: int) -> float:
+        """On-air duration of one frame: ``C_start + C_trans * len``."""
+        return self.c_start + self.c_trans * length_bytes
+
+
+@dataclass
+class _Transmission:
+    src: int
+    msg: Message
+    start: float
+    end: float
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of one transmission, handed back to the sending MAC."""
+
+    msg: Message
+    #: Node ids that successfully received the frame.
+    received: Set[int] = field(default_factory=set)
+    #: Intended destinations that failed to receive (collision / asleep / tx).
+    failed_destinations: Set[int] = field(default_factory=set)
+    #: Receivers lost to a collision specifically.
+    collided: Set[int] = field(default_factory=set)
+
+
+class Channel:
+    """The shared radio medium.
+
+    Nodes register receive hooks; the MAC layer calls :meth:`transmit` after
+    carrier sensing via :meth:`is_busy_at`.
+    """
+
+    def __init__(self, engine: EventQueue, topology: "Topology",
+                 params: Optional[RadioParams] = None,
+                 trace: Optional["TraceCollector"] = None,
+                 seed: int = 0) -> None:
+        import random
+
+        self._engine = engine
+        self._topology = topology
+        self.params = params or RadioParams()
+        self._trace = trace
+        self._history: List[_Transmission] = []
+        self._active: Dict[int, _Transmission] = {}
+        # node id -> (receive hook, radio-on query)
+        self._receivers: Dict[int, Callable[[Message], None]] = {}
+        self._radio_on: Dict[int, Callable[[], bool]] = {}
+        self._loss_rng = random.Random((seed << 8) ^ 0x10551)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, on_receive: Callable[[Message], None],
+               radio_on: Callable[[], bool]) -> None:
+        """Register a node's receive hook and power-state query."""
+        self._receivers[node_id] = on_receive
+        self._radio_on[node_id] = radio_on
+
+    # ------------------------------------------------------------------
+    # Carrier sensing / transmission
+    # ------------------------------------------------------------------
+    def is_busy_at(self, node_id: int) -> bool:
+        """Carrier sense: is any in-range node currently transmitting?"""
+        if node_id in self._active:
+            return True
+        for src in self._active:
+            if self._topology.in_range(node_id, src):
+                return True
+        return False
+
+    def is_transmitting(self, node_id: int) -> bool:
+        return node_id in self._active
+
+    def transmit(self, src: int, msg: Message,
+                 on_complete: Callable[[DeliveryReport], None]) -> float:
+        """Put ``msg`` on the air from ``src``; returns the airtime in ms.
+
+        The MAC must only call this when the sender itself is idle; whether
+        the *medium* is clear is the MAC's concern (carrier sensing), and an
+        imperfect decision simply results in a collision here.
+        """
+        if src in self._active:
+            raise RuntimeError(f"node {src} is already transmitting")
+        duration = self.params.airtime_ms(msg.length_bytes)
+        now = self._engine.now
+        record = _Transmission(src=src, msg=msg, start=now, end=now + duration)
+        self._active[src] = record
+        self._history.append(record)
+        if self._trace is not None:
+            self._trace.record_transmission(src, msg, duration)
+        self._engine.schedule(duration, self._complete, record, on_complete)
+        return duration
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _complete(self, record: _Transmission,
+                  on_complete: Callable[[DeliveryReport], None]) -> None:
+        del self._active[record.src]
+        report = DeliveryReport(msg=record.msg)
+        destinations = record.msg.destinations()
+
+        for receiver in sorted(self._topology.neighbors[record.src]):
+            ok, collided = self._receives(receiver, record)
+            if ok and self.params.loss_rate > 0.0 \
+                    and self._loss_rng.random() < self.params.loss_rate:
+                ok = False  # independent channel loss (extension; default off)
+            if ok:
+                report.received.add(receiver)
+            elif collided:
+                report.collided.add(receiver)
+
+        if destinations is not None:
+            report.failed_destinations = set(destinations) - report.received
+        if self._trace is not None and report.collided:
+            self._trace.record_collision(record.msg, report.collided)
+
+        # Deliver after the report is fully built so the sender's MAC and the
+        # receivers observe a consistent ordering.
+        for receiver in sorted(report.received):
+            hook = self._receivers.get(receiver)
+            if hook is not None:
+                hook(record.msg)
+        on_complete(report)
+        self._prune_history()
+
+    def _receives(self, receiver: int, record: _Transmission) -> "tuple[bool, bool]":
+        """(received?, lost-to-collision?) for one candidate receiver."""
+        radio_on = self._radio_on.get(receiver)
+        if radio_on is not None and not radio_on():
+            return False, False  # radio powered down (sleep mode)
+        collided = False
+        for other in self._history:
+            if other is record or other.src == record.src:
+                continue
+            if other.end <= record.start or other.start >= record.end:
+                continue  # no temporal overlap
+            if other.src == receiver:
+                return False, False  # half-duplex: was transmitting itself
+            if self._topology.in_range(receiver, other.src):
+                collided = True
+        return not collided, collided
+
+    def _prune_history(self) -> None:
+        """Drop finished transmissions that can no longer overlap anything."""
+        horizon = min((t.start for t in self._active.values()),
+                      default=self._engine.now)
+        self._history = [t for t in self._history if t.end > horizon]

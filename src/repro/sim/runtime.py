@@ -1,0 +1,96 @@
+"""Top-level simulation assembly.
+
+:class:`Simulation` wires the engine, topology, radio channel, trace
+collector, sensor world and per-node applications together — the role TOSSIM
+plays for the paper's TinyDB deployment.
+
+Usage::
+
+    topo = Topology.grid(4)
+    sim = Simulation(topo, world=SensorWorld.uniform(topo, seed=1))
+    sim.install(lambda node: MyApp(...))
+    sim.start()
+    sim.run_for(60_000.0)
+    print(sim.trace.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .engine import EventQueue
+from .mac import MacParams
+from .node import NodeApp, SensorNode
+from .network import Topology
+from .radio import Channel, RadioParams
+from .trace import TraceCollector
+
+
+class Simulation:
+    """A fully wired packet-level sensor-network simulation."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        world: Optional[object] = None,
+        radio_params: Optional[RadioParams] = None,
+        mac_params: Optional[MacParams] = None,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.world = world
+        self.seed = seed
+        self.engine = EventQueue()
+        self.trace = TraceCollector(self.engine)
+        self.channel = Channel(self.engine, topology, radio_params, self.trace,
+                               seed=seed)
+        self.nodes: Dict[int, SensorNode] = {
+            node_id: SensorNode(node_id, self.engine, self.channel, topology,
+                                self.trace, mac_params, seed=seed)
+            for node_id in topology.node_ids
+        }
+        self._started = False
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    @property
+    def base_station(self) -> SensorNode:
+        return self.nodes[self.topology.base_station]
+
+    def install(self, app_factory: Callable[[SensorNode], NodeApp]) -> None:
+        """Attach an application to every node that does not have one yet."""
+        for node_id in self.topology.node_ids:
+            node = self.nodes[node_id]
+            if node.app is None:
+                node.attach_app(app_factory(node))
+
+    def install_at(self, node_id: int, app: NodeApp) -> None:
+        """Attach an application to one specific node (e.g. the base station)."""
+        self.nodes[node_id].attach_app(app)
+
+    def start(self) -> None:
+        """Invoke every application's ``on_start`` hook exactly once."""
+        if self._started:
+            return
+        self._started = True
+        for node_id in self.topology.node_ids:
+            self.nodes[node_id].start()
+
+    def run_until(self, t_end: float) -> None:
+        """Advance virtual time to ``t_end`` ms, executing all due events."""
+        if not self._started:
+            self.start()
+        self.engine.run_until(t_end)
+
+    def run_for(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` ms from now."""
+        self.run_until(self.engine.now + duration)
+
+    def average_transmission_time(self, exclude_base_station: bool = True) -> float:
+        """The paper's headline metric over this run (see trace module)."""
+        exclude = self.topology.base_station if exclude_base_station else None
+        return self.trace.average_transmission_time(
+            self.topology.node_ids, include_base_station=exclude
+        )

@@ -1,0 +1,189 @@
+"""Simulation statistics: the source of the paper's evaluation metrics.
+
+The paper's headline metric is the *average transmission time*: "the average
+percentage of transmission time spent on each node for all running queries
+over the simulation time" (Section 4.1), counting result messages, query
+propagation and abortion messages, network maintenance messages and
+retransmissions.  :class:`TraceCollector` accumulates per-node radio busy
+time and per-kind message counts; :meth:`TraceCollector.average_transmission_time`
+computes the metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from .engine import EventQueue
+from .messages import Message, MessageKind
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-state power draw in milliwatts (mica2-era magnitudes).
+
+    Radio transmission is the paper's cost proxy, but sleep mode's benefit
+    only shows in an energy model that charges idle listening: a mote's
+    radio draws nearly as much receiving/idling as transmitting, and orders
+    of magnitude less asleep.
+    """
+
+    tx_mw: float = 60.0
+    listen_mw: float = 24.0
+    sleep_mw: float = 0.03
+
+    def energy_mj(self, tx_ms: float, sleep_ms: float, elapsed_ms: float) -> float:
+        """Energy in millijoules for one node over ``elapsed_ms``."""
+        listen_ms = max(elapsed_ms - tx_ms - sleep_ms, 0.0)
+        return (self.tx_mw * tx_ms + self.listen_mw * listen_ms
+                + self.sleep_mw * sleep_ms) / 1000.0
+
+
+@dataclass
+class NodeStats:
+    """Per-node accumulated radio statistics."""
+
+    node_id: int
+    tx_busy_ms: float = 0.0
+    tx_count: int = 0
+    tx_bytes: int = 0
+    sleep_ms: float = 0.0
+    by_kind: Dict[MessageKind, int] = field(default_factory=dict)
+
+    def record(self, msg: Message, duration: float) -> None:
+        self.tx_busy_ms += duration
+        self.tx_count += 1
+        self.tx_bytes += msg.length_bytes
+        self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
+
+
+class TraceCollector:
+    """Accumulates radio activity across a simulation run."""
+
+    def __init__(self, engine: EventQueue) -> None:
+        self._engine = engine
+        self._nodes: Dict[int, NodeStats] = {}
+        self.started_at = engine.now
+        self.collisions = 0
+        self.retransmissions = 0
+        self.dropped_frames = 0
+        self._retx_seen: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by the radio/MAC layers)
+    # ------------------------------------------------------------------
+    def node_stats(self, node_id: int) -> NodeStats:
+        stats = self._nodes.get(node_id)
+        if stats is None:
+            stats = NodeStats(node_id)
+            self._nodes[node_id] = stats
+        return stats
+
+    def record_transmission(self, src: int, msg: Message, duration: float) -> None:
+        self.node_stats(src).record(msg, duration)
+        prev = self._retx_seen.get(msg.msg_id, 0)
+        if msg.retransmissions > prev:
+            self.retransmissions += msg.retransmissions - prev
+            self._retx_seen[msg.msg_id] = msg.retransmissions
+
+    def record_collision(self, msg: Message, receivers: Set[int]) -> None:
+        self.collisions += len(receivers)
+
+    def record_drop(self, msg: Message) -> None:
+        self.dropped_frames += 1
+
+    def record_sleep(self, node_id: int, duration: float) -> None:
+        self.node_stats(node_id).sleep_ms += duration
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_ms(self) -> float:
+        return self._engine.now - self.started_at
+
+    def total_transmissions(self, kinds: Optional[Iterable[MessageKind]] = None) -> int:
+        """Total frames put on air (retransmissions counted as new frames)."""
+        selected = set(kinds) if kinds is not None else None
+        total = 0
+        for stats in self._nodes.values():
+            for kind, count in stats.by_kind.items():
+                if selected is None or kind in selected:
+                    total += count
+        return total
+
+    def total_tx_time_ms(self) -> float:
+        return sum(s.tx_busy_ms for s in self._nodes.values())
+
+    def average_transmission_time(self, node_ids: Iterable[int],
+                                  include_base_station: Optional[int] = None) -> float:
+        """The paper's metric: mean fraction of time nodes spend transmitting.
+
+        Parameters
+        ----------
+        node_ids:
+            Nodes to average over (normally every sensor node; pass the
+            base-station id in ``include_base_station`` to exclude it, since
+            the paper's motes — not the powered sink — are the resource that
+            matters).
+        """
+        ids = [n for n in node_ids if n != include_base_station]
+        if not ids or self.elapsed_ms <= 0:
+            return 0.0
+        fractions = [
+            self._nodes[n].tx_busy_ms / self.elapsed_ms if n in self._nodes else 0.0
+            for n in ids
+        ]
+        return sum(fractions) / len(fractions)
+
+    def average_energy_mj(self, node_ids: Iterable[int],
+                          model: Optional[EnergyModel] = None,
+                          include_base_station: Optional[int] = None) -> float:
+        """Mean per-node energy (mJ) over the run under an energy model."""
+        model = model or EnergyModel()
+        ids = [n for n in node_ids if n != include_base_station]
+        if not ids or self.elapsed_ms <= 0:
+            return 0.0
+        total = 0.0
+        for node_id in ids:
+            stats = self._nodes.get(node_id)
+            tx = stats.tx_busy_ms if stats else 0.0
+            sleep = stats.sleep_ms if stats else 0.0
+            total += model.energy_mj(tx, min(sleep, self.elapsed_ms),
+                                     self.elapsed_ms)
+        return total / len(ids)
+
+    def messages_by_kind(self) -> Dict[MessageKind, int]:
+        totals: Dict[MessageKind, int] = {}
+        for stats in self._nodes.values():
+            for kind, count in stats.by_kind.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def involved_nodes(self, kind: Optional[MessageKind] = None) -> List[int]:
+        """Nodes that transmitted at least one frame (optionally of ``kind``)."""
+        result = []
+        for node_id, stats in sorted(self._nodes.items()):
+            if kind is None:
+                if stats.tx_count > 0:
+                    result.append(node_id)
+            elif stats.by_kind.get(kind, 0) > 0:
+                result.append(node_id)
+        return result
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline numbers, for reporting."""
+        return {
+            "elapsed_ms": self.elapsed_ms,
+            "total_tx_time_ms": self.total_tx_time_ms(),
+            "total_frames": float(self.total_transmissions()),
+            "result_frames": float(self.total_transmissions([MessageKind.RESULT])),
+            "query_frames": float(self.total_transmissions([MessageKind.QUERY])),
+            "abort_frames": float(self.total_transmissions([MessageKind.ABORT])),
+            "maintenance_frames": float(
+                self.total_transmissions([MessageKind.MAINTENANCE])
+            ),
+            "collisions": float(self.collisions),
+            "retransmissions": float(self.retransmissions),
+            "dropped_frames": float(self.dropped_frames),
+        }

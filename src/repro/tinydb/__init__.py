@@ -1,0 +1,44 @@
+"""TinyDB-style single-query processor — the paper's baseline substrate (S4)."""
+
+from .aggregation import (
+    PartialAggregate,
+    compute_aggregates,
+    merge_partial_maps,
+    partials_from_row,
+)
+from .basestation import TinyDBBaseStationApp
+from .epochs import SlotSchedule, next_boundary
+from .node_processor import TinyDBNodeApp, TinyDBParams
+from .payloads import (
+    AbortPayload,
+    AggGroup,
+    AggResultPayload,
+    BeaconPayload,
+    QueryPayload,
+    RowResultPayload,
+)
+from .results import ResultLog, ResultRow
+from .routing_tree import RoutingTree
+from .srt import SemanticRoutingTree
+
+__all__ = [
+    "AbortPayload",
+    "AggGroup",
+    "AggResultPayload",
+    "BeaconPayload",
+    "PartialAggregate",
+    "QueryPayload",
+    "ResultLog",
+    "ResultRow",
+    "RoutingTree",
+    "SemanticRoutingTree",
+    "RowResultPayload",
+    "SlotSchedule",
+    "TinyDBBaseStationApp",
+    "TinyDBNodeApp",
+    "TinyDBParams",
+    "compute_aggregates",
+    "merge_partial_maps",
+    "next_boundary",
+    "partials_from_row",
+]

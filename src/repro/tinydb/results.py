@@ -1,0 +1,167 @@
+"""Base-station result storage.
+
+Accumulates what the sink hears, per query and epoch.  Both the baseline
+base station and the TTMQO base station write into a :class:`ResultLog`;
+tier-1's result mapper then derives user-query answers from synthetic-query
+entries (Section 3.1: "corresponding results for user queries can be easily
+obtained through mapping and calculation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..queries.ast import Aggregate
+from .aggregation import PartialAggregate, merge_partial_maps
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One detail row received for an acquisition query.
+
+    ``received_at`` is the virtual time the row reached the base station;
+    ``received_at - epoch_time`` is the end-to-end result latency.
+    """
+
+    epoch_time: float
+    origin: int
+    values: Mapping[str, float]
+    received_at: float = 0.0
+
+    @property
+    def latency_ms(self) -> float:
+        return max(self.received_at - self.epoch_time, 0.0)
+
+
+class ResultLog:
+    """Per-query results accumulated at a base station."""
+
+    def __init__(self) -> None:
+        # qid -> callbacks fired on every *new* (non-duplicate) arrival.
+        self._row_subscribers: Dict[int, List] = {}
+        self._aggregate_subscribers: Dict[int, List] = {}
+        self._rows: Dict[int, List[ResultRow]] = {}
+        # (qid, epoch) -> group key -> keyed partial map.  Ungrouped
+        # queries live entirely under the empty group key ().
+        self._partials: Dict[
+            Tuple[int, float],
+            Dict[Tuple[float, ...], Dict[tuple, PartialAggregate]],
+        ] = {}
+        self._agg_epochs: Dict[int, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add_row(self, qid: int, epoch_time: float, origin: int,
+                values: Mapping[str, float], received_at: float = 0.0) -> None:
+        """Record a detail row for an acquisition query.
+
+        Duplicate (origin, epoch) rows — possible when tier-2 multicasts a
+        row along two DAG branches or QoS multipath duplicates it — are
+        dropped so answers stay exact (the first arrival defines latency).
+        """
+        rows = self._rows.setdefault(qid, [])
+        for existing in rows:
+            if existing.epoch_time == epoch_time and existing.origin == origin:
+                return
+        row = ResultRow(epoch_time, origin, dict(values), received_at)
+        rows.append(row)
+        for callback in self._row_subscribers.get(qid, ()):
+            callback(row)
+
+    def row_latencies(self, qid: int) -> List[float]:
+        """End-to-end latencies (ms) of every recorded row for a query."""
+        return [row.latency_ms for row in self._rows.get(qid, ())]
+
+    def mean_row_latency(self, qid: int) -> float:
+        """Mean result latency for a query (0.0 when no rows)."""
+        latencies = self.row_latencies(qid)
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def add_partials(self, qid: int, epoch_time: float,
+                     partials: Iterable[PartialAggregate],
+                     group_key: Tuple[float, ...] = ()) -> None:
+        """Merge received partial aggregates for (query, epoch, group)."""
+        key = (qid, epoch_time)
+        incoming = {p.key: p for p in partials}
+        groups = self._partials.get(key)
+        if groups is None:
+            self._partials[key] = {group_key: incoming}
+            self._agg_epochs.setdefault(qid, []).append(epoch_time)
+        elif group_key in groups:
+            groups[group_key] = merge_partial_maps(groups[group_key], incoming)
+        else:
+            groups[group_key] = incoming
+        for callback in self._aggregate_subscribers.get(qid, ()):
+            callback(epoch_time, group_key,
+                     dict(self._partials[key][group_key]))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def rows(self, qid: int, epoch_time: Optional[float] = None) -> List[ResultRow]:
+        """All rows for a query, optionally restricted to one epoch."""
+        rows = self._rows.get(qid, [])
+        if epoch_time is None:
+            return list(rows)
+        return [r for r in rows if r.epoch_time == epoch_time]
+
+    def row_epochs(self, qid: int) -> List[float]:
+        """Distinct epoch times with at least one row, ascending."""
+        return sorted({r.epoch_time for r in self._rows.get(qid, ())})
+
+    def aggregate_epochs(self, qid: int) -> List[float]:
+        """Epoch times with at least one partial aggregate, ascending."""
+        return sorted(self._agg_epochs.get(qid, ()))
+
+    def aggregate(self, qid: int, epoch_time: float, aggregate: Aggregate,
+                  group_key: Tuple[float, ...] = ()) -> Optional[float]:
+        """Finalised value of one aggregate at one epoch/group (or None)."""
+        groups = self._partials.get((qid, epoch_time))
+        if not groups:
+            return None
+        partials = groups.get(group_key)
+        if not partials:
+            return None
+        partial = partials.get((aggregate.op, aggregate.attribute))
+        return partial.finalize() if partial is not None else None
+
+    def group_keys(self, qid: int, epoch_time: float) -> List[Tuple[float, ...]]:
+        """GROUP BY buckets with data for (query, epoch), sorted."""
+        return sorted(self._partials.get((qid, epoch_time), {}))
+
+    def aggregates(self, qid: int, epoch_time: float,
+                   group_key: Tuple[float, ...] = ()) -> Dict[tuple, PartialAggregate]:
+        """Raw partial map for (query, epoch, group) — empty dict if none."""
+        groups = self._partials.get((qid, epoch_time), {})
+        return dict(groups.get(group_key, {}))
+
+    # ------------------------------------------------------------------
+    # Live subscriptions
+    # ------------------------------------------------------------------
+    def subscribe_rows(self, qid: int, callback) -> None:
+        """Invoke ``callback(row)`` on every new (non-duplicate) row.
+
+        Lets applications react to results as they arrive instead of
+        polling the log — e.g. alarm rules or dashboards that update live.
+        """
+        self._row_subscribers.setdefault(qid, []).append(callback)
+
+    def subscribe_aggregates(self, qid: int, callback) -> None:
+        """Invoke ``callback(epoch_time, group_key, partial_map)`` whenever
+        a partial aggregate arrives; the map is the merged state so far
+        (values may refine as more partials land within the epoch)."""
+        self._aggregate_subscribers.setdefault(qid, []).append(callback)
+
+    def unsubscribe(self, qid: int) -> None:
+        """Drop all subscriptions for a query (e.g. after termination)."""
+        self._row_subscribers.pop(qid, None)
+        self._aggregate_subscribers.pop(qid, None)
+
+    def queries_seen(self) -> List[int]:
+        qids = set(self._rows) | {qid for qid, _ in self._partials}
+        return sorted(qids)
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())

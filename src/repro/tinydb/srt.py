@@ -1,0 +1,128 @@
+"""Semantic Routing Tree (SRT) — targeted dissemination for queries whose
+answer set is known in advance.
+
+Section 3.2.2: "If the query is a region-based query or a node-id based
+query, the set of answer nodes are known in advance, and more efficient
+techniques such as SRT [6] can be used."  This is TinyDB's SRT (Madden et
+al., TODS 2005): every node summarises, per *static* attribute (node id
+and, when the deployment's positions are known, the ``x``/``y``
+coordinates), the value range present in each child's subtree of the fixed
+routing tree.  A query constrained on static attributes is forwarded only
+into subtrees that can possibly answer it — acknowledged unicasts down the
+matching branches instead of a network-wide flood.
+
+Value-based queries (predicates on sensed attributes such as light/temp)
+still flood: "the accurate set of sensors that have data for the query are
+not known a priori to the base station".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..queries.ast import Query
+from ..queries.predicates import Interval
+from .routing_tree import RoutingTree
+
+#: Attributes whose per-node value never changes.
+STATIC_ATTRIBUTES = ("nodeid", "x", "y")
+
+
+class SemanticRoutingTree:
+    """Per-subtree static-attribute ranges over a fixed routing tree."""
+
+    def __init__(self, tree: RoutingTree,
+                 positions: Optional[Mapping[int, Tuple[float, float]]] = None
+                 ) -> None:
+        self.tree = tree
+        self._positions = dict(positions) if positions is not None else None
+        # attribute -> node -> (min, max) over the node's subtree.
+        self._ranges: Dict[str, Dict[int, Tuple[float, float]]] = {}
+        for attribute in self._indexed_attributes():
+            self._ranges[attribute] = self._compute_ranges(attribute)
+
+    def _indexed_attributes(self) -> List[str]:
+        if self._positions is None:
+            return ["nodeid"]
+        return list(STATIC_ATTRIBUTES)
+
+    def _static_value(self, attribute: str, node: int) -> float:
+        if attribute == "nodeid":
+            return float(node)
+        assert self._positions is not None
+        x, y = self._positions[node]
+        return x if attribute == "x" else y
+
+    def _compute_ranges(self, attribute: str) -> Dict[int, Tuple[float, float]]:
+        ranges: Dict[int, Tuple[float, float]] = {}
+
+        def visit(node: int) -> Tuple[float, float]:
+            value = self._static_value(attribute, node)
+            lo = hi = value
+            for child in self.tree.children.get(node, ()):
+                c_lo, c_hi = visit(child)
+                lo = min(lo, c_lo)
+                hi = max(hi, c_hi)
+            ranges[node] = (lo, hi)
+            return lo, hi
+
+        visit(self.tree.root)
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+    def subtree_range(self, node: int, attribute: str = "nodeid") -> Tuple[float, float]:
+        """(min, max) static value within ``node``'s subtree (incl. itself)."""
+        return self._ranges[attribute][node]
+
+    def subtree_overlaps(self, node: int, query: Query) -> bool:
+        """Could any node in the subtree satisfy the static constraints?
+
+        Ranges are conservative summaries: they may overlap the constraint
+        even when no actual node matches (values are sparse within the
+        range), so forwarding can be wasted but never unsound.
+        """
+        for attribute in self._ranges:
+            interval = query.predicates.interval(attribute)
+            lo, hi = self._ranges[attribute][node]
+            if not interval.overlaps(Interval(lo, hi)):
+                return False
+        return True
+
+    def children_to_forward(self, node: int, query: Query) -> List[int]:
+        """Children whose subtrees may contain answer nodes for ``query``."""
+        return [child for child in self.tree.children.get(node, ())
+                if self.subtree_overlaps(child, query)]
+
+    def dissemination_targets(self, query: Query) -> Set[int]:
+        """Every node an SRT dissemination of ``query`` reaches.
+
+        Used by tests and accounting: the answer nodes plus the relays on
+        the paths towards them.
+        """
+        reached: Set[int] = set()
+        frontier = [self.tree.root]
+        while frontier:
+            node = frontier.pop()
+            reached.add(node)
+            frontier.extend(self.children_to_forward(node, query))
+        return reached
+
+    def applies_to(self, query: Query) -> bool:
+        """True when static constraints restrict the answer set.
+
+        At least one *indexed* static attribute must carry a constraint
+        (even a half-bounded one like ``x <= 60`` prunes subtrees);
+        otherwise the answer set is unknown and the query must flood.
+        """
+        return any(query.predicates.interval(attribute) != Interval.everything()
+                   for attribute in self._ranges)
+
+    @staticmethod
+    def static_query(query: Query) -> bool:
+        """Class-level check: does the query constrain any static attribute
+        (node-id or region query)?"""
+        return any(
+            query.predicates.interval(attribute) != Interval.everything()
+            for attribute in STATIC_ATTRIBUTES)

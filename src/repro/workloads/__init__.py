@@ -1,0 +1,34 @@
+"""Workload models: static Figure-3 workloads, Section 4.3 random model (S7)."""
+
+from .arrivals import DEFAULT_INTERARRIVAL_MS, dynamic_workload
+from .generator import (
+    EPOCH_CHOICES_MS,
+    QueryGenerator,
+    QueryModel,
+    fig4_query_model,
+    fig5_queries,
+)
+from .spec import EventKind, Workload, WorkloadEvent
+from .static_workloads import (
+    STATIC_WORKLOADS,
+    workload_a,
+    workload_b,
+    workload_c,
+)
+
+__all__ = [
+    "DEFAULT_INTERARRIVAL_MS",
+    "EPOCH_CHOICES_MS",
+    "EventKind",
+    "QueryGenerator",
+    "QueryModel",
+    "fig4_query_model",
+    "fig5_queries",
+    "STATIC_WORKLOADS",
+    "Workload",
+    "WorkloadEvent",
+    "dynamic_workload",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+]

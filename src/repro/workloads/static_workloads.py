@@ -1,0 +1,103 @@
+"""The three hand-built static workloads of Section 4.2 (Figure 3).
+
+The paper describes their *intent* rather than the exact queries:
+
+* ``WORKLOAD_A`` — "the (common) savings that can be achieved by both the
+  base station optimization and in-network optimization": heavily
+  overlapping acquisition queries with divisible epochs.  Tier-1 folds them
+  into one synthetic query; tier-2 alone would equally share their rows.
+* ``WORKLOAD_B`` — "the complementary of in-network optimization to base
+  station optimization": pairs whose epoch durations do not divide
+  (4096 ms vs 6144 ms — tier-1 cannot build a beneficial synthetic query)
+  plus aggregation queries with *different* predicates (tier-1's semantic
+  constraint forbids merging them; tier-2 still shares acquisition, routes
+  and equal-valued partials).
+* ``WORKLOAD_C`` — "the mutual complementary of these two optimizations":
+  aggregation queries whose answers derive from acquisition queries (only
+  tier-1 can suppress them from the network) together with
+  epoch-incompatible acquisition pairs (only tier-2 helps).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..queries.ast import Aggregate, AggregateOp, Query
+from ..queries.predicates import Interval, PredicateSet
+
+#: Epoch lengths used by the static workloads (ms).
+_E2, _E4, _E6, _E8 = 2048, 4096, 6144, 8192
+
+
+def _light(lo: float, hi: float) -> PredicateSet:
+    return PredicateSet({"light": Interval(lo, hi)})
+
+
+def _temp(lo: float, hi: float) -> PredicateSet:
+    return PredicateSet({"temp": Interval(lo, hi)})
+
+
+def workload_a() -> List[Query]:
+    """Overlapping acquisition queries, divisible epochs (both tiers win)."""
+    return [
+        Query.acquisition(["light"], _light(100, 700), _E4),
+        Query.acquisition(["light"], _light(200, 800), _E4),
+        Query.acquisition(["light"], _light(150, 750), _E8),
+        Query.acquisition(["light", "temp"], _light(100, 650), _E8),
+        Query.acquisition(["light"], _light(250, 700), _E4),
+        Query.acquisition(["light", "temp"], _light(300, 800), _E8),
+    ]
+
+
+def workload_b() -> List[Query]:
+    """Epoch-incompatible pairs + differing-predicate aggregations.
+
+    Designed so tier-1 finds *few* beneficial rewrites: the aggregation
+    queries differ pairwise in predicates (the semantic-correctness
+    constraint forbids merging them) and are too selective to be worth
+    absorbing into the temp acquisitions (the hull would drop the predicate
+    entirely); the 4096/6144 acquisition pair would have to run at the
+    2048 ms GCD, doubling its rate, so the merge is not beneficial either.
+    Tier-2 still shares the acquisitions wherever boundaries coincide,
+    aggregates early along the DAG, and shares equal-valued partials.
+    """
+    return [
+        Query.acquisition(["temp"], _temp(20, 80), _E4),
+        Query.acquisition(["temp"], _temp(25, 85), _E6),
+        Query.aggregation([Aggregate(AggregateOp.MAX, "light")], _light(700, 1000), _E4),
+        Query.aggregation([Aggregate(AggregateOp.MAX, "light")], _light(650, 950), _E6),
+        Query.aggregation([Aggregate(AggregateOp.MIN, "light")], _light(0, 300), _E4),
+        Query.aggregation([Aggregate(AggregateOp.MIN, "light")], _light(50, 350), _E6),
+        # The two entries below are the small tier-1 opportunity the paper's
+        # Figure 3 shows for WORKLOAD_B: one covered aggregation and one
+        # covered acquisition (identical predicates, divisible epochs).
+        Query.aggregation([Aggregate(AggregateOp.MAX, "light")], _light(700, 1000), _E8),
+        Query.acquisition(["temp"], _temp(20, 80), _E8),
+    ]
+
+
+def workload_c() -> List[Query]:
+    """Mixed: tier-1-only savings plus tier-2-only savings.
+
+    The aggregation queries' answers are derivable from the acquisition
+    queries (same attribute, covered predicates, divisible epochs), so
+    tier-1 absorbs them entirely; the 4096/6144 acquisition pair is left to
+    tier-2.
+    """
+    return [
+        Query.acquisition(["light"], _light(100, 800), _E4),
+        Query.aggregation([Aggregate(AggregateOp.MAX, "light")], _light(150, 700), _E8),
+        Query.aggregation([Aggregate(AggregateOp.MIN, "light")], _light(200, 750), _E8),
+        Query.acquisition(["temp"], _temp(10, 90), _E4),
+        Query.acquisition(["temp"], _temp(15, 95), _E6),
+        Query.aggregation([Aggregate(AggregateOp.MAX, "temp")], _temp(20, 80), _E8),
+        Query.acquisition(["light"], _light(120, 780), _E6),
+        Query.aggregation([Aggregate(AggregateOp.MIN, "temp")], _temp(10, 85), _E8),
+    ]
+
+
+STATIC_WORKLOADS = {
+    "A": workload_a,
+    "B": workload_b,
+    "C": workload_c,
+}

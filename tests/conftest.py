@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.basestation import CostModel, NetworkProfile
+from repro.sensors import DistributionSet, SensorWorld, standard_attributes
+from repro.sim import Topology
+
+
+@pytest.fixture
+def grid4() -> Topology:
+    """The paper's 16-node deployment (4x4 grid, base station at node 0)."""
+    return Topology.grid(4)
+
+
+@pytest.fixture
+def grid8() -> Topology:
+    """The paper's 64-node deployment."""
+    return Topology.grid(8)
+
+
+@pytest.fixture
+def uniform_world(grid4: Topology) -> SensorWorld:
+    return SensorWorld.uniform(grid4, seed=42)
+
+
+@pytest.fixture
+def cost_model(grid4: Topology) -> CostModel:
+    profile = NetworkProfile.from_topology(grid4)
+    distributions = DistributionSet.uniform(standard_attributes(grid4.size))
+    return CostModel(profile, distributions)
+
+
+@pytest.fixture
+def paper_cost_model() -> CostModel:
+    """Cost model matching the paper's worked example: uniform readings and
+    (C_start + C_trans * len) == 1 for every query."""
+    profile = NetworkProfile.uniform_depth(16, 3, c_start=1.0, c_trans=0.0)
+    distributions = DistributionSet.uniform(standard_attributes(16))
+    return CostModel(profile, distributions)

@@ -1,0 +1,111 @@
+"""Unit tests for the DAG neighbour view and dynamic parent selection."""
+
+import pytest
+
+from repro.core.innetwork.dag import UpperNeighborView
+
+
+@pytest.fixture
+def view():
+    """Three upper neighbours with distinct link qualities."""
+    return UpperNeighborView([10, 11, 12], {10: 0.9, 11: 0.7, 12: 0.5})
+
+
+class TestEvidence:
+    def test_fresh_has_data(self, view):
+        view.note_has_data(10, qid=1, now=100.0)
+        assert view.has_data(10, 1, now=200.0)
+
+    def test_evidence_goes_stale(self):
+        view = UpperNeighborView([10], {10: 0.9}, freshness_ms=1000.0)
+        view.note_has_data(10, qid=1, now=100.0)
+        assert view.has_data(10, 1, now=1000.0)
+        assert not view.has_data(10, 1, now=1200.0)
+
+    def test_unknown_neighbor_ignored(self, view):
+        view.note_has_data(99, qid=1, now=0.0)  # not an upper neighbour
+        assert not view.has_data(99, 1, now=0.0)
+
+    def test_drop_query_forgets(self, view):
+        view.note_has_data(10, qid=1, now=0.0)
+        view.drop_query(1)
+        assert not view.has_data(10, 1, now=0.0)
+
+    def test_unreachable_backoff(self, view):
+        view.note_unreachable(10, now=100.0, backoff_ms=1000.0)
+        assert not view.is_available(10, now=500.0)
+        assert view.is_available(10, now=1200.0)
+
+    def test_hearing_clears_unreachable(self, view):
+        view.note_unreachable(10, now=100.0, backoff_ms=10_000.0)
+        view.note_heard(10, now=200.0)
+        assert view.is_available(10, now=300.0)
+
+
+class TestParentSelection:
+    def test_no_evidence_falls_back_to_best_quality(self, view):
+        assignment = view.select_parents(frozenset((1, 2)), now=0.0)
+        assert assignment == {10: frozenset((1, 2))}  # quality 0.9 wins
+
+    def test_prefers_neighbor_with_data(self, view):
+        view.note_has_data(12, qid=1, now=0.0)
+        view.note_has_data(12, qid=2, now=0.0)
+        assignment = view.select_parents(frozenset((1, 2)), now=1.0)
+        assert assignment == {12: frozenset((1, 2))}
+
+    def test_most_coverage_wins_over_quality(self, view):
+        view.note_has_data(10, qid=1, now=0.0)       # good quality, 1 query
+        view.note_has_data(12, qid=1, now=0.0)       # poor quality, 2 queries
+        view.note_has_data(12, qid=2, now=0.0)
+        assignment = view.select_parents(frozenset((1, 2)), now=1.0)
+        assert assignment == {12: frozenset((1, 2))}
+
+    def test_quality_breaks_coverage_ties(self, view):
+        view.note_has_data(10, qid=1, now=0.0)
+        view.note_has_data(11, qid=1, now=0.0)
+        assignment = view.select_parents(frozenset((1,)), now=1.0)
+        assert assignment == {10: frozenset((1,))}  # higher quality
+
+    def test_multicast_split_when_no_single_cover(self, view):
+        view.note_has_data(10, qid=1, now=0.0)
+        view.note_has_data(11, qid=2, now=0.0)
+        assignment = view.select_parents(frozenset((1, 2)), now=1.0)
+        assert assignment == {10: frozenset((1,)), 11: frozenset((2,))}
+
+    def test_uncovered_queries_ride_with_fallback(self, view):
+        view.note_has_data(11, qid=1, now=0.0)
+        assignment = view.select_parents(frozenset((1, 2, 3)), now=1.0)
+        assert assignment[11] >= frozenset((1,))
+        # queries 2 and 3 go to the best-quality candidate
+        covered = frozenset().union(*assignment.values())
+        assert covered == frozenset((1, 2, 3))
+
+    def test_unavailable_neighbors_skipped(self, view):
+        view.note_has_data(10, qid=1, now=0.0)
+        view.note_unreachable(10, now=0.0, backoff_ms=10_000.0)
+        assignment = view.select_parents(frozenset((1,)), now=1.0)
+        assert 10 not in assignment
+
+    def test_all_unavailable_falls_back_to_everyone(self, view):
+        for n in (10, 11, 12):
+            view.note_unreachable(n, now=0.0, backoff_ms=10_000.0)
+        assignment = view.select_parents(frozenset((1,)), now=1.0)
+        assert assignment  # something is still chosen rather than dropping
+
+    def test_exclusion_respected(self, view):
+        assignment = view.select_parents(frozenset((1,)), now=0.0,
+                                         exclude={10})
+        assert 10 not in assignment
+
+    def test_all_excluded_returns_empty(self, view):
+        assignment = view.select_parents(frozenset((1,)), now=0.0,
+                                         exclude={10, 11, 12})
+        assert assignment == {}
+
+    def test_assignment_partitions_queries(self, view):
+        view.note_has_data(10, qid=1, now=0.0)
+        view.note_has_data(11, qid=2, now=0.0)
+        view.note_has_data(12, qid=3, now=0.0)
+        assignment = view.select_parents(frozenset((1, 2, 3)), now=1.0)
+        all_qids = sorted(q for qs in assignment.values() for q in qs)
+        assert all_qids == [1, 2, 3]  # no duplicates, nothing lost

@@ -1,0 +1,109 @@
+"""Tests for mapping history: user queries remapped across synthetic
+queries by re-optimization still get their complete answer."""
+
+import pytest
+
+from repro.core.basestation import BaseStationOptimizer
+from repro.harness import DeploymentConfig, Strategy
+from repro.harness.strategies import Deployment
+from repro.queries import parse_query
+from repro.queries.ast import Query
+from repro.queries.predicates import Interval, PredicateSet
+
+
+def _acq(lo, hi, epoch=4096):
+    return Query.acquisition(["light"],
+                             PredicateSet({"light": Interval(lo, hi)}), epoch)
+
+
+class TestHistoryBookkeeping:
+    def test_single_query_single_entry(self, paper_cost_model):
+        optimizer = BaseStationOptimizer(paper_cost_model, alpha=0.6)
+        q = _acq(100, 500)
+        optimizer.register(q)
+        history = optimizer.synthetic_history(q.qid)
+        assert len(history) == 1
+        assert history[0].qid == optimizer.synthetic_for(q.qid).qid
+
+    def test_merge_appends_new_mapping(self, paper_cost_model):
+        optimizer = BaseStationOptimizer(paper_cost_model, alpha=0.6)
+        q2 = _acq(100, 300, 4096)
+        q3 = _acq(150, 500, 4096)
+        optimizer.register(q2)
+        first = optimizer.synthetic_for(q2.qid).qid
+        optimizer.register(q3)  # merges: q2 is remapped
+        history = optimizer.synthetic_history(q2.qid)
+        assert [s.qid for s in history][0] == first
+        assert len(history) == 2
+        assert history[-1].qid == optimizer.synthetic_for(q2.qid).qid
+
+    def test_covered_query_no_spurious_entries(self, paper_cost_model):
+        optimizer = BaseStationOptimizer(paper_cost_model, alpha=0.6)
+        wide = _acq(0, 1000, 4096)
+        narrow = _acq(200, 400, 8192)
+        optimizer.register(wide)
+        optimizer.register(narrow)
+        assert len(optimizer.synthetic_history(narrow.qid)) == 1
+        # registering more covered queries never grows wide's history
+        optimizer.register(_acq(300, 600, 8192))
+        assert len(optimizer.synthetic_history(wide.qid)) == 1
+
+    def test_termination_rebuild_recorded_for_survivors(self, paper_cost_model):
+        optimizer = BaseStationOptimizer(paper_cost_model, alpha=0.0)
+        a = _acq(100, 300, 4096)
+        b = _acq(150, 500, 4096)
+        c = _acq(120, 520, 2048)
+        for q in (a, b, c):
+            optimizer.register(q)
+        optimizer.terminate(c.qid)  # alpha=0 forces a rebuild
+        history = optimizer.synthetic_history(a.qid)
+        assert len(history) >= 2
+        assert history[-1].qid == optimizer.synthetic_for(a.qid).qid
+
+
+class TestEndToEndRemappedAnswers:
+    def test_rows_from_both_mapping_phases(self):
+        """q_a runs alone for a while, then q_b arrives and merges with it;
+        q_a's complete answer must span both phases."""
+        deployment = Deployment(Strategy.BS_ONLY,
+                                DeploymentConfig(side=4, seed=29))
+        sim = deployment.sim
+        sim.start()
+        q_a = parse_query("SELECT light FROM sensors WHERE light BETWEEN "
+                          "100 AND 300 EPOCH DURATION 4096")
+        q_b = parse_query("SELECT light FROM sensors WHERE light BETWEEN "
+                          "150 AND 500 EPOCH DURATION 4096")
+        sim.engine.schedule_at(300.0, deployment.register, q_a)
+        sim.engine.schedule_at(30_000.0, deployment.register, q_b)
+        sim.run_until(80_000.0)
+
+        history = deployment.optimizer.synthetic_history(q_a.qid)
+        assert len(history) == 2  # remapped when q_b merged in
+
+        rows = deployment.user_answer_rows(q_a.qid)
+        assert rows
+        early = [r for r in rows if r.epoch_time < 28_000.0]
+        late = [r for r in rows if r.epoch_time > 36_000.0]
+        assert early and late  # answers from both phases
+        world = deployment.world
+        for row in rows:
+            assert 100.0 <= row.values["light"] <= 300.0
+            assert row.values["light"] == pytest.approx(
+                world.sample(row.origin, "light", row.epoch_time))
+
+    def test_baseline_passthrough(self):
+        deployment = Deployment(Strategy.BASELINE,
+                                DeploymentConfig(side=4, seed=29))
+        sim = deployment.sim
+        sim.start()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        sim.engine.schedule_at(300.0, deployment.register, q)
+        sim.run_until(30_000.0)
+        rows = deployment.user_answer_rows(q.qid)
+        assert len(rows) == len(deployment.results.rows(q.qid))
+
+    def test_unknown_user_raises(self):
+        deployment = Deployment(Strategy.BS_ONLY,
+                                DeploymentConfig(side=3, seed=29))
+        with pytest.raises(KeyError):
+            deployment.user_answer_rows(424242)

@@ -1,0 +1,111 @@
+"""Unit tests for mapping synthetic-query results to user answers."""
+
+import pytest
+
+from repro.core.basestation.result_mapper import ResultMapper
+from repro.queries.ast import Aggregate, AggregateOp, Query
+from repro.queries.predicates import Interval, PredicateSet
+from repro.tinydb.aggregation import PartialAggregate
+from repro.tinydb.results import ResultLog
+
+
+def _light(lo, hi):
+    return PredicateSet({"light": Interval(lo, hi)})
+
+
+@pytest.fixture
+def log():
+    return ResultLog()
+
+
+class TestAcquisitionFromAcquisition:
+    def test_filters_projects_and_downsamples(self, log):
+        synthetic = Query.acquisition(["light", "temp"], _light(100, 600),
+                                      4096, qid=500)
+        user = Query.acquisition(["light"], _light(280, 600), 8192, qid=1)
+        # rows at the synthetic's faster epoch
+        log.add_row(500, 4096.0, 5, {"light": 300.0, "temp": 20.0})  # off-epoch
+        log.add_row(500, 8192.0, 5, {"light": 300.0, "temp": 20.0})  # match
+        log.add_row(500, 8192.0, 6, {"light": 150.0, "temp": 30.0})  # filtered
+        mapper = ResultMapper(log)
+        rows = mapper.acquisition_rows(user, synthetic)
+        assert len(rows) == 1
+        assert rows[0].origin == 5
+        assert rows[0].values == {"light": 300.0}  # temp projected away
+        assert rows[0].epoch_time == 8192.0
+
+    def test_identical_predicates_skip_refilter(self, log):
+        """With identical predicates, rows may lack predicate attributes
+        (the synthetic did not need to return them) and must still map."""
+        pred = PredicateSet({"temp": Interval(0, 50)})
+        synthetic = Query.acquisition(["light"], pred, 4096, qid=500)
+        user = Query.acquisition(["light"], pred, 4096, qid=1)
+        log.add_row(500, 4096.0, 3, {"light": 10.0})  # no temp value
+        rows = ResultMapper(log).acquisition_rows(user, synthetic)
+        assert len(rows) == 1
+
+    def test_wrong_direction_rejected(self, log):
+        agg = Query.aggregation([Aggregate(AggregateOp.MAX, "light")], qid=2)
+        acq = Query.acquisition(["light"], qid=3)
+        mapper = ResultMapper(log)
+        with pytest.raises(ValueError):
+            mapper.acquisition_rows(agg, acq)
+        with pytest.raises(ValueError):
+            mapper.acquisition_rows(acq, agg)
+
+    def test_rows_sorted_by_epoch_then_origin(self, log):
+        synthetic = Query.acquisition(["light"], epoch_ms=4096, qid=500)
+        user = Query.acquisition(["light"], epoch_ms=4096, qid=1)
+        log.add_row(500, 8192.0, 2, {"light": 1.0})
+        log.add_row(500, 4096.0, 9, {"light": 2.0})
+        log.add_row(500, 4096.0, 3, {"light": 3.0})
+        rows = ResultMapper(log).acquisition_rows(user, synthetic)
+        assert [(r.epoch_time, r.origin) for r in rows] == [
+            (4096.0, 3), (4096.0, 9), (8192.0, 2)]
+
+
+class TestAggregationFromAcquisition:
+    def test_recomputes_at_base_station(self, log):
+        synthetic = Query.acquisition(["light"], _light(0, 1000), 4096, qid=500)
+        user = Query.aggregation([Aggregate(AggregateOp.MAX, "light")],
+                                 _light(200, 800), 8192, qid=1)
+        log.add_row(500, 8192.0, 1, {"light": 900.0})  # outside user pred
+        log.add_row(500, 8192.0, 2, {"light": 700.0})
+        log.add_row(500, 8192.0, 3, {"light": 400.0})
+        log.add_row(500, 4096.0, 4, {"light": 999.0})  # off-epoch
+        results = ResultMapper(log).aggregation_results(user, synthetic)
+        assert len(results) == 1
+        assert results[0].values[user.aggregates[0]] == 700.0
+
+    def test_no_qualifying_rows_gives_none(self, log):
+        synthetic = Query.acquisition(["light"], epoch_ms=4096, qid=500)
+        user = Query.aggregation([Aggregate(AggregateOp.MAX, "light")],
+                                 _light(900, 1000), 4096, qid=1)
+        log.add_row(500, 4096.0, 1, {"light": 100.0})
+        results = ResultMapper(log).aggregation_results(user, synthetic)
+        assert results[0].values[user.aggregates[0]] is None
+
+
+class TestAggregationFromAggregation:
+    def test_selects_user_epochs_and_subset(self, log):
+        max_light = Aggregate(AggregateOp.MAX, "light")
+        min_light = Aggregate(AggregateOp.MIN, "light")
+        synthetic = Query.aggregation([max_light, min_light], _light(0, 600),
+                                      4096, qid=500)
+        user = Query.aggregation([max_light], _light(0, 600), 8192, qid=1)
+        log.add_partials(500, 4096.0,
+                         [PartialAggregate(AggregateOp.MAX, "light", 5.0, 1)])
+        log.add_partials(500, 8192.0,
+                         [PartialAggregate(AggregateOp.MAX, "light", 7.0, 1),
+                          PartialAggregate(AggregateOp.MIN, "light", 1.0, 1)])
+        results = ResultMapper(log).aggregation_results(user, synthetic)
+        assert len(results) == 1
+        assert results[0].epoch_time == 8192.0
+        assert results[0].values == {max_light: 7.0}
+
+    def test_mismatched_predicates_rejected(self, log):
+        max_light = Aggregate(AggregateOp.MAX, "light")
+        synthetic = Query.aggregation([max_light], _light(0, 600), 4096, qid=500)
+        user = Query.aggregation([max_light], _light(0, 500), 8192, qid=1)
+        with pytest.raises(ValueError):
+            ResultMapper(log).aggregation_results(user, synthetic)

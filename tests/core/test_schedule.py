@@ -1,0 +1,118 @@
+"""Unit tests for the GCD epoch clock (sharing over time)."""
+
+import pytest
+
+from repro.core.innetwork.schedule import GcdClock
+from repro.queries.ast import Query
+from repro.sim.engine import EventQueue
+
+
+def _acq(epoch, qid=None):
+    return Query.acquisition(["light"], epoch_ms=epoch, qid=qid)
+
+
+@pytest.fixture
+def harness():
+    engine = EventQueue()
+    ticks = []
+    clock = GcdClock(engine, lambda t, firing: ticks.append((t, sorted(q.qid for q in firing))))
+    return engine, clock, ticks
+
+
+class TestPeriod:
+    def test_no_queries_no_period(self, harness):
+        _, clock, _ = harness
+        assert clock.period is None
+
+    def test_single_query_period(self, harness):
+        _, clock, _ = harness
+        clock.add_query(_acq(8192))
+        assert clock.period == 8192
+
+    def test_gcd_of_divisible_epochs(self, harness):
+        _, clock, _ = harness
+        clock.add_query(_acq(4096))
+        clock.add_query(_acq(8192))
+        assert clock.period == 4096
+
+    def test_paper_4096_6144_case(self, harness):
+        """Epochs 4096 and 6144 share a 2048 clock (Section 3.2.1)."""
+        _, clock, _ = harness
+        clock.add_query(_acq(4096))
+        clock.add_query(_acq(6144))
+        assert clock.period == 2048
+
+    def test_removal_recovers_period(self, harness):
+        _, clock, _ = harness
+        a, b = _acq(4096), _acq(6144)
+        clock.add_query(a)
+        clock.add_query(b)
+        clock.remove_query(b.qid)
+        assert clock.period == 4096
+
+    def test_removing_last_query_stops_clock(self, harness):
+        engine, clock, ticks = harness
+        q = _acq(2048)
+        clock.add_query(q)
+        clock.remove_query(q.qid)
+        engine.run_until(100_000.0)
+        assert ticks == []
+
+
+class TestTicks:
+    def test_fires_only_on_query_boundaries(self, harness):
+        engine, clock, ticks = harness
+        q1 = _acq(4096, qid=1)
+        q2 = _acq(6144, qid=2)
+        clock.add_query(q1)
+        clock.add_query(q2)
+        engine.run_until(12288.0)
+        assert ticks == [
+            (4096.0, [1]),
+            (6144.0, [2]),
+            (8192.0, [1]),
+            (12288.0, [1, 2]),  # the shared boundary
+        ]
+
+    def test_ticks_with_no_firing_query_are_silent(self, harness):
+        """At t=2048 with epochs {4096, 6144} nothing fires; no callback."""
+        engine, clock, ticks = harness
+        clock.add_query(_acq(4096, qid=1))
+        clock.add_query(_acq(6144, qid=2))
+        engine.run_until(2048.0)
+        assert ticks == []
+
+    def test_alignment_to_absolute_time(self, harness):
+        """A query added mid-stream first fires at the next absolute
+        multiple of its epoch ('divisible by the epoch duration')."""
+        engine, clock, ticks = harness
+        engine.run_until(5000.0)
+        clock.add_query(_acq(4096, qid=1))
+        engine.run_until(20_000.0)
+        assert [t for t, _ in ticks] == [8192.0, 12288.0, 16384.0]
+
+    def test_rearm_on_new_query(self, harness):
+        engine, clock, ticks = harness
+        clock.add_query(_acq(8192, qid=1))
+        engine.run_until(9000.0)
+        clock.add_query(_acq(4096, qid=2))  # period tightens to 4096
+        engine.run_until(17_000.0)
+        times = [t for t, _ in ticks]
+        assert times == [8192.0, 12288.0, 16384.0]
+        assert ticks[-1][1] == [1, 2]  # both fire at 16384
+
+    def test_no_double_tick_after_rearm(self, harness):
+        """Re-arming at the same GCD must not duplicate firings."""
+        engine, clock, ticks = harness
+        clock.add_query(_acq(4096, qid=1))
+        clock.add_query(_acq(4096, qid=2))
+        engine.run_until(8192.0)
+        times = [t for t, _ in ticks]
+        assert times == sorted(set(times))
+
+    def test_stop(self, harness):
+        engine, clock, ticks = harness
+        clock.add_query(_acq(2048))
+        clock.stop()
+        engine.run_until(10_000.0)
+        assert ticks == []

@@ -1,0 +1,63 @@
+"""Property tests for the GCD clock: firing instants are exactly the union
+of the queries' epoch boundaries, for any epoch combination."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.innetwork.schedule import GcdClock
+from repro.queries.ast import Query
+from repro.sim.engine import EventQueue
+
+_epochs = st.lists(
+    st.sampled_from([2048, 4096, 6144, 8192, 10240, 12288, 16384, 24576]),
+    min_size=1, max_size=4,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_epochs)
+def test_firing_instants_are_union_of_boundaries(epochs):
+    engine = EventQueue()
+    fired = []
+    clock = GcdClock(engine, lambda t, qs: fired.append((t, sorted(q.qid
+                                                                   for q in qs))))
+    queries = [Query.acquisition(["light"], epoch_ms=e) for e in epochs]
+    for q in queries:
+        clock.add_query(q)
+    horizon = 4 * max(epochs)
+    engine.run_until(float(horizon))
+
+    expected = {}
+    for q in queries:
+        t = q.epoch_ms
+        while t <= horizon:
+            expected.setdefault(float(t), []).append(q.qid)
+            t += q.epoch_ms
+    assert fired == [(t, sorted(qids)) for t, qids in sorted(expected.items())]
+
+
+@settings(max_examples=40, deadline=None)
+@given(_epochs, st.integers(0, 3))
+def test_removals_preserve_remaining_schedule(epochs, remove_index):
+    engine = EventQueue()
+    fired = []
+    clock = GcdClock(engine, lambda t, qs: fired.append((t, sorted(q.qid
+                                                                   for q in qs))))
+    queries = [Query.acquisition(["light"], epoch_ms=e) for e in epochs]
+    for q in queries:
+        clock.add_query(q)
+    victim = queries[remove_index % len(queries)]
+    clock.remove_query(victim.qid)
+    survivors = [q for q in queries if q.qid != victim.qid]
+    horizon = 3 * max(epochs)
+    engine.run_until(float(horizon))
+    for t, qids in fired:
+        assert victim.qid not in qids
+        for qid in qids:
+            q = next(s for s in survivors if s.qid == qid)
+            assert t % q.epoch_ms == 0
+    # every survivor boundary fires
+    for q in survivors:
+        boundaries = [float(k * q.epoch_ms)
+                      for k in range(1, horizon // q.epoch_ms + 1)]
+        fired_for_q = [t for t, qids in fired if q.qid in qids]
+        assert fired_for_q == boundaries

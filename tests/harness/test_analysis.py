@@ -1,0 +1,100 @@
+"""Tests for post-run traffic analysis."""
+
+import pytest
+
+from repro.harness import (
+    DeploymentConfig,
+    Strategy,
+    busiest_nodes,
+    hotspot_ratio,
+    level_breakdown,
+    lifetime_estimate_days,
+    run_workload,
+)
+from repro.queries import parse_query
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def run():
+    queries = [
+        parse_query("SELECT light FROM sensors EPOCH DURATION 4096"),
+        parse_query("SELECT light, temp FROM sensors EPOCH DURATION 8192"),
+    ]
+    workload = Workload.static(queries, duration_ms=60_000.0)
+    return run_workload(Strategy.BASELINE, workload,
+                        DeploymentConfig(side=6, seed=3))
+
+
+class TestLevelBreakdown:
+    def test_levels_cover_all_nodes(self, run):
+        sim = run.deployment.sim
+        breakdown = level_breakdown(sim.trace, sim.topology)
+        assert sum(b.node_count for b in breakdown) == sim.topology.size
+        assert [b.level for b in breakdown] == sorted(b.level for b in breakdown)
+
+    def test_frames_sum_matches_trace(self, run):
+        sim = run.deployment.sim
+        breakdown = level_breakdown(sim.trace, sim.topology)
+        assert sum(b.frames for b in breakdown) == sim.trace.total_transmissions()
+
+    def test_funnel_shape(self, run):
+        """Per-node load must decrease toward the leaves (the funnel)."""
+        sim = run.deployment.sim
+        breakdown = {b.level: b for b in level_breakdown(sim.trace, sim.topology)}
+        deepest = max(breakdown)
+        assert breakdown[1].tx_time_per_node_ms > \
+            breakdown[deepest].tx_time_per_node_ms
+
+
+class TestHotspot:
+    def test_ratio_above_one_for_tree_traffic(self, run):
+        sim = run.deployment.sim
+        assert hotspot_ratio(sim.trace, sim.topology) > 1.0
+
+    def test_busiest_nodes_are_near_the_sink(self, run):
+        sim = run.deployment.sim
+        top = busiest_nodes(sim.trace, sim.topology, count=3)
+        assert len(top) == 3
+        for node, tx in top:
+            assert sim.topology.levels[node] <= 2
+            assert tx > 0
+
+    def test_busiest_sorted_descending(self, run):
+        sim = run.deployment.sim
+        top = busiest_nodes(sim.trace, sim.topology, count=10)
+        loads = [tx for _, tx in top]
+        assert loads == sorted(loads, reverse=True)
+
+
+class TestLifetime:
+    def test_positive_finite_estimate(self, run):
+        sim = run.deployment.sim
+        days = lifetime_estimate_days(sim.trace, sim.topology)
+        assert 0 < days < float("inf")
+
+    def test_bigger_battery_longer_life(self, run):
+        sim = run.deployment.sim
+        small = lifetime_estimate_days(sim.trace, sim.topology, battery_j=10_000)
+        large = lifetime_estimate_days(sim.trace, sim.topology, battery_j=40_000)
+        assert large == pytest.approx(small * 4)
+
+    def test_ttmqo_extends_lifetime(self):
+        """Fewer frames near the sink must translate into longer estimated
+        network lifetime."""
+        queries = [
+            parse_query("SELECT light FROM sensors WHERE light > 200 "
+                        "EPOCH DURATION 4096"),
+            parse_query("SELECT light FROM sensors WHERE light > 300 "
+                        "EPOCH DURATION 4096"),
+            parse_query("SELECT light FROM sensors WHERE light > 250 "
+                        "EPOCH DURATION 8192"),
+        ]
+        workload = Workload.static(queries, duration_ms=60_000.0)
+        days = {}
+        for strategy in (Strategy.BASELINE, Strategy.TTMQO):
+            result = run_workload(strategy, workload,
+                                  DeploymentConfig(side=6, seed=3))
+            sim = result.deployment.sim
+            days[strategy] = lifetime_estimate_days(sim.trace, sim.topology)
+        assert days[Strategy.TTMQO] > days[Strategy.BASELINE]

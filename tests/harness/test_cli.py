@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "SELECT light FROM sensors EPOCH DURATION 4096"])
+        assert args.command == "run"
+        assert args.strategy == "ttmqo"
+        assert args.side == 4
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.workload == "A"
+
+    def test_fig_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "magic", "q"])
+
+
+class TestRunCommand:
+    def test_run_acquisition_and_aggregation(self, capsys):
+        code = main([
+            "run", "--side", "3", "--duration", "30", "--seed", "4",
+            "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096",
+            "SELECT MAX(light) FROM sensors EPOCH DURATION 8192",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "avg transmission" in out
+        assert "synthetic" in out
+        assert "MAX(light)=" in out
+
+    def test_run_baseline_strategy(self, capsys):
+        code = main([
+            "run", "--strategy", "baseline", "--side", "3",
+            "--duration", "20",
+            "SELECT light FROM sensors EPOCH DURATION 4096",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rows" in out
+
+    def test_parse_error_reports_and_fails(self, capsys):
+        code = main(["run", "SELECT FROM nothing"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_strategies(self, capsys):
+        code = main(["compare", "--workload", "A", "--side", "3",
+                     "--duration", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for label in ("baseline", "base-station only", "in-network only",
+                      "ttmqo"):
+            assert label in out

@@ -1,0 +1,113 @@
+"""Tests for failure injection and completeness metrics."""
+
+import pytest
+
+from repro.harness import DeploymentConfig, Strategy
+from repro.harness.failures import (
+    FailureInjector,
+    Outage,
+    expected_rows,
+    row_completeness,
+)
+from repro.harness.strategies import Deployment
+from repro.queries import parse_query
+from repro.sensors import SensorWorld
+from repro.sim import Simulation, Topology
+
+
+class TestOutage:
+    def test_covers(self):
+        outage = Outage(3, 1000.0, 500.0)
+        assert outage.covers(1000.0)
+        assert outage.covers(1499.0)
+        assert not outage.covers(1500.0)
+        assert not outage.covers(999.0)
+
+
+class TestFailureInjector:
+    def test_fail_at_schedules(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        injector.fail_at(5, 1000.0, 500.0)
+        sim.run_until(1200.0)
+        assert sim.nodes[5].failed
+        sim.run_until(1600.0)
+        assert not sim.nodes[5].failed
+
+    def test_base_station_protected(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        with pytest.raises(ValueError):
+            injector.fail_at(0, 100.0, 100.0)
+
+    def test_random_outages_deterministic(self):
+        def outages(seed):
+            sim = Simulation(Topology.grid(3), seed=1)
+            injector = FailureInjector(sim, seed=seed)
+            return injector.random_outages(5, 1000.0, (0.0, 50_000.0))
+
+        assert outages(3) == outages(3)
+        assert outages(3) != outages(4)
+
+    def test_down_nodes_at(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        injector.fail_at(2, 1000.0, 500.0)
+        injector.fail_at(5, 1200.0, 500.0)
+        assert injector.down_nodes_at(1300.0) == [2, 5]
+        assert injector.down_nodes_at(1600.0) == [5]
+
+    def test_window_validation(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        with pytest.raises(ValueError):
+            injector.random_outages(1, 10_000.0, (0.0, 5_000.0))
+
+
+class TestCompleteness:
+    def test_expected_rows_ground_truth(self, grid4):
+        world = SensorWorld.uniform(grid4, seed=5)
+        query = parse_query("SELECT light FROM sensors WHERE light > 500 "
+                            "EPOCH DURATION 4096")
+        pairs = expected_rows(query, world, grid4, [4096.0, 8192.0])
+        for t, node in pairs:
+            assert world.sample(node, "light", t) > 500
+        all_matching = sum(
+            1 for t in (4096.0, 8192.0) for n in grid4.node_ids
+            if n != 0 and world.sample(n, "light", t) > 500)
+        assert len(pairs) == all_matching
+
+    def test_expected_rows_excludes_failed_sources(self, grid4):
+        world = SensorWorld.uniform(grid4, seed=5)
+        query = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        outage = Outage(7, 4000.0, 1000.0)  # down at t=4096
+        pairs = expected_rows(query, world, grid4, [4096.0, 8192.0], [outage])
+        assert (4096.0, 7) not in pairs
+        assert (8192.0, 7) in pairs
+
+    def test_row_completeness_metric(self):
+        expected = [(1.0, 1), (1.0, 2), (2.0, 1), (2.0, 2)]
+        received = [(1.0, 1), (2.0, 1), (2.0, 2), (3.0, 9)]  # extra ignored
+        assert row_completeness(received, expected) == pytest.approx(0.75)
+        assert row_completeness([], []) == 1.0
+
+
+class TestEndToEndResilience:
+    @pytest.mark.parametrize("strategy", [Strategy.BASELINE, Strategy.TTMQO])
+    def test_results_resume_after_outage(self, strategy):
+        deployment = Deployment(strategy, DeploymentConfig(side=4, seed=13))
+        sim = deployment.sim
+        sim.start()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        sim.engine.schedule_at(400.0, deployment.register, q)
+        injector = FailureInjector(sim, seed=2)
+        injector.fail_at(1, 20_000.0, 12_000.0)
+        sim.run_until(90_000.0)
+        network_qid = deployment.network_query_for(q.qid).qid
+        epochs = deployment.results.row_epochs(network_qid)
+        # rows keep arriving after the outage ends
+        assert any(t > 40_000.0 for t in epochs)
+        late = [t for t in epochs if t > 40_000.0]
+        rows_late = sum(len(deployment.results.rows(network_qid, t))
+                        for t in late)
+        assert rows_late / len(late) > 10  # most of the 15 sensors report

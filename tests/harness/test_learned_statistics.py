@@ -1,0 +1,87 @@
+"""Tests for the learned-statistics (histogram) feedback loop.
+
+The paper's Section 3.1.2 "Statistics" paragraph maintains data
+distributions for selectivity estimation; our uniform default matches its
+experiments ("we only use one distribution for all the levels"), while the
+``statistics="histogram"`` option closes the loop: the base station feeds
+every received row back into per-attribute histograms.
+"""
+
+import pytest
+
+from repro.harness import DeploymentConfig, Strategy, run_workload
+from repro.queries import parse_query
+from repro.workloads import Workload
+
+
+def _run(statistics, world="correlated"):
+    queries = [
+        parse_query("SELECT light, temp FROM sensors EPOCH DURATION 4096"),
+    ]
+    workload = Workload.static(queries, duration_ms=50_000.0)
+    config = DeploymentConfig(side=4, seed=23, world=world,
+                              statistics=statistics)
+    return run_workload(Strategy.BS_ONLY, workload, config)
+
+
+class TestWiring:
+    def test_unknown_statistics_rejected(self):
+        from repro.harness.strategies import Deployment
+
+        with pytest.raises(ValueError):
+            Deployment(Strategy.BS_ONLY,
+                       DeploymentConfig(side=3, statistics="psychic"))
+
+    def test_baseline_has_no_distributions(self):
+        from repro.harness.strategies import Deployment
+
+        deployment = Deployment(Strategy.BASELINE, DeploymentConfig(side=3))
+        assert deployment.distributions is None
+        assert deployment.bs.row_observers == []
+
+    def test_uniform_mode_does_not_observe(self):
+        result = _run("uniform")
+        assert result.deployment.bs.row_observers == []
+
+
+class TestLearning:
+    def test_histograms_learn_from_rows(self):
+        result = _run("histogram")
+        distributions = result.deployment.distributions
+        # the correlated world does not fill the whole range uniformly, so
+        # the learned distribution must deviate from 50/50 on some split
+        learned_half = distributions.probability("light", 0.0, 500.0)
+        assert learned_half != pytest.approx(0.5, abs=0.02)
+
+    def test_learned_distribution_tracks_empirical_rows(self):
+        result = _run("histogram")
+        deployment = result.deployment
+        distributions = deployment.distributions
+        synthetic_qid = deployment.optimizer.synthetic_queries()[0].qid
+        values = [row.values["light"]
+                  for row in deployment.results.rows(synthetic_qid)]
+        assert len(values) > 100
+        empirical = sum(1 for v in values if v <= 500.0) / len(values)
+        learned = distributions.probability("light", 0.0, 500.0)
+        assert learned == pytest.approx(empirical, abs=0.1)
+
+    def test_selectivity_estimates_follow_the_learned_world(self):
+        """Cost-model selectivity under learned stats must approximate the
+        true fraction of matching nodes, where the uniform assumption is
+        wrong for the correlated world."""
+        result = _run("histogram")
+        deployment = result.deployment
+        model = deployment.optimizer.cost_model
+        probe = parse_query("SELECT light FROM sensors WHERE light > 500 "
+                            "EPOCH DURATION 4096")
+        learned_sel = model.selectivity(probe)
+        # empirical fraction over the run
+        world, topo = deployment.world, deployment.topology
+        matches = total = 0
+        for t in (8192.0, 16384.0, 24576.0, 32768.0):
+            for node in topo.node_ids:
+                if node == 0:
+                    continue
+                total += 1
+                matches += world.sample(node, "light", t) > 500
+        assert learned_sel == pytest.approx(matches / total, abs=0.15)

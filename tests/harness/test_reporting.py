@@ -1,0 +1,26 @@
+"""Unit tests for table rendering."""
+
+from repro.harness.reporting import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long-name", 123456]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({line.rstrip() and lines[0].index("value")
+                    for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [123.456]])
+        assert "0.1235" in text
+        assert "123.46" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,79 @@
+"""Integration smoke tests for the experiment runner."""
+
+import pytest
+
+from repro.harness import (
+    DeploymentConfig,
+    Strategy,
+    message_savings,
+    percent_savings,
+    run_all_strategies,
+    run_workload,
+    savings_table,
+)
+from repro.queries import parse_query
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    queries = [
+        parse_query("SELECT light FROM sensors WHERE light > 300 "
+                    "EPOCH DURATION 4096"),
+        parse_query("SELECT light FROM sensors WHERE light > 200 "
+                    "EPOCH DURATION 8192"),
+        parse_query("SELECT MAX(light) FROM sensors EPOCH DURATION 8192"),
+    ]
+    return Workload.static(queries, duration_ms=40_000.0, description="smoke")
+
+
+class TestRunWorkload:
+    def test_result_fields_populated(self, small_workload):
+        result = run_workload(Strategy.BASELINE, small_workload,
+                              DeploymentConfig(side=4, seed=1))
+        assert result.average_transmission_time > 0
+        assert result.result_frames > 0
+        assert result.query_frames > 0
+        assert result.acquisitions > 0
+        assert result.duration_ms > small_workload.duration_ms
+        assert result.frames_by_kind()["result"] == result.result_frames
+
+    def test_deterministic_given_seed(self, small_workload):
+        a = run_workload(Strategy.TTMQO, small_workload,
+                         DeploymentConfig(side=4, seed=9))
+        b = run_workload(Strategy.TTMQO, small_workload,
+                         DeploymentConfig(side=4, seed=9))
+        assert a.average_transmission_time == b.average_transmission_time
+        assert a.total_frames == b.total_frames
+
+    def test_all_strategies_produce_results(self, small_workload):
+        results = run_all_strategies(small_workload,
+                                     DeploymentConfig(side=4, seed=2))
+        assert set(results) == set(Strategy)
+        for result in results.values():
+            bs = result.deployment.bs
+            assert bs.results.queries_seen()
+
+    def test_ttmqo_beats_baseline(self, small_workload):
+        results = run_all_strategies(
+            small_workload, DeploymentConfig(side=4, seed=2),
+            strategies=(Strategy.BASELINE, Strategy.TTMQO))
+        assert (results[Strategy.TTMQO].average_transmission_time
+                < results[Strategy.BASELINE].average_transmission_time)
+
+
+class TestMetrics:
+    def test_percent_savings(self):
+        assert percent_savings(10.0, 5.0) == pytest.approx(50.0)
+        assert percent_savings(10.0, 12.0) == pytest.approx(-20.0)
+        assert percent_savings(0.0, 5.0) == 0.0
+
+    def test_savings_tables(self, small_workload):
+        results = run_all_strategies(
+            small_workload, DeploymentConfig(side=4, seed=2),
+            strategies=(Strategy.BASELINE, Strategy.TTMQO))
+        sav = savings_table(results)
+        msg = message_savings(results)
+        assert Strategy.BASELINE not in sav
+        assert Strategy.TTMQO in sav and Strategy.TTMQO in msg
+        assert sav[Strategy.TTMQO] > 0

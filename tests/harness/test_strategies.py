@@ -1,0 +1,82 @@
+"""Unit tests for strategy deployment assembly."""
+
+import pytest
+
+from repro.core.innetwork import TTMQOBaseStationApp, TTMQONodeApp
+from repro.harness.strategies import Deployment, DeploymentConfig, Strategy
+from repro.queries import parse_query
+from repro.tinydb import TinyDBBaseStationApp, TinyDBNodeApp
+
+
+class TestStrategyFlags:
+    def test_tier_usage_matrix(self):
+        assert not Strategy.BASELINE.uses_tier1
+        assert not Strategy.BASELINE.uses_tier2
+        assert Strategy.BS_ONLY.uses_tier1 and not Strategy.BS_ONLY.uses_tier2
+        assert Strategy.INNET_ONLY.uses_tier2 and not Strategy.INNET_ONLY.uses_tier1
+        assert Strategy.TTMQO.uses_tier1 and Strategy.TTMQO.uses_tier2
+
+
+class TestAssembly:
+    def test_baseline_apps(self):
+        deployment = Deployment(Strategy.BASELINE, DeploymentConfig(side=3))
+        assert isinstance(deployment.bs, TinyDBBaseStationApp)
+        assert not isinstance(deployment.bs, TTMQOBaseStationApp)
+        assert isinstance(deployment.sim.nodes[3].app, TinyDBNodeApp)
+        assert deployment.optimizer is None
+
+    def test_ttmqo_apps(self):
+        deployment = Deployment(Strategy.TTMQO, DeploymentConfig(side=3))
+        assert isinstance(deployment.bs, TTMQOBaseStationApp)
+        assert isinstance(deployment.sim.nodes[3].app, TTMQONodeApp)
+        assert deployment.optimizer is not None
+
+    def test_bs_only_has_optimizer_with_tinydb_execution(self):
+        deployment = Deployment(Strategy.BS_ONLY, DeploymentConfig(side=3))
+        assert deployment.optimizer is not None
+        assert isinstance(deployment.sim.nodes[3].app, TinyDBNodeApp)
+
+    def test_world_kinds(self):
+        uniform = Deployment(Strategy.BASELINE, DeploymentConfig(side=3))
+        correlated = Deployment(
+            Strategy.BASELINE, DeploymentConfig(side=3, world="correlated"))
+        assert uniform.world is not None and correlated.world is not None
+        with pytest.raises(ValueError):
+            Deployment(Strategy.BASELINE,
+                       DeploymentConfig(side=3, world="martian"))
+
+
+class TestControlPlane:
+    def test_baseline_register_injects_user_query(self):
+        deployment = Deployment(Strategy.BASELINE, DeploymentConfig(side=3))
+        deployment.sim.start()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        deployment.register(q)
+        assert q.qid in deployment.bs.injected
+        assert deployment.network_query_for(q.qid) is q
+
+    def test_optimized_register_injects_synthetic(self):
+        deployment = Deployment(Strategy.BS_ONLY, DeploymentConfig(side=3))
+        deployment.sim.start()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        deployment.register(q)
+        synthetic = deployment.network_query_for(q.qid)
+        assert synthetic.qid != q.qid
+        assert synthetic.qid in deployment.bs.injected
+
+    def test_terminate_roundtrip(self):
+        deployment = Deployment(Strategy.BS_ONLY, DeploymentConfig(side=3))
+        deployment.sim.start()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        deployment.register(q)
+        synthetic_qid = deployment.network_query_for(q.qid).qid
+        deployment.terminate(q.qid)
+        assert synthetic_qid in deployment.bs.aborted
+
+    def test_total_acquisitions_counts_all_nodes(self):
+        deployment = Deployment(Strategy.BASELINE, DeploymentConfig(side=3))
+        deployment.sim.start()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        deployment.register(q)
+        deployment.sim.run_until(10_000.0)
+        assert deployment.total_acquisitions() > 0

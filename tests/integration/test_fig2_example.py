@@ -1,0 +1,162 @@
+"""Reproduction of the Figure 2 worked example (Section 3.2.2).
+
+Topology (base station BS plus sensors A..H)::
+
+    BS - A - C - G       BS - B - {D, E, F},  D - {G, H}
+
+Radio connectivity gives G two upper-level neighbours, C and D, with C the
+better link (so TinyDB's fixed tree routes G through C).  Data acquisition
+queries q_i over {D, E, F, G, H} and q_j over {D, G, H} fire at the same
+epoch.
+
+Paper's accounting per epoch:
+
+* TinyDB: 8 sensor nodes involved, 12 + 8 = 20 result messages;
+* TTMQO DAG: G reroutes through D (which has data for both queries), C and
+  A sleep, shared frames serve both queries: 6 nodes involved, 12 messages;
+* aggregation variant: 14 messages under TinyDB vs 7 under the DAG (node B
+  still sends one aggregated message per query because E and F only feed
+  q_i).
+"""
+
+import pytest
+
+from repro.core.innetwork import TTMQOBaseStationApp, TTMQONodeApp, TTMQOParams
+from repro.queries.ast import Aggregate, AggregateOp, Query
+from repro.queries.predicates import Interval, PredicateSet
+from repro.sensors.field import SensorWorld
+from repro.sim import MessageKind, Simulation, Topology
+from repro.tinydb import (
+    RoutingTree,
+    TinyDBBaseStationApp,
+    TinyDBNodeApp,
+    TinyDBParams,
+)
+
+# Node ids chosen so both query sets are nodeid intervals:
+# BS=0, A=1, B=2, C=3, E=4, F=5, D=6, G=7, H=8.
+BS, A, B, C, E, F, D, G, H = range(9)
+
+_LINKS = [(BS, A), (BS, B), (A, C), (B, D), (B, E), (B, F),
+          (C, G), (D, G), (D, H)]
+#: C-G beats D-G so the fixed TinyDB tree parents G at C.
+_QUALITY = {(C, G): 0.95, (D, G): 0.80}
+
+EPOCH = 4096
+
+
+def _topology():
+    return Topology.from_links(_LINKS, base_station=BS, quality=_QUALITY)
+
+
+def _queries(aggregation):
+    qi_pred = PredicateSet({"nodeid": Interval(4, 8)})   # E,F,D,G,H
+    qj_pred = PredicateSet({"nodeid": Interval(6, 8)})   # D,G,H
+    if aggregation:
+        qi = Query.aggregation([Aggregate(AggregateOp.MAX, "light")], qi_pred, EPOCH)
+        qj = Query.aggregation([Aggregate(AggregateOp.MAX, "light")], qj_pred, EPOCH)
+    else:
+        qi = Query.acquisition(["light"], qi_pred, EPOCH)
+        qj = Query.acquisition(["light"], qj_pred, EPOCH)
+    return qi, qj
+
+
+def _run(use_ttmqo, aggregation, seed=3, epochs=8):
+    topo = _topology()
+    world = SensorWorld.uniform(topo, seed=seed)
+    tree = RoutingTree.build(topo)
+    sim = Simulation(topo, world=world, seed=seed)
+    # no maintenance beacons (the example counts only result traffic) and
+    # fast query refresh so flood losses repair before the counting window
+    tdb_params = TinyDBParams(maintenance_period_ms=0.0, query_refresh_ms=8192.0)
+    ttmqo_params = TTMQOParams(maintenance_period_ms=0.0)
+    if use_ttmqo:
+        bs = TTMQOBaseStationApp(world, tree, tdb_params, seed=seed,
+                                 ttmqo_params=ttmqo_params)
+        sim.install_at(BS, bs)
+        sim.install(lambda node: TTMQONodeApp(world, ttmqo_params, seed=seed))
+    else:
+        bs = TinyDBBaseStationApp(world, tree, tdb_params, seed=seed)
+        sim.install_at(BS, bs)
+        sim.install(lambda node: TinyDBNodeApp(world, tree, tdb_params, seed=seed))
+    sim.start()
+
+    qi, qj = _queries(aggregation)
+    sim.run_until(200.0)
+    bs.inject(qi)
+    bs.inject(qj)
+
+    # Steady-state window: count RESULT frames over full epochs, skipping
+    # the first few (flood still in flight, routes converging).  MAC
+    # retransmissions are subtracted: the paper's example counts logical
+    # messages on an ideal channel.
+    start = EPOCH * 6.0
+    sim.run_until(start)
+    frames_before = sim.trace.total_transmissions([MessageKind.RESULT])
+    retrans_before = sim.trace.retransmissions
+    involved_before = {n: sim.trace.node_stats(n).by_kind.get(MessageKind.RESULT, 0)
+                       for n in topo.node_ids}
+    sim.run_until(start + epochs * EPOCH)
+    frames = (sim.trace.total_transmissions([MessageKind.RESULT]) - frames_before
+              - (sim.trace.retransmissions - retrans_before))
+    involved = [
+        n for n in topo.node_ids
+        if sim.trace.node_stats(n).by_kind.get(MessageKind.RESULT, 0)
+        > involved_before[n]
+    ]
+    return frames / epochs, involved, (sim, bs, qi, qj)
+
+
+class TestRoutingTreeMatchesFigure:
+    def test_fixed_tree_parents(self):
+        tree = RoutingTree.build(_topology())
+        assert tree.parent[G] == C   # the paper's "G relays through C"
+        assert tree.parent[C] == A
+        assert tree.parent[H] == D
+        for n in (D, E, F):
+            assert tree.parent[n] == B
+
+    def test_g_has_two_upper_neighbors(self):
+        topo = _topology()
+        assert set(topo.upper_neighbors(G)) == {C, D}
+
+
+class TestAcquisitionExample:
+    def test_tinydb_20_messages_8_nodes(self):
+        per_epoch, involved, _ = _run(use_ttmqo=False, aggregation=False)
+        assert per_epoch == pytest.approx(20.0, abs=0.5)
+        assert set(involved) == {A, B, C, D, E, F, G, H}
+
+    def test_ttmqo_12_messages_6_nodes(self):
+        per_epoch, involved, _ = _run(use_ttmqo=True, aggregation=False)
+        assert per_epoch == pytest.approx(12.0, abs=0.5)
+        assert set(involved) == {B, D, E, F, G, H}  # A and C sleep
+
+    def test_ttmqo_results_still_correct(self):
+        _, _, (sim, bs, qi, qj) = _run(use_ttmqo=True, aggregation=False)
+        t = bs.results.row_epochs(qi.qid)[-1]
+        assert sorted(r.origin for r in bs.results.rows(qi.qid, t)) == [E, F, D, G, H] \
+            or sorted(r.origin for r in bs.results.rows(qi.qid, t)) == sorted([E, F, D, G, H])
+        assert sorted(r.origin for r in bs.results.rows(qj.qid, t)) == sorted([D, G, H])
+
+
+class TestAggregationExample:
+    def test_tinydb_14_messages(self):
+        per_epoch, _, _ = _run(use_ttmqo=False, aggregation=True)
+        assert per_epoch == pytest.approx(14.0, abs=0.5)
+
+    def test_ttmqo_7_messages(self):
+        per_epoch, _, _ = _run(use_ttmqo=True, aggregation=True)
+        assert per_epoch == pytest.approx(7.0, abs=0.5)
+
+    def test_aggregates_correct_under_both(self):
+        for use_ttmqo in (False, True):
+            _, _, (sim, bs, qi, qj) = _run(use_ttmqo=use_ttmqo, aggregation=True)
+            world = sim.world
+            t = bs.results.aggregate_epochs(qi.qid)[-1]
+            truth_i = max(world.sample(n, "light", t) for n in (D, E, F, G, H))
+            truth_j = max(world.sample(n, "light", t) for n in (D, G, H))
+            assert bs.results.aggregate(qi.qid, t, qi.aggregates[0]) == \
+                pytest.approx(truth_i)
+            assert bs.results.aggregate(qj.qid, t, qj.aggregates[0]) == \
+                pytest.approx(truth_j)

@@ -1,0 +1,140 @@
+"""Unit tests for the TinyDB-dialect parser."""
+
+import math
+
+import pytest
+
+from repro.queries.ast import AggregateOp
+from repro.queries.parser import ParseError, parse_query
+from repro.queries.predicates import Interval
+
+
+class TestSelectList:
+    def test_single_attribute(self):
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 2048")
+        assert q.attributes == ("light",)
+
+    def test_multiple_attributes(self):
+        q = parse_query("SELECT light, temp, nodeid FROM sensors EPOCH DURATION 2048")
+        assert q.attributes == ("light", "temp", "nodeid")
+
+    def test_aggregates(self):
+        q = parse_query("SELECT MAX(light), MIN(temp) FROM sensors EPOCH DURATION 2048")
+        assert [(a.op, a.attribute) for a in q.aggregates] == [
+            (AggregateOp.MAX, "light"), (AggregateOp.MIN, "temp")]
+
+    def test_all_operators(self):
+        for op in ("MAX", "MIN", "SUM", "COUNT", "AVG"):
+            q = parse_query(f"SELECT {op}(light) FROM sensors EPOCH DURATION 2048")
+            assert q.aggregates[0].op is AggregateOp(op)
+
+    def test_mixing_attrs_and_aggregates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light, MAX(temp) FROM sensors EPOCH DURATION 2048")
+
+    def test_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM sensors EPOCH DURATION 2048")
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select max(light) from sensors epoch duration 2048")
+        assert q.aggregates[0].op is AggregateOp.MAX
+
+
+class TestWhereClause:
+    def test_attr_left_comparisons(self):
+        q = parse_query("SELECT light FROM sensors WHERE light < 600 "
+                        "EPOCH DURATION 2048")
+        assert q.predicates.interval("light") == Interval(-math.inf, 600.0)
+
+    def test_attr_right_comparisons(self):
+        q = parse_query("SELECT light FROM sensors WHERE 280 < light "
+                        "EPOCH DURATION 2048")
+        assert q.predicates.interval("light") == Interval(280.0, math.inf)
+
+    def test_paper_style_range(self):
+        q = parse_query("SELECT light FROM sensors WHERE 280 < light AND "
+                        "light < 600 EPOCH DURATION 2048")
+        assert q.predicates.interval("light") == Interval(280.0, 600.0)
+
+    def test_between(self):
+        q = parse_query("SELECT light FROM sensors WHERE light BETWEEN 100 AND 300 "
+                        "EPOCH DURATION 2048")
+        assert q.predicates.interval("light") == Interval(100.0, 300.0)
+
+    def test_between_reversed_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors WHERE light BETWEEN 300 AND 100 "
+                        "EPOCH DURATION 2048")
+
+    def test_equality(self):
+        q = parse_query("SELECT light FROM sensors WHERE nodeid = 5 "
+                        "EPOCH DURATION 2048")
+        assert q.predicates.interval("nodeid") == Interval(5.0, 5.0)
+
+    def test_multiple_attributes(self):
+        q = parse_query("SELECT light FROM sensors WHERE light > 100 AND temp < 50 "
+                        "EPOCH DURATION 2048")
+        assert q.predicates.interval("light").lo == 100.0
+        assert q.predicates.interval("temp").hi == 50.0
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors WHERE light < 100 AND "
+                        "light > 500 EPOCH DURATION 2048")
+
+    def test_not_equal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors WHERE light != 5 "
+                        "EPOCH DURATION 2048")
+
+    def test_non_strict_operators(self):
+        q = parse_query("SELECT light FROM sensors WHERE light >= 10 AND "
+                        "light <= 20 EPOCH DURATION 2048")
+        assert q.predicates.interval("light") == Interval(10.0, 20.0)
+
+
+class TestEpochClause:
+    def test_epoch_duration(self):
+        assert parse_query("SELECT light FROM sensors EPOCH DURATION 8192").epoch_ms == 8192
+
+    def test_sample_period_synonym(self):
+        assert parse_query("SELECT light FROM sensors SAMPLE PERIOD 4096").epoch_ms == 4096
+
+    def test_missing_epoch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors")
+
+    def test_non_multiple_epoch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors EPOCH DURATION 1000")
+
+    def test_float_epoch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors EPOCH DURATION 2048.5")
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors EPOCH DURATION 2048 EXTRA")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light FROM sensors; EPOCH DURATION 2048")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT light EPOCH DURATION 2048")
+
+    def test_unclosed_aggregate(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT MAX(light FROM sensors EPOCH DURATION 2048")
+
+    def test_explicit_qid(self):
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 2048", qid=99)
+        assert q.qid == 99

@@ -1,0 +1,205 @@
+"""Unit + property tests for the predicate algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.queries.predicates import Interval, PredicateSet
+from repro.sensors.distributions import DistributionSet
+from repro.sensors.field import standard_attributes
+
+
+class TestInterval:
+    def test_contains_value_inclusive(self):
+        iv = Interval(10.0, 20.0)
+        assert iv.contains_value(10.0)
+        assert iv.contains_value(20.0)
+        assert not iv.contains_value(20.0001)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 4.0)
+
+    def test_contains_interval(self):
+        assert Interval(0.0, 10.0).contains(Interval(2.0, 8.0))
+        assert not Interval(0.0, 10.0).contains(Interval(2.0, 12.0))
+
+    def test_hull(self):
+        assert Interval(0.0, 5.0).hull(Interval(3.0, 9.0)) == Interval(0.0, 9.0)
+        assert Interval(0.0, 1.0).hull(Interval(5.0, 6.0)) == Interval(0.0, 6.0)
+
+    def test_intersect(self):
+        assert Interval(0.0, 5.0).intersect(Interval(3.0, 9.0)) == Interval(3.0, 5.0)
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_everything_contains_all(self):
+        assert Interval.everything().contains(Interval(-1e18, 1e18))
+
+    def test_unbounded_flag(self):
+        assert Interval(-math.inf, 5.0).is_unbounded
+        assert not Interval(0.0, 5.0).is_unbounded
+
+    def test_overlaps(self):
+        assert Interval(0.0, 5.0).overlaps(Interval(5.0, 9.0))  # touching
+        assert not Interval(0.0, 4.9).overlaps(Interval(5.0, 9.0))
+
+
+class TestPredicateSetBasics:
+    def test_true_matches_everything(self):
+        assert PredicateSet.true().matches({"light": 123.0})
+        assert PredicateSet.true().matches({})
+
+    def test_matches_conjunction(self):
+        ps = PredicateSet({"light": Interval(100, 200), "temp": Interval(0, 50)})
+        assert ps.matches({"light": 150.0, "temp": 25.0})
+        assert not ps.matches({"light": 150.0, "temp": 75.0})
+
+    def test_missing_attribute_fails(self):
+        ps = PredicateSet({"light": Interval(100, 200)})
+        assert not ps.matches({"temp": 25.0})
+
+    def test_duplicate_constraints_intersect(self):
+        ps = PredicateSet.from_triples([("light", 0, 500), ("light", 300, 900)])
+        assert ps.interval("light") == Interval(300, 500)
+
+    def test_contradictory_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            PredicateSet.from_triples([("light", 0, 100), ("light", 200, 300)])
+
+    def test_equality_and_hash(self):
+        a = PredicateSet({"light": Interval(1, 2)})
+        b = PredicateSet({"light": Interval(1, 2)})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != PredicateSet({"light": Interval(1, 3)})
+
+    def test_to_triples_roundtrip(self):
+        ps = PredicateSet.from_triples([("a", 1, 2), ("b", 3, 4)])
+        assert PredicateSet.from_triples(ps.to_triples()) == ps
+
+    def test_unconstrained_interval_is_everything(self):
+        ps = PredicateSet({"light": Interval(0, 1)})
+        assert ps.interval("temp") == Interval.everything()
+
+
+class TestCoverage:
+    def test_wider_covers_narrower(self):
+        wide = PredicateSet({"light": Interval(0, 1000)})
+        narrow = PredicateSet({"light": Interval(200, 400)})
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+
+    def test_true_covers_everything(self):
+        assert PredicateSet.true().covers(PredicateSet({"x": Interval(0, 1)}))
+
+    def test_constrained_does_not_cover_unconstrained(self):
+        constrained = PredicateSet({"light": Interval(0, 500)})
+        assert not constrained.covers(PredicateSet.true())
+
+    def test_extra_attribute_blocks_coverage(self):
+        a = PredicateSet({"light": Interval(0, 1000), "temp": Interval(0, 10)})
+        b = PredicateSet({"light": Interval(100, 200)})
+        assert not a.covers(b)  # b's rows may have any temp
+
+    def test_covers_is_reflexive(self):
+        ps = PredicateSet({"light": Interval(10, 20)})
+        assert ps.covers(ps)
+
+
+class TestHull:
+    def test_same_attribute_hull(self):
+        a = PredicateSet({"light": Interval(100, 300)})
+        b = PredicateSet({"light": Interval(280, 600)})
+        assert a.hull(b).interval("light") == Interval(100, 600)
+
+    def test_one_sided_constraint_dropped(self):
+        """An attribute constrained by only one side must be unconstrained
+        in the hull — otherwise the other query's rows would be filtered."""
+        a = PredicateSet({"light": Interval(0, 500)})
+        b = PredicateSet({"temp": Interval(0, 50)})
+        hull = a.hull(b)
+        assert hull.is_true()
+
+    def test_shared_and_unshared_attributes(self):
+        a = PredicateSet({"light": Interval(0, 500), "temp": Interval(0, 50)})
+        b = PredicateSet({"light": Interval(400, 900)})
+        hull = a.hull(b)
+        assert hull.interval("light") == Interval(0, 900)
+        assert "temp" not in hull.attributes
+
+
+class TestIntersect:
+    def test_conjunction(self):
+        a = PredicateSet({"light": Interval(0, 500)})
+        b = PredicateSet({"light": Interval(300, 900), "temp": Interval(0, 50)})
+        both = a.intersect(b)
+        assert both.interval("light") == Interval(300, 500)
+        assert both.interval("temp") == Interval(0, 50)
+
+    def test_contradiction_returns_none(self):
+        a = PredicateSet({"light": Interval(0, 100)})
+        b = PredicateSet({"light": Interval(500, 900)})
+        assert a.intersect(b) is None
+
+
+class TestSelectivity:
+    @pytest.fixture
+    def dists(self):
+        return DistributionSet.uniform(standard_attributes(16))
+
+    def test_single_attribute(self, dists):
+        ps = PredicateSet({"light": Interval(0, 250)})
+        assert ps.selectivity(dists) == pytest.approx(0.25)
+
+    def test_independence_product(self, dists):
+        ps = PredicateSet({"light": Interval(0, 500), "temp": Interval(0, 50)})
+        assert ps.selectivity(dists) == pytest.approx(0.25)
+
+    def test_true_has_selectivity_one(self, dists):
+        assert PredicateSet.true().selectivity(dists) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+_interval = st.tuples(
+    st.floats(0, 999, allow_nan=False), st.floats(0, 999, allow_nan=False)
+).map(lambda t: Interval(min(t), max(t) + 1))
+
+_predicate_set = st.dictionaries(
+    st.sampled_from(["light", "temp", "nodeid"]), _interval, max_size=3
+).map(PredicateSet)
+
+
+@given(_predicate_set, _predicate_set)
+def test_hull_covers_both_operands(a, b):
+    hull = a.hull(b)
+    assert hull.covers(a)
+    assert hull.covers(b)
+
+
+@given(_predicate_set, _predicate_set)
+def test_hull_is_commutative(a, b):
+    assert a.hull(b) == b.hull(a)
+
+
+@given(_predicate_set, _predicate_set,
+       st.dictionaries(st.sampled_from(["light", "temp", "nodeid"]),
+                       st.floats(0, 1000, allow_nan=False), min_size=3))
+def test_rows_matching_either_match_hull(a, b, row):
+    if a.matches(row) or b.matches(row):
+        assert a.hull(b).matches(row)
+
+
+@given(_predicate_set, _predicate_set,
+       st.dictionaries(st.sampled_from(["light", "temp", "nodeid"]),
+                       st.floats(0, 1000, allow_nan=False), min_size=3))
+def test_covers_implies_row_subset(a, b, row):
+    if a.covers(b) and b.matches(row):
+        assert a.matches(row)
+
+
+@given(_predicate_set)
+def test_hull_with_self_is_identity(a):
+    assert a.hull(a) == a

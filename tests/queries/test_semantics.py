@@ -1,0 +1,235 @@
+"""Unit + property tests for rewrite semantics (covers / merge / merge_all)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.queries.ast import Aggregate, AggregateOp, Query
+from repro.queries.predicates import Interval, PredicateSet
+from repro.queries.semantics import (
+    MergeKind,
+    covers,
+    merge,
+    merge_all,
+    mergeable,
+)
+
+
+def _acq(attrs, pred=None, epoch=4096, qid=None):
+    return Query.acquisition(attrs, pred, epoch, qid=qid)
+
+
+def _agg(op, attr, pred=None, epoch=4096, qid=None):
+    return Query.aggregation([Aggregate(op, attr)], pred, epoch, qid=qid)
+
+
+def _light(lo, hi):
+    return PredicateSet({"light": Interval(lo, hi)})
+
+
+class TestCovers:
+    def test_identical_queries(self):
+        a = _acq(["light"], _light(0, 500))
+        b = _acq(["light"], _light(0, 500))
+        assert covers(a, b)
+
+    def test_attribute_superset_needed(self):
+        syn = _acq(["light"])
+        user = _acq(["light", "temp"])
+        assert not covers(syn, user)
+        assert covers(_acq(["light", "temp"]), _acq(["light"]))
+
+    def test_predicate_coverage_needed(self):
+        syn = _acq(["light"], _light(100, 500))
+        assert covers(syn, _acq(["light"], _light(200, 400)))
+        assert not covers(syn, _acq(["light"], _light(0, 400)))
+
+    def test_epoch_divisibility_needed(self):
+        syn = _acq(["light"], epoch=4096)
+        assert covers(syn, _acq(["light"], epoch=8192))
+        assert not covers(syn, _acq(["light"], epoch=6144))
+        assert not covers(_acq(["light"], epoch=8192), _acq(["light"], epoch=4096))
+
+    def test_acquisition_covers_aggregation(self):
+        """An acquisition returning the aggregate's inputs + predicate
+        attributes covers the aggregation (the base station recomputes)."""
+        syn = _acq(["light"], epoch=4096)
+        agg = _agg(AggregateOp.MAX, "light", epoch=8192)
+        assert covers(syn, agg)
+
+    def test_acquisition_missing_predicate_attr_does_not_cover(self):
+        syn = _acq(["light"], epoch=4096)
+        agg = _agg(AggregateOp.MAX, "light",
+                   PredicateSet({"temp": Interval(0, 50)}), epoch=8192)
+        assert not covers(syn, agg)  # temp needed to re-filter at the sink
+
+    def test_aggregation_covers_same_predicates_subset(self):
+        syn = Query.aggregation(
+            [Aggregate(AggregateOp.MAX, "light"), Aggregate(AggregateOp.MIN, "light")],
+            _light(0, 600), 4096)
+        user = _agg(AggregateOp.MAX, "light", _light(0, 600), epoch=8192)
+        assert covers(syn, user)
+
+    def test_aggregation_different_predicates_no_cover(self):
+        syn = _agg(AggregateOp.MAX, "light", _light(0, 600))
+        user = _agg(AggregateOp.MAX, "light", _light(0, 500), epoch=8192)
+        assert not covers(syn, user)
+
+    def test_aggregation_never_covers_acquisition(self):
+        syn = _agg(AggregateOp.MAX, "light")
+        assert not covers(syn, _acq(["light"], epoch=8192))
+
+
+class TestMerge:
+    def test_acq_acq(self):
+        a = _acq(["light"], _light(100, 300), 4096)
+        b = _acq(["temp"], _light(280, 600), 8192)
+        plan = merge(a, b, qid=-1)
+        assert plan.kind is MergeKind.ACQ_ACQ
+        merged = plan.merged
+        assert set(merged.attributes) == {"light", "temp"}
+        assert merged.predicates.interval("light") == Interval(100, 600)
+        assert merged.epoch_ms == 4096
+
+    def test_agg_agg_same_predicates(self):
+        a = _agg(AggregateOp.MAX, "light", _light(0, 600), 4096)
+        b = _agg(AggregateOp.MIN, "light", _light(0, 600), 8192)
+        plan = merge(a, b, qid=-1)
+        assert plan.kind is MergeKind.AGG_AGG
+        assert set(plan.merged.aggregates) == {
+            Aggregate(AggregateOp.MAX, "light"), Aggregate(AggregateOp.MIN, "light")}
+        assert plan.merged.epoch_ms == 4096
+
+    def test_agg_agg_different_predicates_forbidden(self):
+        a = _agg(AggregateOp.MAX, "light", _light(0, 600))
+        b = _agg(AggregateOp.MAX, "light", _light(0, 500))
+        assert merge(a, b, qid=-1) is None
+        assert not mergeable(a, b)
+
+    def test_acq_absorbs_agg(self):
+        acq = _acq(["temp"], _light(100, 500), 4096)
+        agg = _agg(AggregateOp.MAX, "light", _light(200, 700), 8192)
+        plan = merge(acq, agg, qid=-1)
+        assert plan.kind is MergeKind.ACQ_ABSORBS_AGG
+        merged = plan.merged
+        assert merged.is_acquisition
+        assert set(merged.attributes) == {"light", "temp"}  # agg input included
+        assert merged.predicates.interval("light") == Interval(100, 700)
+
+    def test_merge_epoch_gcd_4096_6144(self):
+        a = _acq(["light"], epoch=4096)
+        b = _acq(["light"], epoch=6144)
+        assert merge(a, b, qid=-1).merged.epoch_ms == 2048
+
+    def test_merged_covers_both_inputs(self):
+        a = _acq(["light"], _light(100, 300), 4096)
+        b = _agg(AggregateOp.MAX, "temp",
+                 PredicateSet({"temp": Interval(0, 40)}), 8192)
+        merged = merge(a, b, qid=-1).merged
+        assert covers(merged, a)
+        assert covers(merged, b)
+
+
+class TestMergeAll:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_all([], qid=-1)
+
+    def test_single_query_identity_content(self):
+        q = _acq(["light"], _light(0, 500), 4096)
+        folded = merge_all([q], qid=-1)
+        assert set(folded.attributes) == set(q.requested_attributes())
+        assert folded.predicates == q.predicates
+        assert folded.epoch_ms == q.epoch_ms
+
+    def test_all_aggregations_same_predicates(self):
+        qs = [
+            _agg(AggregateOp.MAX, "light", _light(0, 600), 4096),
+            _agg(AggregateOp.MIN, "light", _light(0, 600), 8192),
+        ]
+        folded = merge_all(qs, qid=-1)
+        assert folded.is_aggregation
+        assert folded.epoch_ms == 4096
+
+    def test_all_aggregations_different_predicates_rejected(self):
+        qs = [
+            _agg(AggregateOp.MAX, "light", _light(0, 600)),
+            _agg(AggregateOp.MAX, "light", _light(0, 500)),
+        ]
+        with pytest.raises(ValueError):
+            merge_all(qs, qid=-1)
+
+    def test_mixed_folds_to_acquisition(self):
+        qs = [
+            _acq(["temp"], _light(100, 400), 4096),
+            _agg(AggregateOp.MAX, "light", _light(200, 700), 8192),
+        ]
+        folded = merge_all(qs, qid=-1)
+        assert folded.is_acquisition
+        for q in qs:
+            assert covers(folded, q)
+
+    def test_fold_is_order_independent(self):
+        qs = [
+            _acq(["light"], _light(0, 300), 4096),
+            _acq(["temp"], _light(200, 600), 8192),
+            _agg(AggregateOp.MIN, "temp", _light(100, 900), 12288),
+        ]
+        a = merge_all(qs, qid=-1)
+        b = merge_all(list(reversed(qs)), qid=-1)
+        assert set(a.attributes) == set(b.attributes)
+        assert a.predicates == b.predicates
+        assert a.epoch_ms == b.epoch_ms
+
+
+# ----------------------------------------------------------------------
+# Property-based tests: pairwise merge always yields a covering superset
+# ----------------------------------------------------------------------
+_attrs = st.sampled_from([("light",), ("temp",), ("light", "temp"), ("nodeid",)])
+_epoch = st.sampled_from([2048, 4096, 6144, 8192, 12288, 24576])
+_pred = st.one_of(
+    st.just(PredicateSet.true()),
+    st.tuples(st.floats(0, 500, allow_nan=False),
+              st.floats(0, 499, allow_nan=False)).map(
+        lambda t: PredicateSet({"light": Interval(t[0], t[0] + t[1] + 1)})),
+)
+
+
+@st.composite
+def _query(draw):
+    if draw(st.booleans()):
+        return Query.acquisition(draw(_attrs), draw(_pred), draw(_epoch))
+    op = draw(st.sampled_from([AggregateOp.MAX, AggregateOp.MIN, AggregateOp.AVG]))
+    attr = draw(st.sampled_from(["light", "temp"]))
+    return Query.aggregation([Aggregate(op, attr)], draw(_pred), draw(_epoch))
+
+
+@given(_query(), _query())
+def test_merge_result_covers_inputs(q1, q2):
+    plan = merge(q1, q2, qid=-1)
+    if plan is None:
+        assert q1.is_aggregation and q2.is_aggregation
+        assert q1.predicates != q2.predicates
+    else:
+        assert covers(plan.merged, q1)
+        assert covers(plan.merged, q2)
+
+
+@given(_query(), _query())
+def test_merge_epoch_divides_both(q1, q2):
+    plan = merge(q1, q2, qid=-1)
+    if plan is not None:
+        assert q1.epoch_ms % plan.merged.epoch_ms == 0
+        assert q2.epoch_ms % plan.merged.epoch_ms == 0
+
+
+@given(st.lists(_query(), min_size=1, max_size=6))
+def test_merge_all_covers_every_input(queries):
+    try:
+        folded = merge_all(queries, qid=-1)
+    except ValueError:
+        aggs = [q for q in queries if q.is_aggregation]
+        assert len(aggs) == len(queries)
+        assert len({q.predicates for q in aggs}) > 1
+        return
+    for q in queries:
+        assert covers(folded, q)

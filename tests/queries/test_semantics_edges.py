@@ -1,0 +1,67 @@
+"""Edge-case tests for attribute-needed computation and GroupBy validation."""
+
+import pytest
+
+from repro.queries.ast import Aggregate, AggregateOp, GroupBy, Query, \
+    QueryValidationError
+from repro.queries.predicates import Interval, PredicateSet
+from repro.queries.semantics import attributes_needed_from
+
+
+def _light(lo, hi):
+    return PredicateSet({"light": Interval(lo, hi)})
+
+
+class TestAttributesNeededFrom:
+    def test_identical_predicates_skip_predicate_attrs(self):
+        q = Query.acquisition(["nodeid"], _light(0, 500), 4096)
+        needed = attributes_needed_from(q, q.predicates)
+        assert needed == {"nodeid"}  # no re-filter -> light not needed
+
+    def test_wider_predicates_require_predicate_attrs(self):
+        q = Query.acquisition(["nodeid"], _light(0, 500), 4096)
+        needed = attributes_needed_from(q, _light(0, 900))
+        assert needed == {"nodeid", "light"}
+
+    def test_aggregate_inputs_always_needed(self):
+        q = Query.aggregation([Aggregate(AggregateOp.MAX, "temp")],
+                              _light(0, 500), 4096)
+        assert "temp" in attributes_needed_from(q, q.predicates)
+
+    def test_true_predicates_never_add_attrs(self):
+        q = Query.acquisition(["light"], PredicateSet.true(), 4096)
+        assert attributes_needed_from(q, PredicateSet.true()) == {"light"}
+
+
+class TestGroupByValidation:
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(QueryValidationError):
+            GroupBy("light", 0.0)
+
+    def test_negative_divisor_rejected(self):
+        with pytest.raises(QueryValidationError):
+            GroupBy("light", -5.0)
+
+    def test_group_by_on_acquisition_rejected(self):
+        with pytest.raises(QueryValidationError):
+            Query(qid=1, attributes=("light",), aggregates=(),
+                  predicates=PredicateSet.true(), epoch_ms=2048,
+                  group_by=(GroupBy("temp"),))
+
+    def test_duplicate_group_attributes_rejected(self):
+        with pytest.raises(QueryValidationError):
+            Query.aggregation([Aggregate(AggregateOp.MAX, "light")],
+                              epoch_ms=2048,
+                              group_by=[GroupBy("temp"), GroupBy("temp", 10)])
+
+    def test_key_of_buckets(self):
+        g = GroupBy("light", 250.0)
+        assert g.key_of(0.0) == 0
+        assert g.key_of(249.999) == 0
+        assert g.key_of(250.0) == 1
+        assert GroupBy("nodeid").key_of(7.0) == 7
+
+    def test_str_forms(self):
+        assert str(GroupBy("nodeid")) == "nodeid"
+        assert str(GroupBy("light", 250.0)) == "light / 250"
+        assert str(GroupBy("light", 2.5)) == "light / 2.5"

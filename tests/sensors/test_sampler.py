@@ -1,0 +1,56 @@
+"""Unit tests for acquisition counting (shared vs per-query sampling)."""
+
+import pytest
+
+from repro.sensors.field import SensorWorld
+from repro.sensors.sampler import Sampler
+
+
+@pytest.fixture
+def sampler(grid4):
+    return Sampler(SensorWorld.uniform(grid4, seed=1), node_id=5)
+
+
+class TestSharedAcquisition:
+    def test_counts_each_attribute_once(self, sampler):
+        sampler.acquire(["light", "temp"], 2048.0)
+        assert sampler.acquisitions == 2
+
+    def test_cache_hit_within_same_instant(self, sampler):
+        first = sampler.acquire(["light"], 2048.0)
+        second = sampler.acquire(["light"], 2048.0)
+        assert sampler.acquisitions == 1
+        assert first == second
+
+    def test_partial_overlap_only_samples_new(self, sampler):
+        sampler.acquire(["light"], 2048.0)
+        sampler.acquire(["light", "temp"], 2048.0)
+        assert sampler.acquisitions == 2
+
+    def test_new_instant_invalidates_cache(self, sampler):
+        sampler.acquire(["light"], 2048.0)
+        sampler.acquire(["light"], 4096.0)
+        assert sampler.acquisitions == 2
+
+    def test_unshared_mode_recounts(self, sampler):
+        """The TinyDB baseline acquires per query even at the same instant."""
+        sampler.acquire(["light"], 2048.0, shared=False)
+        sampler.acquire(["light"], 2048.0, shared=False)
+        assert sampler.acquisitions == 2
+
+    def test_unshared_still_returns_same_reading(self, sampler):
+        """Physical re-acquisition at the same instant reads the same world."""
+        a = sampler.acquire(["light"], 2048.0, shared=False)
+        b = sampler.acquire(["light"], 2048.0, shared=False)
+        assert a == b
+
+    def test_shared_saving_scales_with_query_count(self, grid4):
+        """5 queries sharing one acquisition cost 1 sample; unshared cost 5."""
+        world = SensorWorld.uniform(grid4, seed=2)
+        shared = Sampler(world, 3)
+        unshared = Sampler(world, 3)
+        for _ in range(5):
+            shared.acquire(["light"], 8192.0, shared=True)
+            unshared.acquire(["light"], 8192.0, shared=False)
+        assert shared.acquisitions == 1
+        assert unshared.acquisitions == 5

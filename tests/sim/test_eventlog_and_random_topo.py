@@ -1,0 +1,138 @@
+"""Tests for the structured event log, random deployments, and latency."""
+
+import pytest
+
+from repro.harness import DeploymentConfig, Strategy, run_workload
+from repro.queries import parse_query
+from repro.sim import (
+    EventLog,
+    MessageKind,
+    Simulation,
+    SimulationError,
+    Topology,
+)
+from repro.sim.node import NodeApp
+from repro.workloads import Workload
+
+
+class TestRandomTopology:
+    def test_connected_and_sized(self):
+        topo = Topology.random(30, 150.0, seed=4)
+        assert topo.size == 30
+        topo.validate()  # connectivity implied
+
+    def test_base_station_at_origin(self):
+        topo = Topology.random(10, 100.0, seed=4)
+        assert topo.positions[0] == (0.0, 0.0)
+        assert topo.base_station == 0
+
+    def test_deterministic(self):
+        a = Topology.random(20, 120.0, seed=9)
+        b = Topology.random(20, 120.0, seed=9)
+        assert a.positions == b.positions
+
+    def test_seed_varies_layout(self):
+        a = Topology.random(20, 120.0, seed=1)
+        b = Topology.random(20, 120.0, seed=2)
+        assert a.positions != b.positions
+
+    def test_impossible_density_raises(self):
+        with pytest.raises(SimulationError):
+            Topology.random(3, 5000.0, seed=1, max_attempts=5)
+
+    def test_simulation_runs_on_random_topology(self):
+        topo = Topology.random(16, 110.0, seed=6)
+        sim = Simulation(topo, seed=6)
+        sim.install(lambda node: NodeApp())
+        sim.start()
+        sim.run_for(1000.0)
+
+
+class TestEventLog:
+    def _run_with_log(self):
+        from repro.sensors import SensorWorld
+        from repro.tinydb import (RoutingTree, TinyDBBaseStationApp,
+                                  TinyDBNodeApp)
+
+        topo = Topology.grid(3)
+        world = SensorWorld.uniform(topo, seed=8)
+        tree = RoutingTree.build(topo)
+        sim = Simulation(topo, world=world, seed=8)
+        log = EventLog.attach(sim)
+        bs = TinyDBBaseStationApp(world, tree, seed=8)
+        sim.install_at(0, bs)
+        sim.install(lambda node: TinyDBNodeApp(world, tree, seed=8))
+        sim.start()
+        query = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        sim.run_until(300.0)
+        bs.inject(query)
+        sim.run_until(20_000.0)
+        return sim, log
+
+    def test_records_every_frame(self):
+        sim, log = self._run_with_log()
+        assert len(log) == sim.trace.total_transmissions()
+
+    def test_kind_filter(self):
+        sim, log = self._run_with_log()
+        query_frames = log.by_kind(MessageKind.QUERY)
+        assert len(query_frames) == sim.trace.total_transmissions(
+            [MessageKind.QUERY])
+
+    def test_node_filter_and_chronology(self):
+        sim, log = self._run_with_log()
+        times = [r.time_ms for r in log.records]
+        assert times == sorted(times)
+        for record in log.by_node(4):
+            assert record.src == 4
+
+    def test_window_filter(self):
+        _, log = self._run_with_log()
+        window = log.between(4096.0, 8192.0, kind=MessageKind.RESULT)
+        for record in window:
+            assert 4096.0 <= record.time_ms < 8192.0
+            assert record.kind == "result"
+
+    def test_retransmissions_marked(self):
+        sim, log = self._run_with_log()
+        retx = [r for r in log.records if r.retransmission]
+        assert len(retx) == sim.trace.retransmissions
+        assert len(log.originals()) == len(log) - len(retx)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        _, log = self._run_with_log()
+        path = tmp_path / "events.jsonl"
+        count = log.dump_jsonl(path)
+        assert count == len(log)
+        loaded = EventLog.load_jsonl(path)
+        assert loaded.records == log.records
+
+
+class TestResultLatency:
+    def test_latency_positive_and_bounded(self):
+        query = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        workload = Workload.static([query], duration_ms=40_000.0)
+        result = run_workload(Strategy.BASELINE, workload,
+                              DeploymentConfig(side=4, seed=2))
+        log = result.deployment.results
+        latencies = log.row_latencies(query.qid)
+        assert latencies
+        assert all(0.0 < latency < 4096.0 for latency in latencies)
+        assert log.mean_row_latency(query.qid) == pytest.approx(
+            sum(latencies) / len(latencies))
+
+    def test_deeper_origins_take_longer(self):
+        query = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        workload = Workload.static([query], duration_ms=60_000.0)
+        result = run_workload(Strategy.BASELINE, workload,
+                              DeploymentConfig(side=6, seed=2))
+        deployment = result.deployment
+        topo = deployment.topology
+        by_level = {}
+        for row in deployment.results.rows(query.qid):
+            by_level.setdefault(topo.levels[row.origin], []).append(
+                row.latency_ms)
+        shallow = sum(by_level[1]) / len(by_level[1])
+        deepest = max(by_level)
+        deep = sum(by_level[deepest]) / len(by_level[deepest])
+        assert deep > shallow

@@ -1,0 +1,137 @@
+"""Unit tests for the CSMA MAC layer."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+from repro.sim.mac import MacLayer, MacParams
+from repro.sim.messages import BROADCAST, Message, MessageKind
+from repro.sim.network import Topology
+from repro.sim.radio import Channel
+from repro.sim.trace import TraceCollector
+
+
+def _build(n=3, mac_params=None):
+    topo = Topology.from_links([(i, i + 1) for i in range(n - 1)])
+    engine = EventQueue()
+    trace = TraceCollector(engine)
+    channel = Channel(engine, topo, trace=trace)
+    received = {i: [] for i in topo.node_ids}
+    radio_on = {i: True for i in topo.node_ids}
+    for i in topo.node_ids:
+        channel.attach(i, lambda m, i=i: received[i].append(m),
+                       lambda i=i: radio_on[i])
+    drops = []
+    macs = {
+        i: MacLayer(i, engine, channel, mac_params, seed=5,
+                    on_drop=lambda m, f: drops.append((m, f)))
+        for i in topo.node_ids
+    }
+    return engine, channel, macs, received, radio_on, drops, trace
+
+
+def _msg(src, dst, payload_bytes=10):
+    return Message(kind=MessageKind.RESULT, src=src, link_dst=dst,
+                   payload=None, payload_bytes=payload_bytes)
+
+
+class TestBasicSend:
+    def test_unicast_delivered(self):
+        engine, _, macs, received, *_ = _build()
+        macs[0].enqueue(_msg(0, 1))
+        engine.run_until(1000.0)
+        assert len(received[1]) == 1
+
+    def test_broadcast_delivered_no_ack(self):
+        engine, _, macs, received, _, drops, _ = _build()
+        macs[1].enqueue(_msg(1, BROADCAST))
+        engine.run_until(1000.0)
+        assert len(received[0]) == 1 and len(received[2]) == 1
+        assert drops == []
+
+    def test_queue_drains_in_fifo_order(self):
+        engine, _, macs, received, *_ = _build()
+        first = _msg(0, 1)
+        second = _msg(0, 1)
+        macs[0].enqueue(first)
+        macs[0].enqueue(second)
+        engine.run_until(1000.0)
+        assert [m.msg_id for m in received[1]] == [first.msg_id, second.msg_id]
+
+    def test_idle_flag(self):
+        engine, _, macs, *_ = _build()
+        assert macs[0].idle
+        macs[0].enqueue(_msg(0, 1))
+        assert not macs[0].idle
+        engine.run_until(1000.0)
+        assert macs[0].idle
+
+    def test_queue_overflow_drops(self):
+        params = MacParams(queue_capacity=2)
+        engine, _, macs, _, _, drops, _ = _build(mac_params=params)
+        results = [macs[0].enqueue(_msg(0, 1)) for _ in range(5)]
+        # capacity 2 queued + 1 in flight after first dequeue; the extras fail
+        assert not all(results)
+        assert drops
+
+
+class TestRetransmission:
+    def test_sleeping_destination_retried_then_dropped(self):
+        params = MacParams(max_retries=3)
+        engine, _, macs, received, radio_on, drops, trace = _build(mac_params=params)
+        radio_on[1] = False
+        msg = _msg(0, 1)
+        macs[0].enqueue(msg)
+        engine.run_until(5000.0)
+        assert received[1] == []
+        assert msg.retransmissions == 3
+        assert len(drops) == 1
+        assert drops[0][1] == {1}
+        assert trace.node_stats(0).tx_count == 4  # original + 3 retries
+
+    def test_destination_waking_mid_retry_receives(self):
+        engine, _, macs, received, radio_on, drops, _ = _build()
+        radio_on[1] = False
+        macs[0].enqueue(_msg(0, 1))
+        engine.schedule(15.0, lambda: radio_on.__setitem__(1, True))
+        engine.run_until(5000.0)
+        assert len(received[1]) == 1
+        assert drops == []
+
+    def test_broadcast_never_retransmitted(self):
+        engine, _, macs, _, radio_on, drops, trace = _build()
+        radio_on[0] = False
+        radio_on[2] = False
+        macs[1].enqueue(_msg(1, BROADCAST))
+        engine.run_until(1000.0)
+        assert trace.node_stats(1).tx_count == 1
+        assert drops == []
+
+    def test_multicast_requires_all_destinations(self):
+        engine, _, macs, received, radio_on, drops, _ = _build()
+        radio_on[2] = False
+        macs[1].enqueue(_msg(1, frozenset((0, 2))))
+        engine.run_until(5000.0)
+        assert len(received[0]) >= 1  # 0 got it (possibly multiple copies)
+        assert (_m := drops) and drops[0][1] == {2}
+
+
+class TestCarrierSensing:
+    def test_second_sender_defers_until_channel_clear(self):
+        engine, channel, macs, received, *_ = _build()
+        macs[0].enqueue(_msg(0, 1, payload_bytes=200))
+        macs[2].enqueue(_msg(2, 1, payload_bytes=200))
+        engine.run_until(5000.0)
+        # With carrier sensing both eventually get through despite sharing
+        # receiver 1... 0 and 2 are hidden from each other, so collisions
+        # can happen but retries recover.
+        assert len(received[1]) == 2
+
+    def test_enable_false_holds_queue(self):
+        engine, _, macs, received, *_ = _build()
+        macs[0].set_enabled(False)
+        macs[0].enqueue(_msg(0, 1))
+        engine.run_until(1000.0)
+        assert received[1] == []
+        macs[0].set_enabled(True)
+        engine.run_until(2000.0)
+        assert len(received[1]) == 1

@@ -1,0 +1,182 @@
+"""Unit tests for the radio channel: airtime, delivery, collisions."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+from repro.sim.messages import BROADCAST, Message, MessageKind
+from repro.sim.network import Topology
+from repro.sim.radio import Channel, RadioParams
+from repro.sim.trace import TraceCollector
+
+
+def _line_topology(n=4):
+    """0 - 1 - 2 - 3 ... consecutive nodes in range of each other only."""
+    return Topology.from_links([(i, i + 1) for i in range(n - 1)])
+
+
+class _Harness:
+    def __init__(self, topology, params=None):
+        self.engine = EventQueue()
+        self.trace = TraceCollector(self.engine)
+        self.channel = Channel(self.engine, topology, params, self.trace)
+        self.received = {n: [] for n in topology.node_ids}
+        self.radio_on = {n: True for n in topology.node_ids}
+        for n in topology.node_ids:
+            self.channel.attach(
+                n,
+                lambda msg, n=n: self.received[n].append(msg),
+                lambda n=n: self.radio_on[n],
+            )
+        self.reports = []
+
+    def send(self, src, link_dst=BROADCAST, payload_bytes=10,
+             kind=MessageKind.RESULT):
+        msg = Message(kind=kind, src=src, link_dst=link_dst, payload=None,
+                      payload_bytes=payload_bytes)
+        self.channel.transmit(src, msg, self.reports.append)
+        return msg
+
+
+class TestRadioParams:
+    def test_airtime_formula(self):
+        params = RadioParams(data_rate_bytes_per_ms=4.8, startup_ms=2.0)
+        assert params.airtime_ms(48) == pytest.approx(2.0 + 48 / 4.8)
+
+    def test_c_trans_is_reciprocal_of_rate(self):
+        params = RadioParams(data_rate_bytes_per_ms=4.0)
+        assert params.c_trans == 0.25
+
+    def test_longer_frames_take_longer(self):
+        params = RadioParams()
+        assert params.airtime_ms(100) > params.airtime_ms(10)
+
+
+class TestDelivery:
+    def test_broadcast_reaches_all_in_range_only(self):
+        h = _Harness(_line_topology(4))
+        h.send(1)
+        h.engine.run_until(100.0)
+        assert len(h.received[0]) == 1
+        assert len(h.received[2]) == 1
+        assert len(h.received[3]) == 0  # out of range
+
+    def test_delivery_happens_at_end_of_airtime(self):
+        h = _Harness(_line_topology(2))
+        h.send(0, payload_bytes=41)  # 48B frame -> 2 + 10 = 12 ms
+        h.engine.run_until(11.9)
+        assert h.received[1] == []
+        h.engine.run_until(12.1)
+        assert len(h.received[1]) == 1
+
+    def test_unicast_report_tracks_destination(self):
+        h = _Harness(_line_topology(3))
+        h.send(0, link_dst=1)
+        h.engine.run_until(100.0)
+        (report,) = h.reports
+        assert 1 in report.received
+        assert not report.failed_destinations
+
+    def test_sleeping_receiver_misses_frame(self):
+        h = _Harness(_line_topology(3))
+        h.radio_on[1] = False
+        h.send(0, link_dst=1)
+        h.engine.run_until(100.0)
+        (report,) = h.reports
+        assert report.failed_destinations == {1}
+        assert h.received[1] == []
+
+    def test_sender_cannot_double_transmit(self):
+        h = _Harness(_line_topology(2))
+        h.send(0)
+        with pytest.raises(RuntimeError):
+            h.send(0)
+
+    def test_sequential_transmissions_both_arrive(self):
+        h = _Harness(_line_topology(2))
+        h.send(0)
+        h.engine.run_until(50.0)
+        h.send(0)
+        h.engine.run_until(100.0)
+        assert len(h.received[1]) == 2
+
+
+class TestCollisions:
+    def test_overlapping_in_range_transmissions_collide(self):
+        # 0 and 2 both reach 1; simultaneous sends garble both at 1.
+        h = _Harness(_line_topology(3))
+        h.send(0)
+        h.send(2)
+        h.engine.run_until(100.0)
+        assert h.received[1] == []
+        assert h.trace.collisions >= 1
+
+    def test_hidden_terminal_collision(self):
+        # 0-1-2: 0 and 2 cannot hear each other but both reach 1.
+        h = _Harness(_line_topology(3))
+        h.send(0, link_dst=1)
+        h.send(2, link_dst=1)
+        h.engine.run_until(100.0)
+        failed = set()
+        for report in h.reports:
+            failed |= report.failed_destinations
+        assert 1 in failed
+
+    def test_non_overlapping_frames_do_not_collide(self):
+        h = _Harness(_line_topology(3))
+        h.send(0)
+        h.engine.run_until(50.0)
+        h.send(2)
+        h.engine.run_until(100.0)
+        assert len(h.received[1]) == 2
+
+    def test_out_of_range_concurrent_transmissions_ok(self):
+        # 0-1-2-3: 0->1 and 3->2 overlap but interferers are out of range.
+        h = _Harness(_line_topology(4))
+        h.send(0, link_dst=1)
+        h.send(3, link_dst=2)
+        h.engine.run_until(100.0)
+        assert len(h.received[1]) == 1
+        assert len(h.received[2]) == 1
+
+    def test_half_duplex_receiver_misses_while_transmitting(self):
+        h = _Harness(_line_topology(2))
+        h.send(0, link_dst=1)
+        h.send(1, link_dst=0)  # 1 is transmitting, misses 0's frame
+        h.engine.run_until(100.0)
+        assert h.received[1] == []
+        assert h.received[0] == []  # 0 was transmitting too
+
+
+class TestCarrierSense:
+    def test_busy_while_in_range_neighbor_transmits(self):
+        h = _Harness(_line_topology(3))
+        h.send(1)
+        assert h.channel.is_busy_at(0)
+        assert h.channel.is_busy_at(2)
+
+    def test_not_busy_out_of_range(self):
+        h = _Harness(_line_topology(4))
+        h.send(0)
+        assert not h.channel.is_busy_at(3)
+
+    def test_clear_after_transmission_ends(self):
+        h = _Harness(_line_topology(2))
+        h.send(0)
+        h.engine.run_until(100.0)
+        assert not h.channel.is_busy_at(1)
+
+    def test_own_transmission_is_busy(self):
+        h = _Harness(_line_topology(2))
+        h.send(0)
+        assert h.channel.is_busy_at(0)
+
+
+class TestTraceAccounting:
+    def test_tx_time_recorded_for_sender(self):
+        h = _Harness(_line_topology(2))
+        msg = h.send(0, payload_bytes=41)
+        h.engine.run_until(100.0)
+        stats = h.trace.node_stats(0)
+        assert stats.tx_busy_ms == pytest.approx(2.0 + 48 / 4.8)
+        assert stats.tx_count == 1
+        assert stats.tx_bytes == msg.length_bytes

@@ -1,0 +1,141 @@
+"""Unit + property tests for in-network aggregation operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.queries.ast import Aggregate, AggregateOp
+from repro.tinydb.aggregation import (
+    PartialAggregate,
+    compute_aggregates,
+    merge_partial_maps,
+    partials_from_row,
+)
+
+
+def _partial(op, value, count=1):
+    return PartialAggregate(op, "light", value, count)
+
+
+class TestOperators:
+    def test_max(self):
+        merged = _partial(AggregateOp.MAX, 5.0).merge(_partial(AggregateOp.MAX, 9.0))
+        assert merged.finalize() == 9.0
+
+    def test_min(self):
+        merged = _partial(AggregateOp.MIN, 5.0).merge(_partial(AggregateOp.MIN, 9.0))
+        assert merged.finalize() == 5.0
+
+    def test_sum(self):
+        merged = _partial(AggregateOp.SUM, 5.0).merge(_partial(AggregateOp.SUM, 9.0))
+        assert merged.finalize() == 14.0
+
+    def test_count(self):
+        a = PartialAggregate.from_reading(Aggregate(AggregateOp.COUNT, "light"), 5.0)
+        b = PartialAggregate.from_reading(Aggregate(AggregateOp.COUNT, "light"), 9.0)
+        assert a.merge(b).finalize() == 2.0
+
+    def test_avg(self):
+        a = PartialAggregate.from_reading(Aggregate(AggregateOp.AVG, "light"), 4.0)
+        b = PartialAggregate.from_reading(Aggregate(AggregateOp.AVG, "light"), 8.0)
+        c = PartialAggregate.from_reading(Aggregate(AggregateOp.AVG, "light"), 9.0)
+        assert a.merge(b).merge(c).finalize() == pytest.approx(7.0)
+
+    def test_mismatched_merge_rejected(self):
+        with pytest.raises(ValueError):
+            _partial(AggregateOp.MAX, 1.0).merge(_partial(AggregateOp.MIN, 2.0))
+        with pytest.raises(ValueError):
+            _partial(AggregateOp.MAX, 1.0).merge(
+                PartialAggregate(AggregateOp.MAX, "temp", 2.0, 1))
+
+    def test_avg_empty_count_safe(self):
+        assert PartialAggregate(AggregateOp.AVG, "x", 0.0, 0).finalize() == 0.0
+
+
+class TestPartialsFromRow:
+    def test_builds_one_partial_per_aggregate(self):
+        aggs = [Aggregate(AggregateOp.MAX, "light"), Aggregate(AggregateOp.MIN, "temp")]
+        partials = partials_from_row(aggs, {"light": 10.0, "temp": 20.0})
+        assert len(partials) == 2
+        assert partials[(AggregateOp.MAX, "light")].value == 10.0
+
+    def test_missing_attribute_skipped(self):
+        aggs = [Aggregate(AggregateOp.MAX, "light")]
+        assert partials_from_row(aggs, {"temp": 20.0}) == {}
+
+
+class TestMergeMaps:
+    def test_union_of_keys(self):
+        a = {(AggregateOp.MAX, "light"): _partial(AggregateOp.MAX, 5.0)}
+        b = {(AggregateOp.MIN, "light"): _partial(AggregateOp.MIN, 3.0)}
+        merged = merge_partial_maps(a, b)
+        assert len(merged) == 2
+
+    def test_shared_keys_merge(self):
+        a = {(AggregateOp.MAX, "light"): _partial(AggregateOp.MAX, 5.0)}
+        b = {(AggregateOp.MAX, "light"): _partial(AggregateOp.MAX, 9.0)}
+        merged = merge_partial_maps(a, b)
+        assert merged[(AggregateOp.MAX, "light")].finalize() == 9.0
+
+    def test_inputs_not_mutated(self):
+        a = {(AggregateOp.MAX, "light"): _partial(AggregateOp.MAX, 5.0)}
+        merge_partial_maps(a, a)
+        assert a[(AggregateOp.MAX, "light")].value == 5.0
+
+
+class TestComputeAggregates:
+    def test_reference_evaluation(self):
+        aggs = [Aggregate(AggregateOp.MAX, "light"),
+                Aggregate(AggregateOp.AVG, "light"),
+                Aggregate(AggregateOp.COUNT, "light")]
+        rows = [{"light": 1.0}, {"light": 5.0}, {"light": 3.0}]
+        out = compute_aggregates(aggs, rows)
+        assert out[aggs[0]] == 5.0
+        assert out[aggs[1]] == pytest.approx(3.0)
+        assert out[aggs[2]] == 3.0
+
+    def test_no_rows_gives_none(self):
+        aggs = [Aggregate(AggregateOp.MAX, "light")]
+        assert compute_aggregates(aggs, [])[aggs[0]] is None
+
+
+# ----------------------------------------------------------------------
+# Property-based: partial aggregation must equal centralised aggregation
+# regardless of how the readings are partitioned or ordered.
+# ----------------------------------------------------------------------
+_ops = st.sampled_from(list(AggregateOp))
+_readings = st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=20)
+
+
+@given(_ops, _readings, st.integers(1, 5))
+def test_partial_aggregation_matches_centralised(op, readings, n_parts):
+    aggregate = Aggregate(op, "light")
+    # centralised ground truth
+    truth = compute_aggregates([aggregate], [{"light": v} for v in readings])
+    # partitioned in-network style merge
+    parts = [readings[i::n_parts] for i in range(n_parts)]
+    partials = []
+    for part in parts:
+        state = None
+        for value in part:
+            p = PartialAggregate.from_reading(aggregate, value)
+            state = p if state is None else state.merge(p)
+        if state is not None:
+            partials.append(state)
+    combined = partials[0]
+    for p in partials[1:]:
+        combined = combined.merge(p)
+    assert combined.finalize() == pytest.approx(truth[aggregate])
+
+
+@given(_ops, _readings)
+def test_merge_is_commutative(op, readings):
+    aggregate = Aggregate(op, "light")
+    partials = [PartialAggregate.from_reading(aggregate, v) for v in readings]
+    forward = partials[0]
+    for p in partials[1:]:
+        forward = forward.merge(p)
+    backward = partials[-1]
+    for p in reversed(partials[:-1]):
+        backward = backward.merge(p)
+    assert forward.finalize() == pytest.approx(backward.finalize())
+    assert forward.count == backward.count

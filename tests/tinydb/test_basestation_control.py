@@ -1,0 +1,149 @@
+"""Unit tests for base-station control behaviour: flood pacing, refresh,
+reactive re-abort, and the TTMQO deferral."""
+
+import pytest
+
+from repro.core.innetwork import TTMQOBaseStationApp, TTMQONodeApp
+from repro.queries import parse_query
+from repro.sensors import SensorWorld
+from repro.sim import MessageKind, Simulation, Topology
+from repro.tinydb import (
+    RoutingTree,
+    TinyDBBaseStationApp,
+    TinyDBNodeApp,
+    TinyDBParams,
+)
+
+
+def _deploy(grid_side=3, params=None, seed=6, ttmqo=False):
+    topo = Topology.grid(grid_side)
+    world = SensorWorld.uniform(topo, seed=seed)
+    tree = RoutingTree.build(topo)
+    sim = Simulation(topo, world=world, seed=seed)
+    if ttmqo:
+        bs = TTMQOBaseStationApp(world, tree, params, seed=seed)
+        sim.install_at(0, bs)
+        sim.install(lambda node: TTMQONodeApp(world, seed=seed))
+    else:
+        bs = TinyDBBaseStationApp(world, tree, params, seed=seed)
+        sim.install_at(0, bs)
+        sim.install(lambda node: TinyDBNodeApp(world, tree, params, seed=seed))
+    sim.start()
+    return sim, bs
+
+
+class TestControlFloodPacing:
+    def test_burst_of_injections_is_spaced(self):
+        sim, bs = _deploy()
+        queries = [parse_query(f"SELECT light FROM sensors WHERE light > "
+                               f"{100 + i} EPOCH DURATION 4096")
+                   for i in range(4)]
+        sim.run_until(100.0)
+        bs_times = []
+        original = bs.node.broadcast
+
+        def spy(kind, payload, nbytes):
+            if kind is MessageKind.QUERY:
+                bs_times.append(sim.now)
+            return original(kind, payload, nbytes)
+
+        bs.node.broadcast = spy
+        for q in queries:
+            bs.inject(q)
+        sim.run_until(5_000.0)
+        gaps = [b - a for a, b in zip(bs_times, bs_times[1:])]
+        assert len(bs_times) == 4
+        # slots are 250 ms apart; each flood adds up to 150 ms jitter, so
+        # consecutive floods are at least ~100 ms apart and ~250 on average
+        assert all(gap >= 95.0 for gap in gaps)
+        assert sum(gaps) / len(gaps) >= 180.0
+
+    def test_duplicate_injection_rejected(self):
+        sim, bs = _deploy()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        bs.inject(q)
+        with pytest.raises(ValueError):
+            bs.inject(q)
+
+    def test_abort_of_unknown_query_rejected(self):
+        sim, bs = _deploy()
+        with pytest.raises(ValueError):
+            bs.abort(31337)
+
+    def test_double_abort_is_idempotent(self):
+        sim, bs = _deploy()
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        bs.inject(q)
+        sim.run_until(2_000.0)
+        bs.abort(q.qid)
+        bs.abort(q.qid)  # no error, no second flood scheduled
+        sim.run_until(4_000.0)
+
+
+class TestQueryRefresh:
+    def test_refresh_bumps_generation(self):
+        params = TinyDBParams(query_refresh_ms=5_000.0)
+        sim, bs = _deploy(params=params)
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        sim.run_until(100.0)
+        bs.inject(q)
+        sim.run_until(12_000.0)  # two refresh periods
+        assert bs._generations.get(q.qid, 0) >= 2
+        # query frames: initial flood + refreshes, each re-propagated
+        frames = sim.trace.total_transmissions([MessageKind.QUERY])
+        assert frames >= 3 * 5  # at least three disseminations over 9 nodes
+
+    def test_refresh_disabled(self):
+        params = TinyDBParams(query_refresh_ms=0.0)
+        sim, bs = _deploy(params=params)
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        sim.run_until(100.0)
+        bs.inject(q)
+        sim.run_until(60_000.0)
+        assert bs._generations.get(q.qid, 0) == 0
+
+    def test_aborted_queries_not_refreshed(self):
+        params = TinyDBParams(query_refresh_ms=5_000.0)
+        sim, bs = _deploy(params=params)
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        sim.run_until(100.0)
+        bs.inject(q)
+        sim.run_until(2_000.0)
+        bs.abort(q.qid)
+        generation_at_abort = bs._generations.get(q.qid, 0)
+        sim.run_until(30_000.0)
+        assert bs._generations.get(q.qid, 0) == generation_at_abort
+
+
+class TestTTMQODeferral:
+    def test_first_injection_immediate(self):
+        sim, bs = _deploy(ttmqo=True)
+        q = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        sim.run_until(777.0)
+        bs.inject(q)
+        assert q.qid in bs._flooded  # flooded right away (nothing sleeps yet)
+
+    def test_subsequent_injection_deferred_to_boundary(self):
+        sim, bs = _deploy(ttmqo=True)
+        q1 = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        q2 = parse_query("SELECT temp FROM sensors EPOCH DURATION 4096")
+        sim.run_until(500.0)
+        bs.inject(q1)
+        sim.run_until(5_000.0)  # mid-epoch
+        bs.inject(q2)
+        assert q2.qid not in bs._flooded  # waiting for the 8192 boundary
+        sim.run_until(8_300.0)
+        assert q2.qid in bs._flooded
+
+    def test_deferred_then_aborted_query_never_floods(self):
+        sim, bs = _deploy(ttmqo=True)
+        q1 = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
+        q2 = parse_query("SELECT temp FROM sensors EPOCH DURATION 4096")
+        sim.run_until(500.0)
+        bs.inject(q1)
+        sim.run_until(5_000.0)
+        bs.inject(q2)
+        bs.abort(q2.qid)
+        sim.run_until(20_000.0)
+        assert q2.qid not in bs._flooded
+        assert bs.results.rows(q2.qid) == []

@@ -1,0 +1,88 @@
+"""Unit tests for the base-station result log."""
+
+import pytest
+
+from repro.queries.ast import Aggregate, AggregateOp
+from repro.tinydb.aggregation import PartialAggregate
+from repro.tinydb.results import ResultLog
+
+
+@pytest.fixture
+def log():
+    return ResultLog()
+
+
+class TestRows:
+    def test_add_and_read(self, log):
+        log.add_row(1, 4096.0, 5, {"light": 10.0})
+        rows = log.rows(1)
+        assert len(rows) == 1
+        assert rows[0].origin == 5
+        assert rows[0].values == {"light": 10.0}
+
+    def test_duplicate_origin_epoch_dropped(self, log):
+        """Multicast may deliver the same row along two DAG branches."""
+        log.add_row(1, 4096.0, 5, {"light": 10.0})
+        log.add_row(1, 4096.0, 5, {"light": 10.0})
+        assert len(log.rows(1)) == 1
+
+    def test_same_origin_different_epochs_kept(self, log):
+        log.add_row(1, 4096.0, 5, {"light": 10.0})
+        log.add_row(1, 8192.0, 5, {"light": 12.0})
+        assert len(log.rows(1)) == 2
+
+    def test_epoch_filter(self, log):
+        log.add_row(1, 4096.0, 5, {"light": 10.0})
+        log.add_row(1, 8192.0, 6, {"light": 12.0})
+        assert [r.origin for r in log.rows(1, 8192.0)] == [6]
+
+    def test_row_epochs_sorted(self, log):
+        log.add_row(1, 8192.0, 5, {})
+        log.add_row(1, 4096.0, 6, {})
+        assert log.row_epochs(1) == [4096.0, 8192.0]
+
+    def test_unknown_query_empty(self, log):
+        assert log.rows(99) == []
+
+
+class TestAggregates:
+    MAX_LIGHT = Aggregate(AggregateOp.MAX, "light")
+
+    def _partial(self, value):
+        return PartialAggregate(AggregateOp.MAX, "light", value, 1)
+
+    def test_partials_merge_across_messages(self, log):
+        log.add_partials(2, 4096.0, [self._partial(5.0)])
+        log.add_partials(2, 4096.0, [self._partial(9.0)])
+        assert log.aggregate(2, 4096.0, self.MAX_LIGHT) == 9.0
+
+    def test_epochs_tracked_once(self, log):
+        log.add_partials(2, 4096.0, [self._partial(5.0)])
+        log.add_partials(2, 4096.0, [self._partial(9.0)])
+        log.add_partials(2, 8192.0, [self._partial(1.0)])
+        assert log.aggregate_epochs(2) == [4096.0, 8192.0]
+
+    def test_missing_aggregate_none(self, log):
+        log.add_partials(2, 4096.0, [self._partial(5.0)])
+        assert log.aggregate(2, 4096.0, Aggregate(AggregateOp.MIN, "light")) is None
+        assert log.aggregate(2, 9999.0, self.MAX_LIGHT) is None
+
+    def test_raw_partial_map_copy(self, log):
+        log.add_partials(2, 4096.0, [self._partial(5.0)])
+        snapshot = log.aggregates(2, 4096.0)
+        snapshot.clear()
+        assert log.aggregate(2, 4096.0, self.MAX_LIGHT) == 5.0
+
+
+class TestInventory:
+    def test_queries_seen(self, log):
+        log.add_row(1, 4096.0, 5, {})
+        log.add_partials(7, 4096.0,
+                         [PartialAggregate(AggregateOp.MAX, "light", 1.0, 1)])
+        assert log.queries_seen() == [1, 7]
+
+    def test_total_rows(self, log):
+        log.add_row(1, 4096.0, 5, {})
+        log.add_row(1, 8192.0, 5, {})
+        log.add_row(2, 4096.0, 6, {})
+        assert log.total_rows() == 3

@@ -1,0 +1,77 @@
+"""Unit tests for the fixed link-quality routing tree."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.network import Topology
+from repro.tinydb.routing_tree import RoutingTree
+
+
+class TestBuild:
+    def test_every_sensor_has_a_parent(self, grid8):
+        tree = RoutingTree.build(grid8)
+        for node in grid8.node_ids:
+            if node != 0:
+                assert node in tree.parent
+        assert 0 not in tree.parent
+
+    def test_parent_is_one_level_up(self, grid8):
+        tree = RoutingTree.build(grid8)
+        for node, parent in tree.parent.items():
+            assert grid8.levels[parent] == grid8.levels[node] - 1
+
+    def test_parent_is_best_quality_upper(self, grid8):
+        tree = RoutingTree.build(grid8)
+        for node, parent in tree.parent.items():
+            best = grid8.upper_neighbors(node)[0]
+            assert parent == best
+
+    def test_children_inverse_of_parent(self, grid4):
+        tree = RoutingTree.build(grid4)
+        for node, parent in tree.parent.items():
+            assert node in tree.children[parent]
+
+    def test_deterministic(self, grid8):
+        assert RoutingTree.build(grid8).parent == RoutingTree.build(grid8).parent
+
+
+class TestPaths:
+    def test_path_reaches_root(self, grid8):
+        tree = RoutingTree.build(grid8)
+        path = tree.path_to_root(63)
+        assert path[0] == 63 and path[-1] == 0
+        # path hops descend exactly one level at a time
+        for a, b in zip(path, path[1:]):
+            assert grid8.levels[b] == grid8.levels[a] - 1
+
+    def test_hops_to_root_equals_level(self, grid8):
+        tree = RoutingTree.build(grid8)
+        for node in grid8.node_ids:
+            assert tree.hops_to_root(node) == grid8.levels[node]
+
+    def test_root_path_is_trivial(self, grid4):
+        tree = RoutingTree.build(grid4)
+        assert tree.path_to_root(0) == [0]
+
+    def test_subtree_partition(self, grid8):
+        """Children subtrees of the root partition all sensors."""
+        tree = RoutingTree.build(grid8)
+        covered = set()
+        for child in tree.children[0]:
+            sub = set(tree.subtree(child)) | {child}
+            assert not (covered & sub)
+            covered |= sub
+        assert covered == set(grid8.node_ids) - {0}
+
+    def test_max_depth(self, grid4):
+        assert RoutingTree.build(grid4).max_depth == grid4.max_depth
+
+
+class TestDegenerate:
+    def test_isolated_node_rejected(self):
+        # a node present but unreachable cannot appear (Topology validates),
+        # so simulate by removing the only upper link from a custom topology
+        topo = Topology.from_links([(0, 1), (1, 2)])
+        topo.levels[2] = 5  # corrupt: no neighbour at level 4
+        with pytest.raises(SimulationError):
+            RoutingTree.build(topo)

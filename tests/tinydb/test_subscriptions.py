@@ -1,0 +1,77 @@
+"""Tests for live result subscriptions."""
+
+import pytest
+
+from repro.harness import DeploymentConfig, Strategy
+from repro.harness.strategies import Deployment
+from repro.queries import parse_query
+from repro.queries.ast import AggregateOp
+from repro.tinydb.aggregation import PartialAggregate
+from repro.tinydb.results import ResultLog
+
+
+class TestUnitSubscriptions:
+    def test_row_callbacks_fire_once_per_new_row(self):
+        log = ResultLog()
+        seen = []
+        log.subscribe_rows(1, seen.append)
+        log.add_row(1, 4096.0, 5, {"light": 1.0})
+        log.add_row(1, 4096.0, 5, {"light": 1.0})  # duplicate: no callback
+        log.add_row(1, 8192.0, 5, {"light": 2.0})
+        log.add_row(2, 4096.0, 5, {"light": 3.0})  # other query: no callback
+        assert [(r.epoch_time, r.origin) for r in seen] == [
+            (4096.0, 5), (8192.0, 5)]
+
+    def test_aggregate_callbacks_see_merged_state(self):
+        log = ResultLog()
+        states = []
+        log.subscribe_aggregates(7, lambda t, key, partials:
+                                 states.append((t, key, dict(partials))))
+        p1 = PartialAggregate(AggregateOp.MAX, "light", 5.0, 1)
+        p2 = PartialAggregate(AggregateOp.MAX, "light", 9.0, 1)
+        log.add_partials(7, 4096.0, [p1])
+        log.add_partials(7, 4096.0, [p2])
+        assert len(states) == 2
+        # the second callback sees the merged (refined) state
+        final = states[-1][2][(AggregateOp.MAX, "light")]
+        assert final.finalize() == 9.0
+
+    def test_unsubscribe(self):
+        log = ResultLog()
+        seen = []
+        log.subscribe_rows(1, seen.append)
+        log.unsubscribe(1)
+        log.add_row(1, 4096.0, 5, {})
+        assert seen == []
+
+    def test_multiple_subscribers(self):
+        log = ResultLog()
+        a, b = [], []
+        log.subscribe_rows(1, a.append)
+        log.subscribe_rows(1, b.append)
+        log.add_row(1, 4096.0, 5, {})
+        assert len(a) == len(b) == 1
+
+
+class TestLiveSubscriptionEndToEnd:
+    def test_alarm_rule_fires_during_simulation(self):
+        """A subscriber acting as an alarm rule sees rows in virtual-time
+        order, while the simulation is still running."""
+        deployment = Deployment(Strategy.BASELINE,
+                                DeploymentConfig(side=4, seed=3))
+        sim = deployment.sim
+        sim.start()
+        query = parse_query("SELECT light FROM sensors WHERE light > 900 "
+                            "EPOCH DURATION 4096")
+        alarms = []
+        sim.engine.schedule_at(300.0, deployment.register, query)
+        deployment.results.subscribe_rows(
+            query.qid,
+            lambda row: alarms.append((sim.now, row.origin,
+                                       row.values["light"])))
+        sim.run_until(60_000.0)
+        assert alarms
+        times = [t for t, _, _ in alarms]
+        assert times == sorted(times)
+        for _, _, light in alarms:
+            assert light > 900

@@ -1,0 +1,55 @@
+"""Unit tests for the adaptive (Poisson) workload construction."""
+
+import pytest
+
+from repro.workloads.arrivals import dynamic_workload
+from repro.workloads.generator import QueryModel
+from repro.workloads.spec import EventKind
+
+
+class TestDynamicWorkload:
+    def test_query_count(self):
+        wl = dynamic_workload(QueryModel(), 16, n_queries=100, seed=1)
+        assert wl.arrival_count() == 100
+        departs = sum(1 for e in wl.events if e.kind is EventKind.DEPART)
+        assert departs == 100
+
+    def test_every_arrival_has_matching_departure(self):
+        wl = dynamic_workload(QueryModel(), 16, n_queries=50, seed=2)
+        arrived, departed = {}, {}
+        for event in wl.events:
+            target = arrived if event.kind is EventKind.ARRIVE else departed
+            target[event.query.qid] = event.time_ms
+        assert set(arrived) == set(departed)
+        for qid in arrived:
+            assert departed[qid] > arrived[qid]
+
+    def test_mean_interarrival_near_40s(self):
+        wl = dynamic_workload(QueryModel(), 16, n_queries=500, seed=3)
+        arrivals = sorted(e.time_ms for e in wl.events
+                          if e.kind is EventKind.ARRIVE)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(40_000.0, rel=0.15)
+
+    @pytest.mark.parametrize("target", [8, 24, 48])
+    def test_average_concurrency_near_target(self, target):
+        wl = dynamic_workload(QueryModel(), 16, n_queries=500,
+                              concurrency=target, seed=4)
+        assert wl.average_concurrency() == pytest.approx(target, rel=0.35)
+
+    def test_horizon_covers_last_departure(self):
+        wl = dynamic_workload(QueryModel(), 16, n_queries=50, seed=5)
+        assert wl.duration_ms >= max(e.time_ms for e in wl.events)
+
+    def test_deterministic(self):
+        a = dynamic_workload(QueryModel(), 16, n_queries=50, seed=6)
+        b = dynamic_workload(QueryModel(), 16, n_queries=50, seed=6)
+        assert [(e.time_ms, e.kind) for e in a.events] == \
+            [(e.time_ms, e.kind) for e in b.events]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            dynamic_workload(QueryModel(), 16, n_queries=0)
+        with pytest.raises(ValueError):
+            dynamic_workload(QueryModel(), 16, concurrency=0)

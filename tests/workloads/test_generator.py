@@ -1,0 +1,100 @@
+"""Unit tests for the Section 4.3 random query model."""
+
+import pytest
+
+from repro.queries.ast import AggregateOp
+from repro.workloads.generator import (
+    EPOCH_CHOICES_MS,
+    QueryGenerator,
+    QueryModel,
+    fig4_query_model,
+    fig5_queries,
+)
+
+
+class TestQueryModelValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            QueryModel(aggregation_fraction=1.5)
+
+    def test_bad_selectivity(self):
+        with pytest.raises(ValueError):
+            QueryModel(selectivity=0.0)
+        with pytest.raises(ValueError):
+            QueryModel(selectivity=1.5)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = QueryGenerator(QueryModel(), 16, seed=3).batch(20)
+        b = QueryGenerator(QueryModel(), 16, seed=3).batch(20)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_epochs_from_paper_menu(self):
+        queries = QueryGenerator(QueryModel(), 16, seed=1).batch(100)
+        assert {q.epoch_ms for q in queries} <= set(EPOCH_CHOICES_MS)
+        for epoch in EPOCH_CHOICES_MS:
+            assert epoch % 4096 == 0
+
+    def test_composition_fraction(self):
+        model = QueryModel(aggregation_fraction=0.5)
+        queries = QueryGenerator(model, 16, seed=2).batch(400)
+        aggs = sum(1 for q in queries if q.is_aggregation)
+        assert 140 <= aggs <= 260
+
+    def test_pure_acquisition_model(self):
+        model = QueryModel(aggregation_fraction=0.0)
+        queries = QueryGenerator(model, 16, seed=2).batch(50)
+        assert all(q.is_acquisition for q in queries)
+
+    def test_aggregations_use_allowed_ops(self):
+        model = QueryModel(aggregation_fraction=1.0)
+        queries = QueryGenerator(model, 16, seed=2).batch(50)
+        for q in queries:
+            assert q.aggregates[0].op in (AggregateOp.MAX, AggregateOp.MIN)
+            assert q.aggregates[0].attribute in ("light", "temp")
+
+    def test_fixed_selectivity_width(self):
+        model = QueryModel(selectivity=0.6)
+        queries = QueryGenerator(model, 16, seed=4).batch(50)
+        for q in queries:
+            (attr, lo, hi), = q.predicates.to_triples()
+            span = {"nodeid": 15.0, "light": 1000.0, "temp": 100.0}[attr]
+            assert (hi - lo) / span == pytest.approx(0.6, abs=0.01)
+
+    def test_no_predicates_mode(self):
+        model = QueryModel(predicate_attrs=0)
+        queries = QueryGenerator(model, 16, seed=4).batch(10)
+        assert all(q.predicates.is_true() for q in queries)
+
+    def test_predicates_within_attribute_range(self):
+        queries = QueryGenerator(QueryModel(), 16, seed=5).batch(200)
+        for q in queries:
+            for attr, lo, hi in q.predicates.to_triples():
+                span = {"nodeid": (0, 15), "light": (0, 1000),
+                        "temp": (0, 100)}[attr]
+                assert span[0] - 0.01 <= lo <= hi <= span[1] + 0.01
+
+
+class TestFig5Queries:
+    def test_composition_exact(self):
+        queries = fig5_queries(0.5, 0.6, 16, n_queries=8)
+        assert sum(1 for q in queries if q.is_aggregation) == 4
+
+    def test_acquisitions_retrieve_all_attributes(self):
+        queries = fig5_queries(0.0, 0.6, 16)
+        for q in queries:
+            assert set(q.attributes) == {"nodeid", "light", "temp"}
+
+    def test_aggregations_are_max_light(self):
+        queries = fig5_queries(1.0, 0.6, 16)
+        for q in queries:
+            assert str(q.aggregates[0]) == "MAX(light)"
+
+    def test_same_epoch(self):
+        assert {q.epoch_ms for q in fig5_queries(0.5, 0.6, 16)} == {8192}
+
+    def test_fig4_model_is_section43(self):
+        model = fig4_query_model()
+        assert model.epochs_ms == EPOCH_CHOICES_MS
+        assert model.attributes == ("nodeid", "light", "temp")

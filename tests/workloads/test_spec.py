@@ -1,0 +1,58 @@
+"""Unit tests for workload representation."""
+
+import pytest
+
+from repro.queries.ast import Query
+from repro.workloads.spec import EventKind, Workload, WorkloadEvent
+
+
+def _q(epoch=4096):
+    return Query.acquisition(["light"], epoch_ms=epoch)
+
+
+class TestStaticWorkload:
+    def test_arrivals_spaced(self):
+        wl = Workload.static([_q(), _q(), _q()], duration_ms=10_000,
+                             start_ms=100.0, spacing_ms=50.0)
+        times = [e.time_ms for e in wl.events]
+        assert times == [100.0, 150.0, 200.0]
+        assert all(e.kind is EventKind.ARRIVE for e in wl.events)
+
+    def test_queries_in_arrival_order(self):
+        queries = [_q(), _q()]
+        wl = Workload.static(queries, duration_ms=1000)
+        assert [q.qid for q in wl.queries] == [q.qid for q in queries]
+
+    def test_events_sorted_on_construction(self):
+        q1, q2 = _q(), _q()
+        events = [
+            WorkloadEvent(500.0, 1, EventKind.ARRIVE, q2),
+            WorkloadEvent(100.0, 0, EventKind.ARRIVE, q1),
+        ]
+        wl = Workload(events, duration_ms=1000)
+        assert [e.time_ms for e in wl.events] == [100.0, 500.0]
+
+
+class TestConcurrency:
+    def test_profile_counts_running(self):
+        q1, q2 = _q(), _q()
+        events = [
+            WorkloadEvent(0.0, 0, EventKind.ARRIVE, q1),
+            WorkloadEvent(10.0, 1, EventKind.ARRIVE, q2),
+            WorkloadEvent(20.0, 2, EventKind.DEPART, q1),
+        ]
+        wl = Workload(events, duration_ms=40.0)
+        assert wl.concurrency_profile() == [(0.0, 1), (10.0, 2), (20.0, 1)]
+
+    def test_average_concurrency(self):
+        q1 = _q()
+        events = [
+            WorkloadEvent(0.0, 0, EventKind.ARRIVE, q1),
+            WorkloadEvent(50.0, 1, EventKind.DEPART, q1),
+        ]
+        wl = Workload(events, duration_ms=100.0)
+        assert wl.average_concurrency() == pytest.approx(0.5)
+
+    def test_arrival_count(self):
+        wl = Workload.static([_q(), _q()], duration_ms=100)
+        assert wl.arrival_count() == 2
