@@ -1,0 +1,183 @@
+"""Extension: service-layer throughput under the fig4 dynamic workload.
+
+The paper's evaluation stops at the optimizer; this benchmark measures
+the admission front-end built on top of it, under the same Section 4.3
+adaptive workload shape, with each arrival duplicated across several
+tenants (the service's target regime: many more users than distinct
+questions).  Three numbers matter:
+
+* **admission throughput** — admissions/second of wall time through the
+  locked service path (cache + batcher + optimizer);
+* **cache hit rate** — fraction of arrivals that never reached tier-1;
+* **batched vs. unbatched network operations** — abort/inject traffic
+  with the service's dedup+batching versus registering every duplicate
+  directly with a bare optimizer.
+
+The network-op comparison cuts both ways and the numbers are reported as
+measured: deduplication means tier-1 runs one optimization pass per
+*distinct* query instead of one per tenant (the throughput win asserted
+below), but it also hides duplicate demand from Algorithm 2's
+keep-vs-rebuild benefit test — a synthetic query serving five copies of
+``q`` has ~5x the modelled benefit of one serving a single refcounted
+anchor, so the bare optimizer "keeps" more often and can emit *fewer*
+abort/inject operations than the service.
+
+Emits ``BENCH_service.json`` next to this file.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.basestation import BaseStationOptimizer
+from repro.harness import print_table
+from repro.harness.tier1_sim import default_cost_model
+from repro.queries import parse_canonical
+from repro.service import OptimizerBackend, QueryService
+from repro.workloads import dynamic_workload, fig4_query_model
+from repro.workloads.spec import EventKind
+
+from _util import run_once
+
+N_NODES = 64
+N_QUERIES = 200          # distinct user queries in the dynamic workload
+DUPLICATES = 5           # tenants submitting each query
+BATCH_WINDOW_MS = 400.0
+SEED = 23
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+def _workload():
+    return dynamic_workload(fig4_query_model(), n_nodes=N_NODES,
+                            n_queries=N_QUERIES, concurrency=10, seed=SEED)
+
+
+def _run_service(workload):
+    """Replay the workload through the service with DUPLICATES tenants."""
+    optimizer = BaseStationOptimizer(default_cost_model(N_NODES, 5))
+    service = QueryService(OptimizerBackend(optimizer),
+                           batch_window_ms=BATCH_WINDOW_MS)
+    # Tenants hold their leases for the full replay (sim time outlives
+    # the default TTL).
+    ttl = 2.0 * workload.duration_ms
+    sessions = [service.open_session(f"tenant-{i}", ttl_ms=ttl, now_ms=0.0)
+                for i in range(DUPLICATES)]
+    # qid -> per-tenant tickets, so departures release every duplicate.
+    tickets = {}
+
+    admissions = 0
+    events = workload.events
+    wall_start = time.perf_counter()
+    for i, event in enumerate(events):
+        now = event.time_ms
+        service.tick(now_ms=now)
+        if event.kind is EventKind.ARRIVE:
+            text = str(event.query)
+            tickets[event.query.qid] = [
+                service.submit(sid, text, now_ms=now) for sid in sessions]
+            admissions += DUPLICATES
+        else:
+            for sid, ticket in zip(sessions, tickets.pop(event.query.qid)):
+                if ticket.status.value in ("pending", "live"):
+                    service.terminate(sid, ticket.ticket_id, now_ms=now)
+        # Inter-event gaps dwarf the batch window; flush the admission
+        # window when it expires rather than at the next event, so batching
+        # delays registration by at most ~one window of sim time.
+        deadline = now + BATCH_WINDOW_MS
+        next_t = events[i + 1].time_ms if i + 1 < len(events) \
+            else workload.duration_ms
+        if deadline < next_t:
+            service.tick(now_ms=deadline)
+    service.flush(now_ms=workload.duration_ms)
+    wall_s = time.perf_counter() - wall_start
+    service.validate()
+    return service.stats(), admissions, wall_s
+
+
+def _run_unbatched(workload):
+    """Baseline: every duplicate registered directly with the optimizer."""
+    optimizer = BaseStationOptimizer(default_cost_model(N_NODES, 5))
+    clones = {}
+    registrations = 0
+    for event in workload.events:
+        if event.kind is EventKind.ARRIVE:
+            duplicates = []
+            for _ in range(DUPLICATES):
+                clone = parse_canonical(str(event.query))
+                optimizer.register(clone)
+                registrations += 1
+                duplicates.append(clone.qid)
+            clones[event.query.qid] = duplicates
+        else:
+            for qid in clones.pop(event.query.qid):
+                optimizer.terminate(qid)
+    return optimizer.network_operations, registrations
+
+
+def _experiment():
+    workload = _workload()
+    stats, admissions, wall_s = _run_service(workload)
+    unbatched_ops, unbatched_regs = _run_unbatched(workload)
+    return {
+        "workload": {
+            "n_queries": N_QUERIES,
+            "duplicates": DUPLICATES,
+            "admissions": admissions,
+            "batch_window_ms": BATCH_WINDOW_MS,
+        },
+        "admission_throughput_per_s": admissions / wall_s if wall_s else 0.0,
+        "wall_seconds": wall_s,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "admission_latency_p50_ms": stats.admission_latency_p50_ms,
+        "admission_latency_p95_ms": stats.admission_latency_p95_ms,
+        "batches_flushed": stats.batches_flushed,
+        "max_batch_size": stats.max_batch_size,
+        "service_tier1_registrations": stats.registrations,
+        "unbatched_tier1_registrations": unbatched_regs,
+        "tier1_registrations_saved_pct": (
+            100.0 * (1.0 - stats.registrations / unbatched_regs)
+            if unbatched_regs else 0.0),
+        "service_network_operations": stats.network_operations,
+        "unbatched_network_operations": unbatched_ops,
+        "network_operations_saved_pct": (
+            100.0 * (1.0 - stats.network_operations / unbatched_ops)
+            if unbatched_ops else 0.0),
+    }
+
+
+def test_ext_service(benchmark):
+    result = run_once(benchmark, _experiment)
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2, sort_keys=True))
+
+    print_table(
+        ["metric", "value"],
+        [
+            ["admissions", result["workload"]["admissions"]],
+            ["throughput (adm/s)",
+             f"{result['admission_throughput_per_s']:.0f}"],
+            ["cache hit rate", f"{100.0 * result['cache_hit_rate']:.1f}%"],
+            ["admission p50 / p95 (ms)",
+             f"{result['admission_latency_p50_ms']:.0f} / "
+             f"{result['admission_latency_p95_ms']:.0f}"],
+            ["tier-1 passes (service)",
+             result["service_tier1_registrations"]],
+            ["tier-1 passes (unbatched)",
+             result["unbatched_tier1_registrations"]],
+            ["tier-1 passes saved",
+             f"{result['tier1_registrations_saved_pct']:.1f}%"],
+            ["network ops (service)", result["service_network_operations"]],
+            ["network ops (unbatched)",
+             result["unbatched_network_operations"]],
+        ],
+        title=f"service admission, fig4 dynamic workload x{DUPLICATES} "
+              f"tenants -> {BENCH_PATH.name}",
+    )
+
+    assert result["cache_hit_rate"] >= 0.5
+    # Dedup must collapse tenant duplicates: at most one tier-1
+    # optimization pass per distinct workload query.
+    assert result["service_tier1_registrations"] <= N_QUERIES
+    assert result["service_tier1_registrations"] \
+        < result["unbatched_tier1_registrations"]

@@ -23,7 +23,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.tinydb` — baseline single-query processor;
 * :mod:`repro.core` — the paper's contribution (tier-1 + tier-2);
 * :mod:`repro.workloads` — Figure-3 static workloads, Section 4.3 generator;
-* :mod:`repro.harness` — strategy matrix, experiment runners, metrics.
+* :mod:`repro.harness` — strategy matrix, experiment runners, metrics;
+* :mod:`repro.service` — multi-tenant query service over the optimizer.
 """
 
 from .core import (
@@ -53,6 +54,12 @@ from .queries import (
     parse_query,
 )
 from .sensors import SensorWorld
+from .service import (
+    OptimizerBackend,
+    QueryService,
+    ServiceStats,
+    run_scripted_load,
+)
 from .sim import Simulation, Topology
 from .tinydb import RoutingTree, TinyDBBaseStationApp, TinyDBNodeApp
 from .workloads import (
@@ -76,14 +83,17 @@ __all__ = [
     "DeploymentConfig",
     "Interval",
     "NetworkProfile",
+    "OptimizerBackend",
     "PredicateSet",
     "Query",
+    "QueryService",
     "QueryGenerator",
     "QueryModel",
     "ResultMapper",
     "RoutingTree",
     "RunResult",
     "SensorWorld",
+    "ServiceStats",
     "Simulation",
     "Strategy",
     "TTMQOBaseStationApp",
@@ -96,6 +106,7 @@ __all__ = [
     "dynamic_workload",
     "parse_query",
     "run_all_strategies",
+    "run_scripted_load",
     "run_tier1",
     "run_workload",
     "workload_a",

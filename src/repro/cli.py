@@ -7,15 +7,18 @@ Commands:
 * ``compare`` — run one of the Figure 3 workloads (A/B/C) under all four
   strategies and print the comparison table;
 * ``fig``     — regenerate a paper figure's table (fig3, fig4a, fig4b,
-  fig4c, fig5).
+  fig4c, fig5);
+* ``serve``   — stand up the multi-tenant :class:`QueryService` and drive
+  a scripted client load against the simulator.
 
 Examples::
 
-    python -m repro run --strategy ttmqo --side 4 \\
+    python -m repro run --strategy ttmqo --side 4 --seed 7 \\
         "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096" \\
         "SELECT MAX(light) FROM sensors EPOCH DURATION 8192"
     python -m repro compare --workload C --side 8
     python -m repro fig fig4a
+    python -m repro serve --clients 60 --unique 6
 """
 
 from __future__ import annotations
@@ -51,6 +54,16 @@ _STRATEGY_NAMES = {
 }
 
 
+def _strategy(name: str) -> Strategy:
+    """argparse type: resolve a strategy name, listing choices on error."""
+    try:
+        return _STRATEGY_NAMES[name]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown strategy {name!r}; valid choices: "
+            f"{', '.join(sorted(_STRATEGY_NAMES))}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,13 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run ad-hoc queries on the simulator")
     run_p.add_argument("queries", nargs="+",
                        help="TinyDB-dialect query strings")
-    run_p.add_argument("--strategy", choices=sorted(_STRATEGY_NAMES),
-                       default="ttmqo")
+    run_p.add_argument("--strategy", type=_strategy, default=Strategy.TTMQO,
+                       metavar="{" + ",".join(sorted(_STRATEGY_NAMES)) + "}")
     run_p.add_argument("--side", type=int, default=4,
                        help="grid side (nodes = side^2)")
     run_p.add_argument("--duration", type=float, default=60.0,
                        help="simulated seconds")
-    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--seed", type=int, default=0,
+                       help="deployment/world seed for reproducible runs")
     run_p.add_argument("--world", choices=["uniform", "correlated"],
                        default="uniform")
 
@@ -84,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fig3", "fig4a", "fig4b", "fig4c", "fig5"])
     fig_p.add_argument("--side", type=int, default=4,
                        help="grid side for fig3/fig5")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query service under a scripted load")
+    serve_p.add_argument("--clients", type=int, default=60,
+                         help="number of simulated clients")
+    serve_p.add_argument("--unique", type=int, default=6,
+                         help="distinct queries in the client pool")
+    serve_p.add_argument("--side", type=int, default=4,
+                         help="grid side (nodes = side^2)")
+    serve_p.add_argument("--duration", type=float, default=45.0,
+                         help="simulated seconds")
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--batch-window", type=float, default=0.5,
+                         help="admission batching window in seconds "
+                              "(0 = admit synchronously)")
+    serve_p.add_argument("--ttl", type=float, default=None,
+                         help="session lease TTL in seconds "
+                              "(default: outlives the run)")
 
     topo_p = sub.add_parser("topo", help="render a deployment as ASCII")
     topo_p.add_argument("--kind", choices=["grid", "random"], default="grid")
@@ -107,7 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ParseError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    strategy = _STRATEGY_NAMES[args.strategy]
+    strategy = args.strategy
     workload = Workload.static(queries, duration_ms=args.duration * 1000.0)
     config = DeploymentConfig(side=args.side, seed=args.seed, world=args.world)
     result = run_workload(strategy, workload, config)
@@ -218,6 +251,61 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import run_scripted_load
+
+    try:
+        report = run_scripted_load(
+            n_clients=args.clients,
+            n_unique=args.unique,
+            side=args.side,
+            duration_s=args.duration,
+            seed=args.seed,
+            batch_window_ms=args.batch_window * 1000.0,
+            ttl_s=args.ttl,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = report.stats
+
+    print(f"service run         : {args.clients} clients, "
+          f"{args.unique} distinct queries, {args.side * args.side} nodes, "
+          f"{args.duration:.0f}s simulated (seed {args.seed})")
+    print(f"sessions            : {stats.sessions_opened_total} opened, "
+          f"{stats.sessions_open} open at end, "
+          f"{stats.sessions_expired_total} lease-expired")
+    print(f"admissions          : {stats.admitted_total} admitted "
+          f"({stats.cache_hits} cache hits, "
+          f"{stats.registrations} optimizer passes)")
+    print(f"cache hit rate      : {100.0 * stats.cache_hit_rate:.1f}%")
+    print(f"absorbed arrivals   : {stats.admissions_without_inject} "
+          f"of {stats.admitted_total} "
+          f"({100.0 * stats.absorbed_admission_rate:.1f}%) "
+          f"reached no network inject")
+    print(f"admission latency   : p50 {stats.admission_latency_p50_ms:.0f} ms, "
+          f"p95 {stats.admission_latency_p95_ms:.0f} ms "
+          f"(batched, {stats.batches_flushed} flushes, "
+          f"largest batch {stats.max_batch_size})")
+    print(f"live at end         : {stats.live_tickets} tickets over "
+          f"{stats.live_user_queries} user queries -> "
+          f"{stats.live_synthetic_queries} synthetic queries")
+    print(f"results fanned out  : {stats.results_delivered} "
+          f"({report.clients_served}/{len(report.clients)} clients "
+          f"received data)")
+
+    sample = sorted(report.clients, key=lambda c: c.client_id)[:8]
+    print_table(
+        ["client", "ticket", "cache", "results", "query"],
+        [[c.client_id, c.ticket_id, "hit" if c.cache_hit else "miss",
+          c.results_received,
+          c.query_text[:48] + ("..." if len(c.query_text) > 48 else "")]
+         for c in sample],
+        title="first clients (alphabetical)",
+    )
+    return 0 if report.all_clients_served else 1
+
+
 def _cmd_topo(args: argparse.Namespace) -> int:
     from .harness.reporting import render_topology
     from .sim import Topology
@@ -238,6 +326,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "fig":
         return _cmd_fig(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "topo":
         return _cmd_topo(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -13,6 +13,7 @@ Figure 4 experiments sweep 500-query workloads in milliseconds.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -53,6 +54,14 @@ class BaseStationOptimizer:
         self.cost_model = cost_model
         self.alpha = alpha
         self.table = QueryTable()
+        #: Serializes table mutations and snapshot reads.  Algorithms 1/2
+        #: mutate several records per step; a concurrent reader (or second
+        #: writer) mid-step would observe a table that violates
+        #: :meth:`QueryTable.validate`.  The service layer calls into the
+        #: optimizer from many client threads, so the facade methods take
+        #: this re-entrant lock; single-threaded replays pay only an
+        #: uncontended acquire.
+        self.lock = threading.RLock()
         #: QoS extension: user/synthetic reliability classes; synthetic
         #: classes are re-derived after every table change.
         self.qos_registry = QoSRegistry()
@@ -77,29 +86,40 @@ class BaseStationOptimizer:
 
         ``qos`` is the extension hook: a RELIABLE user query makes every
         synthetic query serving it reliable (multipath delivery in tier 2).
+
+        A previously terminated qid may be re-registered; it is treated as
+        a brand-new arrival.
         """
-        before = self._running_qids()
-        self.table.add_user(query)
-        self.qos_registry.register_user(query.qid, qos)
-        insert_query(query, {query.qid: query}, self.table, self.cost_model)
-        self.qos_registry.sync_with_table(self.table)
-        return self._diff(before)
+        with self.lock:
+            before = self._running_qids()
+            self.table.add_user(query)
+            self.qos_registry.register_user(query.qid, qos)
+            insert_query(query, {query.qid: query}, self.table,
+                         self.cost_model)
+            self.qos_registry.sync_with_table(self.table)
+            return self._diff(before)
 
     def terminate(self, user_qid: int) -> NetworkActions:
         """Retire a user query (Algorithm 2).  Returns network actions."""
-        before = self._running_qids()
-        terminate_query(user_qid, self.table, self.cost_model, self.alpha)
-        self.qos_registry.forget_user(user_qid)
-        self.qos_registry.sync_with_table(self.table)
-        return self._diff(before)
+        with self.lock:
+            if user_qid not in self.table.user:
+                raise KeyError(
+                    f"unknown user query {user_qid}: never registered or "
+                    f"already terminated")
+            before = self._running_qids()
+            terminate_query(user_qid, self.table, self.cost_model, self.alpha)
+            self.qos_registry.forget_user(user_qid)
+            self.qos_registry.sync_with_table(self.table)
+            return self._diff(before)
 
     # ------------------------------------------------------------------
     # Introspection (metrics for the Figure 4 experiments)
     # ------------------------------------------------------------------
     def synthetic_queries(self) -> List[Query]:
         """Currently running synthetic queries, ascending qid."""
-        return [r.query for r in sorted(self.table.synthetic.values(),
-                                        key=lambda r: r.qid)]
+        with self.lock:
+            return [r.query for r in sorted(self.table.synthetic.values(),
+                                            key=lambda r: r.qid)]
 
     def synthetic_count(self) -> int:
         return len(self.table.synthetic)
@@ -109,7 +129,8 @@ class BaseStationOptimizer:
 
     def synthetic_for(self, user_qid: int) -> Query:
         """The synthetic query currently serving a user query."""
-        return self.table.synthetic_for(user_qid).query
+        with self.lock:
+            return self.table.synthetic_for(user_qid).query
 
     def synthetic_history(self, user_qid: int) -> List[Query]:
         """Every synthetic query that served a user query, in order.
@@ -119,21 +140,27 @@ class BaseStationOptimizer:
         all of them (see :meth:`ResultMapper` and
         ``Deployment.user_answer_rows``).
         """
-        return [self._synthetic_snapshots[qid]
-                for qid in self._mapping_history.get(user_qid, [])]
+        with self.lock:
+            return [self._synthetic_snapshots[qid]
+                    for qid in self._mapping_history.get(user_qid, [])]
 
     def total_synthetic_cost(self) -> float:
         """Modelled per-ms transmission cost of the running synthetic set."""
-        return sum(self.cost_model.cost(q) for q in self.synthetic_queries())
+        with self.lock:
+            return sum(self.cost_model.cost(q)
+                       for q in self.synthetic_queries())
 
     def total_user_cost(self) -> float:
         """Modelled cost had every user query run unoptimized."""
-        return sum(self.cost_model.cost(r.query) for r in self.table.user.values())
+        with self.lock:
+            return sum(self.cost_model.cost(r.query)
+                       for r in self.table.user.values())
 
     def total_benefit(self) -> float:
         """Current modelled saving: sum of per-synthetic-query benefits."""
-        return sum(synthetic_benefit(r, self.cost_model)
-                   for r in self.table.synthetic.values())
+        with self.lock:
+            return sum(synthetic_benefit(r, self.cost_model)
+                       for r in self.table.synthetic.values())
 
     # ------------------------------------------------------------------
     # Internals

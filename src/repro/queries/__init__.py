@@ -11,6 +11,7 @@ from .ast import (
     gcd_epoch,
     next_qid,
 )
+from .canonical import canonical_key, canonicalize, parse_canonical
 from .parser import ParseError, parse_query
 from .predicates import Interval, PredicateSet
 from .semantics import MergeKind, MergePlan, covers, merge, mergeable
@@ -27,8 +28,11 @@ __all__ = [
     "PredicateSet",
     "Query",
     "QueryValidationError",
+    "canonical_key",
+    "canonicalize",
     "combined_epoch",
     "covers",
+    "parse_canonical",
     "gcd_epoch",
     "merge",
     "mergeable",

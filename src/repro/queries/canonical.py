@@ -1,0 +1,103 @@
+"""Query canonicalization for the service-layer dedup cache.
+
+Thousands of users asking for "the light level in the lab" produce query
+strings that differ only textually: keyword/attribute case, select-list
+order, ``280 < light`` versus ``light > 280``, ``BETWEEN`` versus two
+``AND``-ed bounds, ``EPOCH DURATION`` versus TinyDB's older ``SAMPLE
+PERIOD`` spelling.  All of them denote the same query, and the base-station
+optimizer should only ever see one of them.
+
+:func:`canonicalize` maps a parsed :class:`Query` to a normal form —
+lower-cased attribute names, sorted select list, sorted aggregate list,
+predicate constraints keyed by the folded attribute name, sorted GROUP BY
+terms, epoch in milliseconds — and :func:`canonical_key` derives a hashable
+qid-independent key from it.  Two query strings are duplicates exactly when
+their canonical keys compare equal; the service's canonical-query cache is
+a dict over these keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .ast import Aggregate, GroupBy, Query, QueryValidationError
+from .parser import parse_query
+from .predicates import Interval, PredicateSet
+
+#: Type of the hashable dedup key (opaque to callers; only equality and
+#: hashing are meaningful).
+CanonicalKey = Tuple
+
+
+def _fold_predicates(predicates: PredicateSet) -> PredicateSet:
+    """Lower-case predicate attribute names, intersecting case-duplicates.
+
+    ``WHERE Light > 200 AND light < 600`` folds to one constraint on
+    ``light``; a contradictory fold (empty intersection) is rejected just
+    like the parser rejects ``light > 5 AND light < 2``.
+    """
+    merged: Dict[str, Interval] = {}
+    for attr, interval in predicates.items():
+        key = attr.lower()
+        if key in merged:
+            intersection = merged[key].intersect(interval)
+            if intersection is None:
+                raise QueryValidationError(
+                    f"contradictory constraints on {key!r} after case folding"
+                )
+            merged[key] = intersection
+        else:
+            merged[key] = interval
+    return PredicateSet(merged)
+
+
+def canonicalize(query: Query, qid: Optional[int] = None) -> Query:
+    """Return the canonical form of ``query`` (a new :class:`Query`).
+
+    The canonical form is semantically identical: attribute names are
+    lower-cased (the sensed attributes are all lower-case, so this also
+    repairs ``SELECT LIGHT``), the select list / aggregate list / GROUP BY
+    terms are sorted, and predicate attributes are folded.  ``qid`` names
+    the canonical query; by default the input's qid is kept.
+    """
+    attributes = tuple(sorted({a.lower() for a in query.attributes}))
+    aggregates = tuple(sorted(
+        {Aggregate(a.op, a.attribute.lower()) for a in query.aggregates},
+        key=lambda a: a.sort_key))
+    group_by = tuple(sorted(
+        (GroupBy(g.attribute.lower(), g.divisor) for g in query.group_by),
+        key=lambda g: (g.attribute, g.divisor)))
+    return Query(
+        qid=query.qid if qid is None else qid,
+        attributes=attributes,
+        aggregates=aggregates,
+        predicates=_fold_predicates(query.predicates),
+        epoch_ms=query.epoch_ms,
+        group_by=group_by,
+    )
+
+
+def canonical_key(query: Query) -> CanonicalKey:
+    """A hashable, qid-independent identity for a query's semantics.
+
+    Built from the canonical form, so textual variants of the same query
+    produce equal keys regardless of whether ``query`` was canonicalized
+    first.
+    """
+    canonical = canonicalize(query)
+    if canonical.is_acquisition:
+        select: Tuple = ("acq",) + canonical.attributes
+    else:
+        select = ("agg",) + tuple(
+            (a.op.value, a.attribute) for a in canonical.aggregates)
+    return (
+        select,
+        tuple(sorted(canonical.predicates.to_triples())),
+        canonical.epoch_ms,
+        tuple((g.attribute, g.divisor) for g in canonical.group_by),
+    )
+
+
+def parse_canonical(text: str, qid: Optional[int] = None) -> Query:
+    """Parse a query string straight into canonical form."""
+    return canonicalize(parse_query(text), qid=qid)

@@ -75,6 +75,19 @@ def position_attributes(topology: "Topology") -> Dict[str, AttributeSpec]:
     }
 
 
+def _attr_salt(name: str) -> int:
+    """Stable per-attribute salt.
+
+    Built-in ``hash()`` of a *string* is randomized per process
+    (PYTHONHASHSEED), which would make the same seed produce different
+    worlds in different interpreter runs.
+    """
+    x = 0
+    for ch in name.encode():
+        x = (x * 131 + ch) & 0xFFFFFFFF
+    return x
+
+
 def _mix(*parts: int) -> float:
     """Deterministic hash of integer parts -> float in [0, 1)."""
     x = 0x9E3779B97F4A7C15
@@ -97,7 +110,7 @@ class UniformModel:
     def value(self, spec: AttributeSpec, node_id: int,
               position: Tuple[float, float], time_ms: float) -> float:
         bucket = int(time_ms // self._resolution)
-        u = _mix(self._seed, hash(spec.name) & 0xFFFFFFFF, node_id, bucket)
+        u = _mix(self._seed, _attr_salt(spec.name), node_id, bucket)
         return spec.lo + u * spec.span
 
 
@@ -138,7 +151,7 @@ class CorrelatedModel:
         if spec.name == "nodeid":
             return float(node_id)
         x, y = position
-        attr_salt = hash(spec.name) & 0xFFFF
+        attr_salt = _attr_salt(spec.name) & 0xFFFF
         raw = 0.0
         for i, (kx, ky, phase, amp) in enumerate(self._modes):
             raw += amp * math.sin(kx * x + ky * y + phase + attr_salt + i)

@@ -1,0 +1,38 @@
+"""Service layer: a concurrent multi-tenant front-end over tier-1 (S9).
+
+Turns the batch reproduction into a servable system: sessions with TTL
+leases, a canonical-query dedup cache, batched admission, queue-based
+result subscriptions, and a metrics snapshot — see
+``docs/architecture.md`` ("The service layer").
+"""
+
+from .admission import AdmissionBatcher, PendingAdmission
+from .cache import CacheEntry, CanonicalQueryCache
+from .load import ClientOutcome, LoadReport, run_scripted_load
+from .service import (
+    OptimizerBackend,
+    QueryService,
+    ServiceStats,
+    Ticket,
+    TicketStatus,
+)
+from .session import DEFAULT_TTL_MS, Session, SessionError, SessionManager
+
+__all__ = [
+    "AdmissionBatcher",
+    "CacheEntry",
+    "CanonicalQueryCache",
+    "ClientOutcome",
+    "DEFAULT_TTL_MS",
+    "LoadReport",
+    "OptimizerBackend",
+    "PendingAdmission",
+    "QueryService",
+    "ServiceStats",
+    "Session",
+    "SessionError",
+    "SessionManager",
+    "Ticket",
+    "TicketStatus",
+    "run_scripted_load",
+]

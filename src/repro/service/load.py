@@ -1,0 +1,183 @@
+"""Scripted multi-client load against a simulated deployment.
+
+This is the service layer's "zero to aha" demo: N simulated clients —
+far more clients than distinct questions — connect to a
+:class:`QueryService` fronting a full packet-level TTMQO deployment.
+Each client opens a session, submits a (usually duplicated, textually
+perturbed) query, subscribes, and collects mapped results while the
+sensor network runs.  The canonical cache plus batched admission absorb
+the duplicate arrivals, so the network sees a handful of injections for
+dozens of clients, yet every subscription still fills with that client's
+own mapped rows/aggregates.
+
+Used by ``python -m repro serve``, ``examples/service_gateway.py`` and
+``benchmarks/test_ext_service.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..harness.strategies import Deployment, DeploymentConfig, Strategy
+from .service import QueryService, ServiceStats
+
+#: Base pool of distinct questions clients may ask (cycled, then
+#: textually perturbed per client to exercise canonicalization).
+_QUERY_POOL = (
+    "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096",
+    "SELECT light, temp FROM sensors WHERE temp > 15 EPOCH DURATION 4096",
+    "SELECT MAX(light) FROM sensors EPOCH DURATION 8192",
+    "SELECT MIN(temp) FROM sensors WHERE light > 200 EPOCH DURATION 8192",
+    "SELECT temp FROM sensors WHERE temp BETWEEN 10 AND 30 "
+    "EPOCH DURATION 4096",
+    "SELECT AVG(temp) FROM sensors EPOCH DURATION 8192",
+    "SELECT nodeid, light FROM sensors WHERE light < 700 EPOCH DURATION 4096",
+    "SELECT MAX(temp) FROM sensors WHERE temp > 5 EPOCH DURATION 8192",
+)
+
+
+def _perturb(text: str, rng: random.Random) -> str:
+    """A semantics-preserving textual variant of ``text``.
+
+    Random keyword/attribute case plus ``EPOCH DURATION`` vs ``SAMPLE
+    PERIOD`` — the service's canonicalizer must collapse all of these onto
+    one cache key.
+    """
+    variant = text
+    choice = rng.random()
+    if choice < 0.3:
+        variant = variant.lower()
+    elif choice < 0.5:
+        variant = variant.upper()
+    if rng.random() < 0.4:
+        variant = variant.replace("EPOCH DURATION", "SAMPLE PERIOD") \
+            .replace("epoch duration", "sample period")
+    return variant
+
+
+@dataclass
+class ClientOutcome:
+    """What one scripted client experienced."""
+
+    client_id: str
+    query_text: str
+    ticket_id: int
+    cache_hit: bool = False
+    results_received: int = 0
+    terminated_early: bool = False
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one scripted service run."""
+
+    stats: ServiceStats
+    clients: List[ClientOutcome]
+    unique_queries: int
+    duration_ms: float
+
+    @property
+    def clients_served(self) -> int:
+        return sum(1 for c in self.clients if c.results_received > 0)
+
+    @property
+    def all_clients_served(self) -> bool:
+        """Every client that stayed subscribed got at least one result."""
+        return all(c.results_received > 0 for c in self.clients
+                   if not c.terminated_early)
+
+
+def run_scripted_load(
+    n_clients: int = 60,
+    n_unique: int = 6,
+    side: int = 4,
+    duration_s: float = 45.0,
+    seed: int = 0,
+    batch_window_ms: float = 500.0,
+    ttl_s: Optional[float] = None,
+    early_terminate_fraction: float = 0.15,
+    strategy: Strategy = Strategy.TTMQO,
+    config: Optional[DeploymentConfig] = None,
+) -> LoadReport:
+    """Drive ``n_clients`` scripted clients against one simulated service.
+
+    Clients draw from ``n_unique`` distinct questions (so duplication
+    factor is ``n_clients / n_unique``), arrive spread over the first 40%
+    of the horizon, and a small fraction terminate early.  Returns the
+    full :class:`LoadReport`.
+    """
+    if n_unique < 1 or n_unique > len(_QUERY_POOL):
+        raise ValueError(
+            f"n_unique must be in 1..{len(_QUERY_POOL)} (got {n_unique})")
+    rng = random.Random(seed ^ 0x5E21)
+    duration_ms = duration_s * 1000.0
+    deployment = Deployment(strategy,
+                            config or DeploymentConfig(side=side, seed=seed))
+    sim = deployment.sim
+    service = QueryService(deployment, batch_window_ms=batch_window_ms,
+                           default_ttl_ms=(ttl_s * 1000.0 if ttl_s
+                                           else duration_ms * 10.0),
+                           clock=lambda: sim.now)
+
+    outcomes: List[ClientOutcome] = []
+    queues: Dict[int, "object"] = {}
+
+    arrival_span = duration_ms * 0.4
+    spacing = arrival_span / max(n_clients, 1)
+
+    def _connect(index: int) -> None:
+        text = _perturb(_QUERY_POOL[index % n_unique], rng)
+        client_id = f"client-{index:03d}"
+        session_id = service.open_session(client_id)
+        ticket = service.submit(session_id, text)
+        subscriber = service.subscribe(session_id, ticket.ticket_id)
+        outcome = ClientOutcome(client_id=client_id, query_text=text,
+                                ticket_id=ticket.ticket_id)
+        outcomes.append(outcome)
+        queues[ticket.ticket_id] = (session_id, subscriber, outcome)
+
+    for index in range(n_clients):
+        sim.engine.schedule_at(1000.0 + index * spacing, _connect, index)
+
+    # Batch windows close on a periodic tick; results fan out once per
+    # smallest epoch against the sim runtime.
+    tick_period = max(batch_window_ms, 64.0)
+    t = 1000.0
+    while t < duration_ms:
+        sim.engine.schedule_at(t + tick_period * 0.999, service.tick)
+        t += tick_period
+    t = 2048.0
+    while t < duration_ms:
+        sim.engine.schedule_at(t + 1.0, service.pump)
+        t += 2048.0
+
+    # A slice of clients disconnects early (exercises refcounted release).
+    n_early = int(n_clients * early_terminate_fraction)
+
+    def _disconnect(position: int) -> None:
+        session_id, _, outcome = queues[outcomes[position].ticket_id]
+        outcome.terminated_early = True
+        service.terminate(session_id, outcomes[position].ticket_id)
+
+    for position in rng.sample(range(n_clients), n_early):
+        sim.engine.schedule_at(duration_ms * rng.uniform(0.7, 0.95),
+                               _disconnect, position)
+
+    sim.start()
+    sim.run_until(duration_ms + 4000.0)
+    service.flush()
+    service.pump()
+
+    for ticket_id, (session_id, subscriber, outcome) in queues.items():
+        outcome.results_received = subscriber.qsize()
+        ticket = service.ticket(ticket_id)
+        outcome.cache_hit = ticket.cache_hit
+
+    return LoadReport(
+        stats=service.stats(),
+        clients=outcomes,
+        unique_queries=n_unique,
+        duration_ms=duration_ms,
+    )

@@ -1,0 +1,500 @@
+"""The multi-tenant query service fronting the base-station optimizer.
+
+:class:`QueryService` is the admission front-end the ROADMAP's
+"millions of users" need: user-facing *sessions* and *tickets* on top of
+the tier-1 optimizer's query table.  One instance serves many concurrent
+clients; a single re-entrant lock serializes all state transitions, so it
+is safe to drive from many threads (wall clock) or from scheduled
+simulator events (virtual clock).
+
+The pipeline per submission::
+
+    text --parse+canonicalize--> pending --batch window--> flush:
+        cache hit  -> attach to anchor (refcount), no tier-1 work
+        cache miss -> one optimizer.register() (Algorithm 1)
+
+and symmetrically on termination the anchor query is only released — and
+Algorithm 2 only run — when the *last* duplicate holder lets go.
+
+Results flow back through :meth:`pump`: for every live, subscribed ticket
+the service maps the anchor's synthetic-query results (via
+:class:`ResultMapper`, across the whole re-optimization history) and
+fans new rows/aggregates out to per-subscriber queues.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Union
+
+from ..core.basestation import BaseStationOptimizer, ResultMapper
+from ..core.qos import QoSClass
+from ..harness.metrics import percentile
+from ..queries.ast import Query, next_qid
+from ..queries.canonical import CanonicalKey, canonical_key, canonicalize
+from ..queries.parser import parse_query
+from .admission import AdmissionBatcher, PendingAdmission
+from .cache import CanonicalQueryCache
+from .session import DEFAULT_TTL_MS, SessionError, SessionManager
+
+#: Keep at most this many admission-latency samples (most recent).
+LATENCY_SAMPLE_CAP = 10_000
+
+
+def _wall_clock_ms() -> Callable[[], float]:
+    """A wall clock in ms starting at 0 when the service is built.
+
+    Keeping service time zero-based matches simulator virtual time, so
+    explicit ``now_ms`` values and the default clock interoperate.
+    """
+    t0 = time.monotonic()
+    return lambda: (time.monotonic() - t0) * 1000.0
+
+
+class OptimizerBackend:
+    """Adapter running a bare :class:`BaseStationOptimizer` (no network).
+
+    Gives the service the same control-plane interface as a simulated
+    :class:`~repro.harness.strategies.Deployment` — used by the stress
+    tests and benchmarks, where packet-level results are irrelevant.
+    """
+
+    #: No simulated network, hence no result log to map from.
+    results = None
+
+    def __init__(self, optimizer: BaseStationOptimizer) -> None:
+        self.optimizer = optimizer
+
+    def register(self, query: Query,
+                 qos: QoSClass = QoSClass.BEST_EFFORT) -> None:
+        self.optimizer.register(query, qos=qos)
+
+    def terminate(self, qid: int) -> None:
+        self.optimizer.terminate(qid)
+
+
+class TicketStatus(enum.Enum):
+    PENDING = "pending"        # queued in the admission batch window
+    LIVE = "live"              # admitted; anchor query running
+    TERMINATED = "terminated"  # user terminated
+    EXPIRED = "expired"        # lease lapsed; service terminated it
+    FAILED = "failed"          # optimizer rejected the anchor registration
+
+
+@dataclass
+class Ticket:
+    """One user's handle on one submitted query."""
+
+    ticket_id: int
+    session_id: str
+    #: Canonical form of what the user submitted.
+    query: Query
+    key: CanonicalKey
+    submitted_ms: float
+    status: TicketStatus = TicketStatus.PENDING
+    #: The shared anchor query serving this ticket (set on admission).
+    anchor: Optional[Query] = None
+    admitted_ms: Optional[float] = None
+    cache_hit: bool = False
+    error: Optional[str] = None
+
+    @property
+    def anchor_qid(self) -> Optional[int]:
+        return self.anchor.qid if self.anchor is not None else None
+
+    @property
+    def admission_latency_ms(self) -> Optional[float]:
+        if self.admitted_ms is None:
+            return None
+        return self.admitted_ms - self.submitted_ms
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One consistent snapshot of the service's counters."""
+
+    sessions_open: int
+    sessions_opened_total: int
+    sessions_expired_total: int
+    submissions_total: int
+    admitted_total: int
+    pending: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    live_cached_queries: int
+    registrations: int
+    injected_registrations: int
+    absorbed_registrations: int
+    terminations: int
+    admission_latency_p50_ms: float
+    admission_latency_p95_ms: float
+    batches_flushed: int
+    max_batch_size: int
+    live_tickets: int
+    live_user_queries: int
+    live_synthetic_queries: int
+    network_operations: int
+    absorbed_operations: int
+    results_delivered: int
+
+    @property
+    def admissions_without_inject(self) -> int:
+        """Admissions absorbed at the service/base station (no inject)."""
+        return self.admitted_total - self.injected_registrations
+
+    @property
+    def absorbed_admission_rate(self) -> float:
+        if self.admitted_total == 0:
+            return 0.0
+        return self.admissions_without_inject / self.admitted_total
+
+
+class QueryService:
+    """Thread-safe, multi-tenant admission front-end over tier-1.
+
+    ``backend`` is anything with ``optimizer``, ``register(query, qos=)``,
+    ``terminate(qid)`` and (optionally) ``results``: a harness
+    :class:`Deployment` for full simulated runs, or
+    :class:`OptimizerBackend` for pure tier-1 serving.
+
+    ``clock`` supplies "now" in milliseconds; the default is the wall
+    clock.  Every public method also accepts an explicit ``now_ms`` so the
+    service can run on simulator virtual time
+    (``clock=lambda: deployment.sim.now``).
+    """
+
+    def __init__(self, backend, *, batch_window_ms: float = 0.0,
+                 default_ttl_ms: float = DEFAULT_TTL_MS,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if getattr(backend, "optimizer", None) is None:
+            raise ValueError(
+                "QueryService needs a tier-1 backend (backend.optimizer is "
+                "None; use Strategy.TTMQO or BS_ONLY, or OptimizerBackend)")
+        self._backend = backend
+        self._clock = clock or _wall_clock_ms()
+        self._lock = threading.RLock()
+        self._sessions = SessionManager(default_ttl_ms)
+        self._cache = CanonicalQueryCache()
+        self._batcher = AdmissionBatcher(batch_window_ms)
+        self._tickets: Dict[int, Ticket] = {}
+        self._next_ticket = 0
+        self._ticket_qos: Dict[int, QoSClass] = {}
+        self._subs: Dict[int, List["queue.Queue"]] = {}
+        self._delivered: Dict[int, set] = {}
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_SAMPLE_CAP)
+        self.submissions_total = 0
+        self.admitted_total = 0
+        self.registrations = 0
+        self.injected_registrations = 0
+        self.absorbed_registrations = 0
+        self.terminations = 0
+        self.results_delivered = 0
+
+    @property
+    def optimizer(self) -> BaseStationOptimizer:
+        return self._backend.optimizer
+
+    def _now(self, now_ms: Optional[float]) -> float:
+        return self._clock() if now_ms is None else now_ms
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(self, client_id: str = "anonymous",
+                     ttl_ms: Optional[float] = None,
+                     now_ms: Optional[float] = None) -> str:
+        with self._lock:
+            now = self._now(now_ms)
+            self.expire_leases(now)
+            return self._sessions.open(client_id, now, ttl_ms).session_id
+
+    def renew_session(self, session_id: str,
+                      ttl_ms: Optional[float] = None,
+                      now_ms: Optional[float] = None) -> None:
+        """Extend a lease.  A lapsed lease cannot be renewed."""
+        with self._lock:
+            now = self._now(now_ms)
+            self.expire_leases(now)
+            self._sessions.renew(session_id, now, ttl_ms)
+
+    def close_session(self, session_id: str,
+                      now_ms: Optional[float] = None) -> None:
+        """Terminate every query the session owns and drop it."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            for ticket_id in sorted(session.tickets):
+                self._terminate_ticket(self._tickets[ticket_id],
+                                       TicketStatus.TERMINATED)
+            session.tickets.clear()
+            self._sessions.close(session_id)
+
+    def expire_leases(self, now_ms: Optional[float] = None) -> List[str]:
+        """Auto-terminate the queries of every session whose lease lapsed."""
+        with self._lock:
+            now = self._now(now_ms)
+            expired_ids: List[str] = []
+            for session in self._sessions.expired(now):
+                for ticket_id in sorted(session.tickets):
+                    self._terminate_ticket(self._tickets[ticket_id],
+                                           TicketStatus.EXPIRED)
+                session.tickets.clear()
+                self._sessions.close(session.session_id)
+                self._sessions.expired_total += 1
+                expired_ids.append(session.session_id)
+            return expired_ids
+
+    # ------------------------------------------------------------------
+    # Query admission
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, query: Union[str, Query],
+               now_ms: Optional[float] = None,
+               qos: QoSClass = QoSClass.BEST_EFFORT) -> Ticket:
+        """Submit a query (text or parsed) on behalf of a session.
+
+        The returned :class:`Ticket` is PENDING until the batch window
+        flushes (immediately when ``batch_window_ms == 0``).
+        """
+        with self._lock:
+            now = self._now(now_ms)
+            self.expire_leases(now)
+            session = self._sessions.get(session_id)
+            if isinstance(query, str):
+                query = parse_query(query)
+            canonical = canonicalize(query, qid=next_qid())
+            self._next_ticket += 1
+            ticket = Ticket(
+                ticket_id=self._next_ticket,
+                session_id=session_id,
+                query=canonical,
+                key=canonical_key(canonical),
+                submitted_ms=now,
+            )
+            self._tickets[ticket.ticket_id] = ticket
+            session.tickets.add(ticket.ticket_id)
+            self.submissions_total += 1
+            self._ticket_qos[ticket.ticket_id] = qos
+            self._batcher.add(
+                PendingAdmission(ticket.ticket_id, session_id, canonical,
+                                 ticket.key, now),
+                now)
+            if self._batcher.due(now):
+                self._flush(now)
+            return ticket
+
+    def flush(self, now_ms: Optional[float] = None) -> int:
+        """Admit every pending submission now; returns the batch size."""
+        with self._lock:
+            return self._flush(self._now(now_ms))
+
+    def tick(self, now_ms: Optional[float] = None) -> None:
+        """Housekeeping: expire lapsed leases, flush a due batch window.
+
+        Call periodically (a simulator timer, or a background thread).
+        """
+        with self._lock:
+            now = self._now(now_ms)
+            self.expire_leases(now)
+            if self._batcher.due(now):
+                self._flush(now)
+
+    def _flush(self, now: float) -> int:
+        batch = self._batcher.drain()
+        for pending in batch:
+            ticket = self._tickets[pending.ticket_id]
+            entry = self._cache.lookup(pending.key)
+            if entry is None:
+                anchor = pending.query
+                ops_before = self.optimizer.network_operations
+                try:
+                    qos = self._ticket_qos.get(pending.ticket_id,
+                                               QoSClass.BEST_EFFORT)
+                    self._backend.register(anchor, qos=qos)
+                except Exception as exc:  # noqa: BLE001 - isolate bad query
+                    ticket.status = TicketStatus.FAILED
+                    ticket.error = str(exc)
+                    self._session_drop(ticket)
+                    continue
+                self.registrations += 1
+                if self.optimizer.network_operations > ops_before:
+                    self.injected_registrations += 1
+                else:
+                    self.absorbed_registrations += 1
+                entry = self._cache.insert(pending.key, anchor)
+            else:
+                ticket.cache_hit = True
+            self._cache.acquire(entry)
+            ticket.anchor = entry.anchor
+            ticket.status = TicketStatus.LIVE
+            ticket.admitted_ms = now
+            self.admitted_total += 1
+            self._latencies.append(now - pending.submitted_ms)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Query termination
+    # ------------------------------------------------------------------
+    def terminate(self, session_id: str, ticket_id: int,
+                  now_ms: Optional[float] = None) -> None:
+        """Terminate one of the session's queries."""
+        with self._lock:
+            self.expire_leases(self._now(now_ms))
+            session = self._sessions.get(session_id)
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None or ticket.ticket_id not in session.tickets:
+                raise KeyError(
+                    f"session {session_id!r} owns no ticket {ticket_id}")
+            self._terminate_ticket(ticket, TicketStatus.TERMINATED)
+            session.tickets.discard(ticket_id)
+
+    def _terminate_ticket(self, ticket: Ticket, status: TicketStatus) -> None:
+        if ticket.status is TicketStatus.PENDING:
+            self._batcher.cancel(ticket.ticket_id)
+        elif ticket.status is TicketStatus.LIVE:
+            dead = self._cache.release(ticket.key)
+            if dead is not None:
+                self._backend.terminate(dead.anchor_qid)
+            self.terminations += 1
+        else:
+            return  # already terminal
+        ticket.status = status
+        self._session_drop(ticket)
+
+    def _session_drop(self, ticket: Ticket) -> None:
+        self._subs.pop(ticket.ticket_id, None)
+        self._delivered.pop(ticket.ticket_id, None)
+        self._ticket_qos.pop(ticket.ticket_id, None)
+
+    # ------------------------------------------------------------------
+    # Result subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, session_id: str, ticket_id: int) -> "queue.Queue":
+        """A thread-safe queue receiving this ticket's mapped results.
+
+        Acquisition tickets receive :class:`MappedRow`s; aggregation
+        tickets receive :class:`MappedAggregates`.  Requires a backend
+        with a result log (a simulated deployment).
+        """
+        if self._backend.results is None:
+            raise ValueError(
+                "backend has no result log; subscriptions need a simulated "
+                "deployment (OptimizerBackend serves admission only)")
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if ticket_id not in session.tickets:
+                raise KeyError(
+                    f"session {session_id!r} owns no ticket {ticket_id}")
+            subscriber: "queue.Queue" = queue.Queue()
+            self._subs.setdefault(ticket_id, []).append(subscriber)
+            self._delivered.setdefault(ticket_id, set())
+            return subscriber
+
+    def pump(self, now_ms: Optional[float] = None) -> int:
+        """Fan new mapped results out to subscribers; returns items pushed.
+
+        Maps across the anchor's whole synthetic-query history, so results
+        survive re-optimization remaps mid-flight.  Schedule this against
+        the sim runtime (e.g. once per smallest epoch) or call it after a
+        run to drain everything at once.
+        """
+        if self._backend.results is None:
+            return 0
+        with self._lock:
+            mapper = ResultMapper(self._backend.results)
+            pushed = 0
+            for ticket_id, subscribers in list(self._subs.items()):
+                ticket = self._tickets[ticket_id]
+                if ticket.status is not TicketStatus.LIVE or not subscribers:
+                    continue
+                anchor = ticket.anchor
+                assert anchor is not None
+                seen = self._delivered[ticket_id]
+                for synthetic in self.optimizer.synthetic_history(anchor.qid):
+                    if anchor.is_acquisition:
+                        items = mapper.acquisition_rows(anchor, synthetic)
+                        keyed = [((r.epoch_time, r.origin), r) for r in items]
+                    else:
+                        items = mapper.aggregation_results(anchor, synthetic)
+                        keyed = [((a.epoch_time, a.group_key), a)
+                                 for a in items]
+                    for key, item in keyed:
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        for subscriber in subscribers:
+                            subscriber.put(item)
+                            pushed += 1
+            self.results_delivered += pushed
+            return pushed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def ticket(self, ticket_id: int) -> Ticket:
+        with self._lock:
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None:
+                raise KeyError(f"unknown ticket {ticket_id}")
+            return ticket
+
+    def live_tickets(self) -> List[Ticket]:
+        with self._lock:
+            return [t for t in self._tickets.values()
+                    if t.status is TicketStatus.LIVE]
+
+    def stats(self) -> ServiceStats:
+        """A consistent counters snapshot (takes the service lock)."""
+        with self._lock:
+            samples = list(self._latencies)
+            return ServiceStats(
+                sessions_open=len(self._sessions),
+                sessions_opened_total=self._sessions.opened_total,
+                sessions_expired_total=self._sessions.expired_total,
+                submissions_total=self.submissions_total,
+                admitted_total=self.admitted_total,
+                pending=len(self._batcher),
+                cache_hits=self._cache.hits,
+                cache_misses=self._cache.misses,
+                cache_hit_rate=self._cache.hit_rate,
+                live_cached_queries=len(self._cache),
+                registrations=self.registrations,
+                injected_registrations=self.injected_registrations,
+                absorbed_registrations=self.absorbed_registrations,
+                terminations=self.terminations,
+                admission_latency_p50_ms=percentile(samples, 50.0),
+                admission_latency_p95_ms=percentile(samples, 95.0),
+                batches_flushed=self._batcher.batches_flushed,
+                max_batch_size=self._batcher.max_batch_size,
+                live_tickets=sum(
+                    1 for t in self._tickets.values()
+                    if t.status is TicketStatus.LIVE),
+                live_user_queries=self.optimizer.user_count(),
+                live_synthetic_queries=self.optimizer.synthetic_count(),
+                network_operations=self.optimizer.network_operations,
+                absorbed_operations=self.optimizer.absorbed_operations,
+                results_delivered=self.results_delivered,
+            )
+
+    def validate(self) -> None:
+        """Cross-layer invariants (used by the concurrency stress test)."""
+        with self._lock:
+            self.optimizer.table.validate()
+            live_by_key: Dict[CanonicalKey, int] = {}
+            for ticket in self._tickets.values():
+                if ticket.status is TicketStatus.LIVE:
+                    live_by_key[ticket.key] = live_by_key.get(ticket.key, 0) + 1
+            entries = self._cache.entries()
+            assert set(entries) == set(live_by_key), (
+                f"cache entries {sorted(map(hash, entries))} != live ticket "
+                f"keys {sorted(map(hash, live_by_key))}")
+            for key, entry in entries.items():
+                assert entry.refcount == live_by_key[key], (
+                    f"refcount {entry.refcount} != live tickets "
+                    f"{live_by_key[key]} for anchor {entry.anchor_qid}")
+                assert entry.anchor_qid in self.optimizer.table.user, (
+                    f"anchor {entry.anchor_qid} missing from query table")

@@ -1,0 +1,113 @@
+"""Per-client sessions with TTL leases.
+
+A session is the unit of tenancy in the query service: every submitted
+query belongs to exactly one session, and a session holds a *lease* that
+the client must renew.  When the lease expires the service terminates the
+session's queries — a crashed dashboard cannot leave zombie queries
+sampling the network forever (the service-layer analogue of the baseline
+base station's reactive re-abort of zombies).
+
+All state here is plain data; :class:`QueryService` owns the lock that
+serializes access to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+#: Default lease length: ten simulated/real minutes.
+DEFAULT_TTL_MS = 600_000.0
+
+
+class SessionError(KeyError):
+    """Raised for operations on unknown, closed, or expired sessions."""
+
+
+@dataclass
+class Session:
+    """One client's lease and the tickets it owns."""
+
+    session_id: str
+    client_id: str
+    ttl_ms: float
+    expires_at_ms: float
+    opened_at_ms: float
+    #: Ticket ids (service-level query handles) owned by this session.
+    tickets: Set[int] = field(default_factory=set)
+
+    def alive_at(self, now_ms: float) -> bool:
+        return now_ms < self.expires_at_ms
+
+    def renew(self, now_ms: float, ttl_ms: Optional[float] = None) -> None:
+        if ttl_ms is not None:
+            self.ttl_ms = ttl_ms
+        self.expires_at_ms = now_ms + self.ttl_ms
+
+
+class SessionManager:
+    """Open/renew/close sessions and find the ones whose lease lapsed."""
+
+    def __init__(self, default_ttl_ms: float = DEFAULT_TTL_MS) -> None:
+        if default_ttl_ms <= 0:
+            raise ValueError(f"ttl must be positive (got {default_ttl_ms})")
+        self.default_ttl_ms = default_ttl_ms
+        self._sessions: Dict[str, Session] = {}
+        self._ids = itertools.count(1)
+        self.opened_total = 0
+        self.expired_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self, client_id: str, now_ms: float,
+             ttl_ms: Optional[float] = None) -> Session:
+        ttl = self.default_ttl_ms if ttl_ms is None else ttl_ms
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive (got {ttl})")
+        session = Session(
+            session_id=f"s-{next(self._ids)}",
+            client_id=client_id,
+            ttl_ms=ttl,
+            expires_at_ms=now_ms + ttl,
+            opened_at_ms=now_ms,
+        )
+        self._sessions[session.session_id] = session
+        self.opened_total += 1
+        return session
+
+    def get(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown or closed session {session_id!r}")
+        return session
+
+    def renew(self, session_id: str, now_ms: float,
+              ttl_ms: Optional[float] = None) -> Session:
+        session = self.get(session_id)
+        session.renew(now_ms, ttl_ms)
+        return session
+
+    def close(self, session_id: str) -> Session:
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise SessionError(f"unknown or closed session {session_id!r}")
+        return session
+
+    # ------------------------------------------------------------------
+    # Lease expiry
+    # ------------------------------------------------------------------
+    def expired(self, now_ms: float) -> List[Session]:
+        """Sessions whose lease has lapsed (still registered; the caller
+        terminates their queries and then :meth:`close`\\ s them)."""
+        return [s for s in self._sessions.values() if not s.alive_at(now_ms)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def sessions(self) -> List[Session]:
+        return list(self._sessions.values())

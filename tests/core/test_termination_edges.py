@@ -1,0 +1,103 @@
+"""Edge cases of ``BaseStationOptimizer.terminate`` (Algorithm 2).
+
+Satellite coverage for the service layer: the service leans on exact
+terminate semantics (refcounted release, error on double-terminate,
+re-registration after release), so each edge is pinned here at the
+optimizer level.
+"""
+
+import pytest
+
+from repro.core.basestation import BaseStationOptimizer
+from repro.harness.tier1_sim import default_cost_model
+from repro.queries import parse_query
+
+
+@pytest.fixture
+def optimizer():
+    return BaseStationOptimizer(default_cost_model(16, 3))
+
+
+def light_query(lo: int, epoch: int = 4096):
+    return parse_query(f"SELECT light FROM sensors WHERE light > {lo} "
+                       f"EPOCH DURATION {epoch}")
+
+
+class TestTerminateLastMember:
+    def test_last_member_of_merged_synthetic_kills_it(self, optimizer):
+        q1, q2 = light_query(300), light_query(320)
+        optimizer.register(q1)
+        actions = optimizer.register(q2)
+        # The two queries share one synthetic query (the merge happened).
+        assert optimizer.synthetic_count() == 1
+        synthetic_qid = optimizer.synthetic_for(q1.qid).qid
+        assert optimizer.synthetic_for(q2.qid).qid == synthetic_qid
+
+        first = optimizer.terminate(q1.qid)
+        assert optimizer.synthetic_count() == 1  # q2 still served
+        last = optimizer.terminate(q2.qid)
+        # Terminating the last member aborts the synthetic query.
+        assert optimizer.synthetic_count() == 0
+        assert optimizer.user_count() == 0
+        aborted = set(first.abort_qids) | set(last.abort_qids)
+        assert aborted, "the synthetic query was never aborted"
+        optimizer.table.validate()
+
+    def test_sole_member_dies_with_its_synthetic(self, optimizer):
+        query = light_query(250)
+        optimizer.register(query)
+        actions = optimizer.terminate(query.qid)
+        assert optimizer.synthetic_count() == 0
+        assert len(actions.abort_qids) == 1
+        assert not actions.inject
+
+
+class TestTerminateUnknown:
+    def test_never_registered_qid_raises_clearly(self, optimizer):
+        with pytest.raises(KeyError, match="unknown user query 424242"):
+            optimizer.terminate(424242)
+
+    def test_double_terminate_raises_clearly(self, optimizer):
+        query = light_query(300)
+        optimizer.register(query)
+        optimizer.terminate(query.qid)
+        with pytest.raises(KeyError, match="already terminated"):
+            optimizer.terminate(query.qid)
+
+    def test_failed_terminate_leaves_table_intact(self, optimizer):
+        query = light_query(300)
+        optimizer.register(query)
+        with pytest.raises(KeyError):
+            optimizer.terminate(999_999)
+        assert optimizer.user_count() == 1
+        optimizer.table.validate()
+
+
+class TestReRegistration:
+    def test_reregister_previously_terminated_qid(self, optimizer):
+        query = light_query(300)
+        optimizer.register(query)
+        optimizer.terminate(query.qid)
+        # Same qid arrives again (a user re-running a saved query).
+        actions = optimizer.register(query)
+        assert optimizer.user_count() == 1
+        assert len(actions.inject) == 1
+        assert optimizer.synthetic_for(query.qid) is not None
+        optimizer.table.validate()
+
+    def test_reregistered_qid_merges_like_new_arrival(self, optimizer):
+        shared = light_query(300)
+        optimizer.register(shared)
+        optimizer.terminate(shared.qid)
+        other = light_query(310)
+        optimizer.register(other)
+        optimizer.register(shared)
+        assert optimizer.user_count() == 2
+        assert optimizer.synthetic_count() == 1  # merged again
+        optimizer.table.validate()
+
+    def test_duplicate_live_registration_rejected(self, optimizer):
+        query = light_query(300)
+        optimizer.register(query)
+        with pytest.raises(ValueError, match="already registered"):
+            optimizer.register(query)

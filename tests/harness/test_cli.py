@@ -10,7 +10,8 @@ class TestParser:
         args = build_parser().parse_args(
             ["run", "SELECT light FROM sensors EPOCH DURATION 4096"])
         assert args.command == "run"
-        assert args.strategy == "ttmqo"
+        from repro.harness import Strategy
+        assert args.strategy is Strategy.TTMQO
         assert args.side == 4
 
     def test_compare_defaults(self):

@@ -1,0 +1,216 @@
+"""QueryService unit/behaviour tests over a pure tier-1 backend."""
+
+import pytest
+
+from repro.core.basestation import BaseStationOptimizer
+from repro.harness.tier1_sim import default_cost_model
+from repro.service import (
+    OptimizerBackend,
+    QueryService,
+    SessionError,
+    TicketStatus,
+)
+
+Q_LIGHT = "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096"
+Q_LIGHT_VARIANT = "select LIGHT from sensors where 300 < light " \
+                  "SAMPLE PERIOD 4096"
+Q_TEMP = "SELECT temp FROM sensors WHERE temp > 10 EPOCH DURATION 8192"
+Q_MAX = "SELECT MAX(light) FROM sensors EPOCH DURATION 8192"
+
+
+def make_service(**kwargs):
+    optimizer = BaseStationOptimizer(default_cost_model(16, 3))
+    return QueryService(OptimizerBackend(optimizer), **kwargs)
+
+
+class TestSessions:
+    def test_open_and_submit(self):
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        ticket = service.submit(sid, Q_LIGHT, now_ms=1.0)
+        assert ticket.status is TicketStatus.LIVE
+        assert service.optimizer.user_count() == 1
+
+    def test_unknown_session_rejected(self):
+        service = make_service()
+        with pytest.raises(SessionError):
+            service.submit("s-404", Q_LIGHT, now_ms=0.0)
+
+    def test_lease_expiry_auto_terminates(self):
+        service = make_service(default_ttl_ms=1000.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        ticket = service.submit(sid, Q_LIGHT, now_ms=10.0)
+        assert service.optimizer.user_count() == 1
+        expired = service.expire_leases(now_ms=2000.0)
+        assert expired == [sid]
+        assert service.ticket(ticket.ticket_id).status is TicketStatus.EXPIRED
+        assert service.optimizer.user_count() == 0
+        assert service.stats().sessions_expired_total == 1
+
+    def test_renew_extends_lease(self):
+        service = make_service(default_ttl_ms=1000.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        service.renew_session(sid, now_ms=900.0)
+        assert service.expire_leases(now_ms=1500.0) == []
+        assert service.expire_leases(now_ms=2000.0) == [sid]
+
+    def test_lapsed_lease_cannot_renew(self):
+        service = make_service(default_ttl_ms=1000.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        with pytest.raises(SessionError):
+            service.renew_session(sid, now_ms=5000.0)
+
+    def test_close_session_terminates_queries(self):
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        service.submit(sid, Q_LIGHT, now_ms=1.0)
+        service.submit(sid, Q_TEMP, now_ms=2.0)
+        assert service.optimizer.user_count() == 2
+        service.close_session(sid)
+        assert service.optimizer.user_count() == 0
+        with pytest.raises(SessionError):
+            service.submit(sid, Q_MAX, now_ms=3.0)
+
+
+class TestDedupFastPath:
+    def test_duplicate_hits_cache(self):
+        service = make_service()
+        a = service.open_session("alice", now_ms=0.0)
+        b = service.open_session("bob", now_ms=0.0)
+        first = service.submit(a, Q_LIGHT, now_ms=1.0)
+        second = service.submit(b, Q_LIGHT_VARIANT, now_ms=2.0)
+        assert not first.cache_hit
+        assert second.cache_hit
+        # One optimizer user query serves both tickets.
+        assert service.optimizer.user_count() == 1
+        assert first.anchor_qid == second.anchor_qid
+        stats = service.stats()
+        assert stats.cache_hits == 1
+        assert stats.registrations == 1
+
+    def test_distinct_queries_miss(self):
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        service.submit(sid, Q_LIGHT, now_ms=1.0)
+        service.submit(sid, Q_TEMP, now_ms=2.0)
+        assert service.stats().cache_misses == 2
+        assert service.optimizer.user_count() == 2
+
+    def test_refcounted_release(self):
+        service = make_service()
+        a = service.open_session("alice", now_ms=0.0)
+        b = service.open_session("bob", now_ms=0.0)
+        t1 = service.submit(a, Q_LIGHT, now_ms=1.0)
+        t2 = service.submit(b, Q_LIGHT, now_ms=2.0)
+        service.terminate(a, t1.ticket_id)
+        # bob still holds the anchor: the optimizer query must survive.
+        assert service.optimizer.user_count() == 1
+        service.terminate(b, t2.ticket_id)
+        assert service.optimizer.user_count() == 0
+        assert service.stats().live_cached_queries == 0
+
+    def test_resubmit_after_full_release_is_fresh(self):
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        t1 = service.submit(sid, Q_LIGHT, now_ms=1.0)
+        service.terminate(sid, t1.ticket_id)
+        t2 = service.submit(sid, Q_LIGHT, now_ms=2.0)
+        assert not t2.cache_hit  # dead entries do not serve
+        assert t2.anchor_qid != t1.anchor_qid
+        assert service.optimizer.user_count() == 1
+        service.validate()
+
+    def test_terminating_foreign_ticket_rejected(self):
+        service = make_service()
+        a = service.open_session("alice", now_ms=0.0)
+        b = service.open_session("bob", now_ms=0.0)
+        ticket = service.submit(a, Q_LIGHT, now_ms=1.0)
+        with pytest.raises(KeyError):
+            service.terminate(b, ticket.ticket_id)
+
+
+class TestBatchedAdmission:
+    def test_window_holds_then_flushes(self):
+        service = make_service(batch_window_ms=100.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        t1 = service.submit(sid, Q_LIGHT, now_ms=0.0)
+        t2 = service.submit(sid, Q_LIGHT, now_ms=50.0)
+        assert t1.status is TicketStatus.PENDING
+        assert t2.status is TicketStatus.PENDING
+        assert service.optimizer.user_count() == 0
+        service.tick(now_ms=100.0)
+        assert t1.status is TicketStatus.LIVE
+        assert t2.status is TicketStatus.LIVE
+        # Batch-local dedup: one optimizer pass for both submissions.
+        assert service.stats().registrations == 1
+        assert service.stats().cache_hits == 1
+
+    def test_late_submit_triggers_due_flush(self):
+        service = make_service(batch_window_ms=100.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        t1 = service.submit(sid, Q_LIGHT, now_ms=0.0)
+        t2 = service.submit(sid, Q_TEMP, now_ms=150.0)
+        # The second submission arrived after the window closed, so the
+        # whole batch (including it) was admitted on the spot.
+        assert t1.status is TicketStatus.LIVE
+        assert t2.status is TicketStatus.LIVE
+
+    def test_admission_latency_measured(self):
+        service = make_service(batch_window_ms=200.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        service.submit(sid, Q_LIGHT, now_ms=0.0)
+        service.submit(sid, Q_TEMP, now_ms=120.0)
+        service.flush(now_ms=200.0)
+        stats = service.stats()
+        assert stats.admission_latency_p50_ms == pytest.approx(140.0)
+        assert stats.admission_latency_p95_ms == pytest.approx(194.0)
+
+    def test_pending_cancel_on_close(self):
+        service = make_service(batch_window_ms=1000.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        ticket = service.submit(sid, Q_LIGHT, now_ms=0.0)
+        service.close_session(sid)
+        service.flush(now_ms=1.0)
+        assert service.ticket(ticket.ticket_id).status \
+            is TicketStatus.TERMINATED
+        assert service.optimizer.user_count() == 0
+
+    def test_zero_window_is_synchronous(self):
+        service = make_service(batch_window_ms=0.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        assert service.submit(sid, Q_LIGHT, now_ms=0.0).status \
+            is TicketStatus.LIVE
+
+
+class TestStatsAndValidation:
+    def test_stats_snapshot_fields(self):
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        for text in (Q_LIGHT, Q_LIGHT_VARIANT, Q_TEMP, Q_MAX):
+            service.submit(sid, text, now_ms=1.0)
+        stats = service.stats()
+        assert stats.submissions_total == 4
+        assert stats.admitted_total == 4
+        assert stats.cache_hit_rate == pytest.approx(0.25)
+        assert stats.live_user_queries == 3
+        assert stats.live_synthetic_queries >= 1
+        assert 0.0 <= stats.absorbed_admission_rate <= 1.0
+        assert stats.admissions_without_inject \
+            == stats.admitted_total - stats.injected_registrations
+        service.validate()
+
+    def test_subscribe_requires_result_log(self):
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        ticket = service.submit(sid, Q_LIGHT, now_ms=1.0)
+        with pytest.raises(ValueError):
+            service.subscribe(sid, ticket.ticket_id)
+        assert service.pump() == 0
+
+    def test_parsed_query_accepted(self):
+        from repro.queries import parse_query
+
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        ticket = service.submit(sid, parse_query(Q_LIGHT), now_ms=1.0)
+        assert ticket.status is TicketStatus.LIVE
