@@ -12,6 +12,7 @@ quantity is the simulated experiment itself, not a micro-benchmark.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 
@@ -19,3 +20,14 @@ def run_once(benchmark, fn: Callable, *args, **kwargs):
     """Run ``fn`` once under pytest-benchmark timing and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def sweep_workers(default: int = 0) -> int:
+    """Worker-process count for executor-backed figure sweeps.
+
+    Benchmarks default to serial execution (``0``) so pytest-benchmark
+    times the simulations themselves; set ``REPRO_SWEEP_WORKERS`` to fan a
+    figure's grid across processes (results are bit-identical either way —
+    the executor's determinism contract).
+    """
+    return int(os.environ.get("REPRO_SWEEP_WORKERS", str(default)))

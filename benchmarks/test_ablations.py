@@ -7,48 +7,62 @@ Each ablation disables one tier-2 mechanism and measures what it buys:
   clock vs the baseline's per-query sampling (Section 3.2.1);
 * **alpha extremes** — rebuild churn at alpha 0 vs the recommended 0.6
   (Algorithm 2).
+
+All three run as cell grids through the sweep executor
+(:func:`repro.harness.run_sweep`), so ``REPRO_SWEEP_WORKERS`` fans them
+across processes with bit-identical results.
 """
 
 import pytest
 
 from repro.core.innetwork import TTMQOParams
-from repro.harness import DeploymentConfig, Strategy, print_table, run_workload
-from repro.harness.tier1_sim import default_cost_model, run_tier1
-from repro.queries import parse_query
-from repro.sim import EnergyModel
-from repro.workloads import Workload, dynamic_workload, fig4_query_model
+from repro.harness import (
+    CellSpec,
+    DeploymentConfig,
+    Strategy,
+    Tier1CellSpec,
+    WorkloadSpec,
+    print_table,
+    run_sweep,
+)
 
-from _util import run_once
+from _util import run_once, sweep_workers
 
 DURATION_MS = 90_000.0
 SEED = 11
 
+#: Few matching nodes: most of the network can sleep.
+SELECTIVE_QUERIES = (
+    "SELECT light FROM sensors WHERE light > 900 EPOCH DURATION 4096",
+    "SELECT temp FROM sensors WHERE temp > 90 EPOCH DURATION 8192",
+)
 
-def _selective_workload():
-    """Few matching nodes: most of the network can sleep."""
-    return Workload.static([
-        parse_query("SELECT light FROM sensors WHERE light > 900 "
-                    "EPOCH DURATION 4096"),
-        parse_query("SELECT temp FROM sensors WHERE temp > 90 "
-                    "EPOCH DURATION 8192"),
-    ], duration_ms=DURATION_MS, description="selective")
+SHARING_QUERIES = (
+    "SELECT light FROM sensors EPOCH DURATION 4096",
+    "SELECT light, temp FROM sensors EPOCH DURATION 4096",
+    "SELECT light FROM sensors EPOCH DURATION 8192",
+    "SELECT MAX(light) FROM sensors EPOCH DURATION 8192",
+)
 
 
 def _sleep_ablation():
+    workload = WorkloadSpec.from_texts(SELECTIVE_QUERIES, DURATION_MS,
+                                       description="selective")
+    cells = [
+        CellSpec(strategy=Strategy.TTMQO, workload=workload,
+                 config=DeploymentConfig(
+                     side=4, seed=SEED,
+                     ttmqo_params=TTMQOParams(sleep_enabled=sleep_enabled)),
+                 seed=SEED)
+        for sleep_enabled in (True, False)
+    ]
+    report = run_sweep(cells, workers=sweep_workers())
     results = {}
-    for sleep_enabled in (True, False):
-        params = TTMQOParams(sleep_enabled=sleep_enabled)
-        run = run_workload(Strategy.TTMQO, _selective_workload(),
-                           DeploymentConfig(side=4, seed=SEED,
-                                            ttmqo_params=params))
-        sim = run.deployment.sim
-        energy = sim.trace.average_energy_mj(
-            sim.topology.node_ids, EnergyModel(),
-            include_base_station=sim.topology.base_station)
+    for sleep_enabled, run in zip((True, False), report.results()):
         results[sleep_enabled] = {
-            "energy_mj": energy,
+            "energy_mj": run.average_energy_mj,
             "avg_tx": run.average_transmission_time,
-            "rows": run.deployment.results.total_rows(),
+            "rows": run.result_rows,
         }
     return results
 
@@ -68,19 +82,16 @@ def test_ablation_sleep_mode(benchmark):
 
 
 def _acquisition_sharing():
-    queries = [
-        parse_query("SELECT light FROM sensors EPOCH DURATION 4096"),
-        parse_query("SELECT light, temp FROM sensors EPOCH DURATION 4096"),
-        parse_query("SELECT light FROM sensors EPOCH DURATION 8192"),
-        parse_query("SELECT MAX(light) FROM sensors EPOCH DURATION 8192"),
+    workload = WorkloadSpec.from_texts(SHARING_QUERIES, DURATION_MS)
+    strategies = (Strategy.BASELINE, Strategy.INNET_ONLY, Strategy.TTMQO)
+    cells = [
+        CellSpec(strategy=strategy, workload=workload,
+                 config=DeploymentConfig(side=4, seed=SEED), seed=SEED)
+        for strategy in strategies
     ]
-    workload = Workload.static(queries, duration_ms=DURATION_MS)
-    out = {}
-    for strategy in (Strategy.BASELINE, Strategy.INNET_ONLY, Strategy.TTMQO):
-        run = run_workload(strategy, workload,
-                           DeploymentConfig(side=4, seed=SEED))
-        out[strategy] = run.acquisitions
-    return out
+    report = run_sweep(cells, workers=sweep_workers())
+    return {cell.spec.strategy: cell.result.acquisitions
+            for cell in report.cells}
 
 
 def test_ablation_shared_acquisition(benchmark):
@@ -97,13 +108,14 @@ def test_ablation_shared_acquisition(benchmark):
 
 
 def _alpha_churn():
-    cost_model = default_cost_model(64, 5)
-    workload = dynamic_workload(fig4_query_model(), 64, n_queries=400,
-                                concurrency=8, seed=6)
-    return {
-        alpha: run_tier1(workload, cost_model, alpha=alpha)
-        for alpha in (0.0, 0.6, 2.0)
-    }
+    alphas = (0.0, 0.6, 2.0)
+    cells = [
+        Tier1CellSpec(n_nodes=64, n_queries=400, concurrency=8, seed=6,
+                      alpha=alpha)
+        for alpha in alphas
+    ]
+    report = run_sweep(cells, workers=sweep_workers())
+    return dict(zip(alphas, report.results()))
 
 
 def test_ablation_alpha_extremes(benchmark):

@@ -22,7 +22,7 @@ from repro.harness import (
     hotspot_ratio,
     lifetime_estimate_days,
     print_table,
-    run_workload,
+    run_workload_live,
 )
 from repro.queries import parse_query
 from repro.sim import EnergyModel
@@ -59,7 +59,7 @@ def _sweep():
         config = DeploymentConfig(side=side, seed=SEED)
         entry = {"nodes": side * side}
         for strategy in (Strategy.BASELINE, Strategy.TTMQO):
-            result = run_workload(strategy, workload, config)
+            result = run_workload_live(strategy, workload, config)
             sim = result.deployment.sim
             (_, bottleneck_tx), = busiest_nodes(sim.trace, sim.topology, 1)
             entry[strategy] = {

@@ -18,13 +18,14 @@ import pytest
 from repro.harness import Strategy, print_table
 from repro.harness.experiments import fig3_results, fig3_rows
 
-from _util import run_once
+from _util import run_once, sweep_workers
 
 
 @pytest.mark.parametrize("name", ["A", "B", "C"])
 @pytest.mark.parametrize("side", [4, 8], ids=["16nodes", "64nodes"])
 def test_fig3(benchmark, name: str, side: int):
-    results = run_once(benchmark, fig3_results, name, side)
+    results = run_once(benchmark, fig3_results, name, side,
+                       workers=sweep_workers())
     print_table(
         ["strategy", "avg tx time", "frames", "result frames", "savings"],
         fig3_rows(results),

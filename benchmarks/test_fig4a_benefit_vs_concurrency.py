@@ -15,11 +15,12 @@ import pytest
 from repro.harness import print_table
 from repro.harness.experiments import fig4a_series
 
-from _util import run_once
+from _util import run_once, sweep_workers
 
 
 def test_fig4a(benchmark):
-    series = run_once(benchmark, fig4a_series)
+    series = run_once(benchmark, fig4a_series,
+                      workers=sweep_workers())
     print_table(
         ["concurrent queries", "benefit ratio", "avg synthetic queries"],
         [[c, f"{r:.3f}", f"{s:.2f}"] for c, r, s in series],

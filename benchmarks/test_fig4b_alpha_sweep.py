@@ -14,11 +14,12 @@ import pytest
 from repro.harness import print_table
 from repro.harness.experiments import fig4b_series
 
-from _util import run_once
+from _util import run_once, sweep_workers
 
 
 def test_fig4b(benchmark):
-    series = run_once(benchmark, fig4b_series)
+    series = run_once(benchmark, fig4b_series,
+                      workers=sweep_workers())
     print_table(
         ["alpha", "benefit ratio", "network operations"],
         [[a, f"{r:.4f}", f"{ops:.0f}"] for a, r, ops in series],

@@ -21,7 +21,7 @@ import pytest
 from repro.harness import print_table
 from repro.harness.experiments import fig5_table
 
-from _util import run_once
+from _util import run_once, sweep_workers
 
 SELECTIVITIES = (0.2, 0.4, 0.6, 0.8, 1.0)
 COMPOSITIONS = ((0.0, "100% acquisition"), (0.5, "50/50 mix"),
@@ -30,7 +30,8 @@ COMPOSITIONS = ((0.0, "100% acquisition"), (0.5, "50/50 mix"),
 
 def test_fig5(benchmark):
     table = run_once(benchmark, fig5_table, SELECTIVITIES,
-                     tuple(f for f, _ in COMPOSITIONS))
+                     tuple(f for f, _ in COMPOSITIONS),
+                     workers=sweep_workers())
     rows = [
         [label] + [f"{table[(fraction, s)]:.1f}%" for s in SELECTIVITIES]
         for fraction, label in COMPOSITIONS

@@ -16,7 +16,7 @@ from repro import (
     Strategy,
     Workload,
     parse_query,
-    run_all_strategies,
+    run_all_strategies_live,
 )
 from repro.harness import print_table, savings_table
 
@@ -47,7 +47,7 @@ def main() -> None:
 
     print(f"running {len(queries)} user queries under 4 strategies "
           f"(64 nodes, correlated field)...")
-    results = run_all_strategies(workload, config)
+    results = run_all_strategies_live(workload, config)
 
     savings = savings_table(results)
     rows = []

@@ -14,7 +14,7 @@ from repro import (
     Strategy,
     Workload,
     parse_query,
-    run_workload,
+    run_workload_live,
 )
 
 QUERIES = [
@@ -28,7 +28,7 @@ def main() -> None:
     workload = Workload.static(queries, duration_ms=60_000.0,
                                description="quickstart")
 
-    result = run_workload(Strategy.TTMQO, workload,
+    result = run_workload_live(Strategy.TTMQO, workload,
                           DeploymentConfig(side=4, seed=42))
     deployment = result.deployment
 

@@ -37,13 +37,20 @@ from .core import (
     TTMQOParams,
 )
 from .harness import (
+    CellSpec,
     Deployment,
     DeploymentConfig,
+    LiveRun,
     RunResult,
     Strategy,
+    Tier1CellSpec,
+    WorkloadSpec,
     run_all_strategies,
+    run_all_strategies_live,
+    run_sweep,
     run_tier1,
     run_workload,
+    run_workload_live,
 )
 from .queries import (
     Aggregate,
@@ -90,6 +97,8 @@ __all__ = [
     "QueryGenerator",
     "QueryModel",
     "ResultMapper",
+    "CellSpec",
+    "LiveRun",
     "RoutingTree",
     "RunResult",
     "SensorWorld",
@@ -101,14 +110,19 @@ __all__ = [
     "TTMQOParams",
     "TinyDBBaseStationApp",
     "TinyDBNodeApp",
+    "Tier1CellSpec",
     "Topology",
     "Workload",
+    "WorkloadSpec",
     "dynamic_workload",
     "parse_query",
     "run_all_strategies",
+    "run_all_strategies_live",
     "run_scripted_load",
+    "run_sweep",
     "run_tier1",
     "run_workload",
+    "run_workload_live",
     "workload_a",
     "workload_b",
     "workload_c",

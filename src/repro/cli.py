@@ -9,7 +9,10 @@ Commands:
 * ``fig``     — regenerate a paper figure's table (fig3, fig4a, fig4b,
   fig4c, fig5);
 * ``serve``   — stand up the multi-tenant :class:`QueryService` and drive
-  a scripted client load against the simulator.
+  a scripted client load against the simulator;
+* ``sweep``   — fan the Figure 3 (workload x size x strategy) grid across
+  worker processes with deterministic result caching;
+* ``topo``    — render a deployment's topology as ASCII.
 
 Examples::
 
@@ -19,6 +22,7 @@ Examples::
     python -m repro compare --workload C --side 8
     python -m repro fig fig4a
     python -m repro serve --clients 60 --unique 6
+    python -m repro sweep --workers 4 --sides 4 8
 """
 
 from __future__ import annotations
@@ -32,10 +36,11 @@ from .harness import (
     DeploymentConfig,
     Strategy,
     print_table,
-    run_workload,
+    run_workload_live,
 )
 from .harness.experiments import (
     STRATEGY_ORDER,
+    fig3_grid,
     fig3_results,
     fig3_rows,
     fig4a_series,
@@ -118,6 +123,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="session lease TTL in seconds "
                               "(default: outlives the run)")
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="fan the Figure 3 grid across worker processes with caching")
+    sweep_p.add_argument("--workloads", nargs="+", choices=["A", "B", "C"],
+                         default=["A", "B", "C"],
+                         help="static workloads to sweep")
+    sweep_p.add_argument("--sides", nargs="+", type=int, default=[4, 8],
+                         help="grid sides (nodes = side^2)")
+    sweep_p.add_argument("--duration", type=float, default=90.0,
+                         help="simulated seconds per cell")
+    sweep_p.add_argument("--seed", type=int, default=11)
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: CPU count; "
+                              "0 = serial in-process)")
+    sweep_p.add_argument("--cache-dir", default=".repro-sweep-cache",
+                         help="on-disk result cache directory")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="always re-simulate, never read/write cache")
+    sweep_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress lines")
+
     topo_p = sub.add_parser("topo", help="render a deployment as ASCII")
     topo_p.add_argument("--kind", choices=["grid", "random"], default="grid")
     topo_p.add_argument("--side", type=int, default=8,
@@ -143,8 +169,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     strategy = args.strategy
     workload = Workload.static(queries, duration_ms=args.duration * 1000.0)
     config = DeploymentConfig(side=args.side, seed=args.seed, world=args.world)
-    result = run_workload(strategy, workload, config)
-    deployment = result.deployment
+    live = run_workload_live(strategy, workload, config)
+    result = live.result
+    deployment = live.deployment
 
     print(f"strategy            : {strategy.value}")
     print(f"network             : {args.side * args.side} nodes "
@@ -306,6 +333,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.all_clients_served else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from .harness import Strategy, run_sweep, savings_table
+
+    cells = fig3_grid(tuple(args.workloads), tuple(args.sides),
+                      duration_ms=args.duration * 1000.0, seed=args.seed)
+    workers = args.workers if args.workers is not None \
+        else (os.cpu_count() or 1)
+    cache_dir = None if args.no_cache else args.cache_dir
+
+    def _progress(cell, telemetry):
+        if args.quiet:
+            return
+        done = telemetry.cache_hits + telemetry.cache_misses
+        source = "cache" if cell.cached else f"{cell.duration_s:6.2f}s"
+        print(f"[{done:3}/{telemetry.total_cells}] "
+              f"{cell.spec.workload.description:<16} "
+              f"{cell.spec.strategy.value:<18} {source}")
+
+    report = run_sweep(cells, workers=workers, cache_dir=cache_dir,
+                       progress=_progress)
+
+    # One Figure 3 table per (workload, side) group, in grid order.
+    per_group = len(STRATEGY_ORDER)
+    for start in range(0, len(report.cells), per_group):
+        group = report.cells[start:start + per_group]
+        results = {cell.spec.strategy: cell.result for cell in group}
+        print_table(
+            ["strategy", "avg tx time", "frames", "result frames", "savings"],
+            fig3_rows(results),
+            title=group[0].spec.workload.description,
+        )
+
+    t = report.telemetry
+    print(f"\nsweep               : {t.total_cells} cells, "
+          f"{t.cache_hits} cache hits, {t.cache_misses} simulated")
+    print(f"wall clock          : {t.wall_s:.2f}s over {t.workers} workers "
+          f"({100.0 * t.utilization:.0f}% busy)")
+    if t.cell_seconds:
+        print(f"cell duration       : p50 {t.cell_p50_s:.2f}s, "
+              f"p95 {t.cell_p95_s:.2f}s")
+    if cache_dir is not None:
+        print(f"cache               : {cache_dir} "
+              f"(delete to force re-simulation)")
+    return 0
+
+
 def _cmd_topo(args: argparse.Namespace) -> int:
     from .harness.reporting import render_topology
     from .sim import Topology
@@ -328,6 +403,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fig(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "topo":
         return _cmd_topo(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -1,4 +1,4 @@
-"""Experiment harness: strategy matrix, runners, metrics, reporting (S8)."""
+"""Experiment harness: strategy matrix, runners, sweeps, metrics (S8)."""
 
 from .analysis import (
     LevelBreakdown,
@@ -7,40 +7,90 @@ from .analysis import (
     level_breakdown,
     lifetime_estimate_days,
 )
+from .cells import (
+    CellSpec,
+    Tier1CellSpec,
+    WorkloadSpec,
+    canonical_cell_json,
+    cell_key,
+    derive_seed,
+    stable_hash,
+)
 from .failures import (
     FailureInjector,
     Outage,
     expected_rows,
     row_completeness,
 )
-from .metrics import message_savings, percent_savings, savings_table
+from .metrics import (
+    SweepTelemetry,
+    message_savings,
+    percent_savings,
+    percentile,
+    savings_table,
+)
+from .parallel import (
+    CellResult,
+    ResultCache,
+    SweepReport,
+    code_fingerprint,
+    grid,
+    run_sweep,
+)
 from .reporting import format_table, print_table
-from .runner import DEFAULT_DRAIN_MS, RunResult, run_all_strategies, run_workload
+from .runner import (
+    DEFAULT_DRAIN_MS,
+    LiveRun,
+    RunResult,
+    run_all_strategies,
+    run_all_strategies_live,
+    run_workload,
+    run_workload_live,
+)
 from .strategies import Deployment, DeploymentConfig, Strategy
 from .tier1_sim import Tier1RunStats, default_cost_model, run_tier1
 
 __all__ = [
     "DEFAULT_DRAIN_MS",
+    "CellResult",
+    "CellSpec",
     "Deployment",
+    "DeploymentConfig",
     "FailureInjector",
     "LevelBreakdown",
+    "LiveRun",
     "Outage",
-    "DeploymentConfig",
+    "ResultCache",
     "RunResult",
     "Strategy",
+    "SweepReport",
+    "SweepTelemetry",
+    "Tier1CellSpec",
     "Tier1RunStats",
-    "default_cost_model",
-    "expected_rows",
-    "row_completeness",
+    "WorkloadSpec",
     "busiest_nodes",
+    "canonical_cell_json",
+    "cell_key",
+    "code_fingerprint",
+    "default_cost_model",
+    "derive_seed",
+    "expected_rows",
+    "format_table",
+    "grid",
     "hotspot_ratio",
     "level_breakdown",
     "lifetime_estimate_days",
-    "format_table",
     "message_savings",
     "percent_savings",
+    "percentile",
     "print_table",
+    "row_completeness",
     "run_all_strategies",
+    "run_all_strategies_live",
+    "run_sweep",
     "run_tier1",
     "run_workload",
+    "run_workload_live",
+    "savings_table",
+    "stable_hash",
 ]

@@ -4,24 +4,24 @@ The benchmark suite (``benchmarks/``) and the command-line interface both
 call these, so a figure is regenerated identically no matter how it is
 invoked.  Each function returns plain data (rows/series); rendering is the
 caller's job.
+
+Every figure routes through the sweep executor
+(:func:`repro.harness.parallel.run_sweep`): with the default ``workers=0``
+the cells run serially in-process, while ``workers=n`` fans them across
+``n`` worker processes and ``cache_dir`` reuses completed cells across
+invocations — with bit-identical results either way (the executor's
+determinism contract, pinned by ``tests/harness/test_parallel_equivalence``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..workloads import (
-    STATIC_WORKLOADS,
-    Workload,
-    dynamic_workload,
-    fig4_query_model,
-    fig5_queries,
-)
+from .cells import CellSpec, Tier1CellSpec, WorkloadSpec
 from .metrics import percent_savings, savings_table
-from .runner import RunResult, run_all_strategies
+from .parallel import SweepReport, run_sweep
+from .runner import RunResult
 from .strategies import DeploymentConfig, Strategy
-from .tier1_sim import Tier1RunStats, default_cost_model, run_tier1
 
 #: Orderings used by every rendering of the strategy matrix.
 STRATEGY_ORDER = (Strategy.BASELINE, Strategy.BS_ONLY,
@@ -31,14 +31,40 @@ STRATEGY_ORDER = (Strategy.BASELINE, Strategy.BS_ONLY,
 # ----------------------------------------------------------------------
 # Figure 3
 # ----------------------------------------------------------------------
-def fig3_results(workload_name: str, side: int, duration_ms: float = 90_000.0,
-                 seed: int = 11) -> Dict[Strategy, RunResult]:
-    """Run one Figure 3 bar group (workload x network size)."""
-    queries = STATIC_WORKLOADS[workload_name]()
-    workload = Workload.static(
-        queries, duration_ms=duration_ms,
+def fig3_cells(workload_name: str, side: int,
+               duration_ms: float = 90_000.0, seed: int = 11,
+               strategies: Sequence[Strategy] = STRATEGY_ORDER,
+               ) -> List[CellSpec]:
+    """The cells of one Figure 3 bar group (workload x network size)."""
+    workload = WorkloadSpec.named(
+        workload_name, duration_ms=duration_ms,
         description=f"WORKLOAD_{workload_name}/{side * side}n")
-    return run_all_strategies(workload, DeploymentConfig(side=side, seed=seed))
+    return [
+        CellSpec(strategy=strategy, workload=workload,
+                 config=DeploymentConfig(side=side, seed=seed), seed=seed)
+        for strategy in strategies
+    ]
+
+
+def fig3_results(workload_name: str, side: int, duration_ms: float = 90_000.0,
+                 seed: int = 11, workers: int = 0,
+                 cache_dir: Optional[str] = None,
+                 ) -> Dict[Strategy, RunResult]:
+    """Run one Figure 3 bar group through the sweep executor."""
+    cells = fig3_cells(workload_name, side, duration_ms, seed)
+    report = run_sweep(cells, workers=workers, cache_dir=cache_dir)
+    return {cell.spec.strategy: cell.result for cell in report.cells}
+
+
+def fig3_grid(workload_names: Sequence[str] = ("A", "B", "C"),
+              sides: Sequence[int] = (4, 8),
+              duration_ms: float = 90_000.0, seed: int = 11) -> List[CellSpec]:
+    """The full Figure 3 sweep grid (the CLI's default sweep)."""
+    cells: List[CellSpec] = []
+    for name in workload_names:
+        for side in sides:
+            cells.extend(fig3_cells(name, side, duration_ms, seed))
+    return cells
 
 
 def fig3_rows(results: Mapping[Strategy, RunResult]) -> List[List[object]]:
@@ -60,27 +86,36 @@ def fig3_rows(results: Mapping[Strategy, RunResult]) -> List[List[object]]:
 # ----------------------------------------------------------------------
 # Figure 4
 # ----------------------------------------------------------------------
+def _tier1_sweep(cells: Sequence[Tier1CellSpec], workers: int,
+                 cache_dir: Optional[str]) -> SweepReport:
+    return run_sweep(cells, workers=workers, cache_dir=cache_dir)
+
+
 def fig4a_series(
     concurrencies: Sequence[int] = (8, 16, 24, 32, 40, 48),
     seeds: Sequence[int] = (5, 6, 7),
     n_nodes: int = 64,
     alpha: float = 0.6,
     n_queries: int = 500,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> List[Tuple[int, float, float]]:
     """(concurrency, mean benefit ratio, mean synthetic count) series."""
-    cost_model = default_cost_model(n_nodes, 5)
-    model = fig4_query_model()
+    cells = [
+        Tier1CellSpec(n_nodes=n_nodes, concurrency=concurrency,
+                      n_queries=n_queries, alpha=alpha, seed=seed)
+        for concurrency in concurrencies for seed in seeds
+    ]
+    report = _tier1_sweep(cells, workers, cache_dir)
     series = []
-    for concurrency in concurrencies:
-        ratios, counts = [], []
-        for seed in seeds:
-            workload = dynamic_workload(model, n_nodes, n_queries=n_queries,
-                                        concurrency=concurrency, seed=seed)
-            stats = run_tier1(workload, cost_model, alpha=alpha)
-            ratios.append(stats.benefit_ratio)
-            counts.append(stats.average_synthetic_count)
-        series.append((concurrency, sum(ratios) / len(ratios),
-                       sum(counts) / len(counts)))
+    for i, concurrency in enumerate(concurrencies):
+        stats = [report.cells[i * len(seeds) + j].result
+                 for j in range(len(seeds))]
+        series.append((
+            concurrency,
+            sum(s.benefit_ratio for s in stats) / len(stats),
+            sum(s.average_synthetic_count for s in stats) / len(stats),
+        ))
     return series
 
 
@@ -90,18 +125,20 @@ def fig4b_series(
     n_nodes: int = 64,
     concurrency: int = 8,
     n_queries: int = 500,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> List[Tuple[float, float, float]]:
     """(alpha, mean benefit ratio, mean network operations) series."""
-    cost_model = default_cost_model(n_nodes, 5)
-    model = fig4_query_model()
-    workloads = [
-        dynamic_workload(model, n_nodes, n_queries=n_queries,
-                         concurrency=concurrency, seed=seed)
-        for seed in seeds
+    cells = [
+        Tier1CellSpec(n_nodes=n_nodes, concurrency=concurrency,
+                      n_queries=n_queries, alpha=alpha, seed=seed)
+        for alpha in alphas for seed in seeds
     ]
+    report = _tier1_sweep(cells, workers, cache_dir)
     series = []
-    for alpha in alphas:
-        stats = [run_tier1(w, cost_model, alpha=alpha) for w in workloads]
+    for i, alpha in enumerate(alphas):
+        stats = [report.cells[i * len(seeds) + j].result
+                 for j in range(len(seeds))]
         series.append((
             alpha,
             sum(s.benefit_ratio for s in stats) / len(stats),
@@ -116,27 +153,52 @@ def fig4c_table(
     seeds: Sequence[int] = (5, 6, 7),
     n_nodes: int = 64,
     n_queries: int = 500,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> Dict[Tuple[int, float], float]:
     """(concurrency, alpha) -> mean synthetic-query count."""
-    cost_model = default_cost_model(n_nodes, 5)
-    model = fig4_query_model()
+    keys = [(concurrency, alpha)
+            for concurrency in concurrencies for alpha in alphas]
+    cells = [
+        Tier1CellSpec(n_nodes=n_nodes, concurrency=concurrency,
+                      n_queries=n_queries, alpha=alpha, seed=seed)
+        for (concurrency, alpha) in keys for seed in seeds
+    ]
+    report = _tier1_sweep(cells, workers, cache_dir)
     table: Dict[Tuple[int, float], float] = {}
-    for concurrency in concurrencies:
-        workloads = [
-            dynamic_workload(model, n_nodes, n_queries=n_queries,
-                             concurrency=concurrency, seed=seed)
-            for seed in seeds
-        ]
-        for alpha in alphas:
-            counts = [run_tier1(w, cost_model, alpha=alpha).average_synthetic_count
-                      for w in workloads]
-            table[(concurrency, alpha)] = sum(counts) / len(counts)
+    for i, key in enumerate(keys):
+        stats = [report.cells[i * len(seeds) + j].result
+                 for j in range(len(seeds))]
+        table[key] = (sum(s.average_synthetic_count for s in stats)
+                      / len(stats))
     return table
 
 
 # ----------------------------------------------------------------------
 # Figure 5
 # ----------------------------------------------------------------------
+def fig5_cells(
+    selectivities: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    compositions: Sequence[float] = (0.0, 0.5, 1.0),
+    side: int = 4,
+    duration_ms: float = 90_000.0,
+    seed: int = 3,
+    workload_seed: int = 2,
+) -> List[CellSpec]:
+    """Baseline + TTMQO cells for every (composition, selectivity) point."""
+    cells: List[CellSpec] = []
+    config = DeploymentConfig(side=side, seed=seed)
+    for fraction in compositions:
+        for selectivity in selectivities:
+            workload = WorkloadSpec.fig5(fraction, selectivity, side * side,
+                                         duration_ms=duration_ms,
+                                         seed=workload_seed)
+            for strategy in (Strategy.BASELINE, Strategy.TTMQO):
+                cells.append(CellSpec(strategy=strategy, workload=workload,
+                                      config=config, seed=seed))
+    return cells
+
+
 def fig5_table(
     selectivities: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
     compositions: Sequence[float] = (0.0, 0.5, 1.0),
@@ -144,20 +206,20 @@ def fig5_table(
     duration_ms: float = 90_000.0,
     seed: int = 3,
     workload_seed: int = 2,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> Dict[Tuple[float, float], float]:
     """(aggregation fraction, selectivity) -> % savings TTMQO vs baseline."""
-    from .runner import run_workload
-
+    cells = fig5_cells(selectivities, compositions, side, duration_ms,
+                       seed, workload_seed)
+    report = run_sweep(cells, workers=workers, cache_dir=cache_dir)
     table: Dict[Tuple[float, float], float] = {}
-    config = DeploymentConfig(side=side, seed=seed)
+    index = 0
     for fraction in compositions:
         for selectivity in selectivities:
-            queries = fig5_queries(fraction, selectivity, side * side,
-                                   seed=workload_seed)
-            workload = Workload.static(queries, duration_ms=duration_ms,
-                                       description="fig5")
-            baseline = run_workload(Strategy.BASELINE, workload, config)
-            ttmqo = run_workload(Strategy.TTMQO, workload, config)
+            baseline = report.cells[index].result
+            ttmqo = report.cells[index + 1].result
+            index += 2
             table[(fraction, selectivity)] = percent_savings(
                 baseline.average_transmission_time,
                 ttmqo.average_transmission_time)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 from .runner import RunResult
 from .strategies import Strategy
@@ -48,6 +49,63 @@ def savings_table(results: Mapping[Strategy, RunResult]) -> Dict[Strategy, float
         for strategy, result in results.items()
         if strategy is not Strategy.BASELINE
     }
+
+
+@dataclass
+class SweepTelemetry:
+    """Progress/timing channel of one sweep (:mod:`repro.harness.parallel`).
+
+    Filled in as cells complete; readable at any time by a progress
+    callback, final by the time :func:`run_sweep` returns.
+    """
+
+    total_cells: int = 0
+    workers: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+    #: Per-cell simulation durations (seconds), cache hits excluded —
+    #: a hit performs no simulation.
+    cell_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def simulated_cells(self) -> int:
+        return len(self.cell_seconds)
+
+    @property
+    def busy_s(self) -> float:
+        """Total worker-seconds spent simulating."""
+        return sum(self.cell_seconds)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool's wall-clock capacity spent busy."""
+        if self.wall_s <= 0 or self.workers <= 0:
+            return 0.0
+        return min(self.busy_s / (self.wall_s * self.workers), 1.0)
+
+    @property
+    def cell_p50_s(self) -> float:
+        return percentile(self.cell_seconds, 50.0)
+
+    @property
+    def cell_p95_s(self) -> float:
+        return percentile(self.cell_seconds, 95.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat headline numbers, for reporting and the sweep CLI."""
+        return {
+            "total_cells": float(self.total_cells),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "simulated_cells": float(self.simulated_cells),
+            "workers": float(self.workers),
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "cell_p50_s": self.cell_p50_s,
+            "cell_p95_s": self.cell_p95_s,
+        }
 
 
 def message_savings(results: Mapping[Strategy, RunResult]) -> Dict[Strategy, float]:

@@ -4,14 +4,23 @@ The headline metric is the paper's *average transmission time* — "the
 average percentage of transmission time spent on each node for all running
 queries over the simulation time" (Section 4.1) — counting result frames,
 query propagation/abortion frames, maintenance beacons and retransmissions.
+
+:class:`RunResult` is pure measured data: every field is a builtin scalar
+(plus the :class:`Strategy` enum), so results pickle across process
+boundaries and serialise to JSON for the sweep executor's on-disk cache
+(:mod:`repro.harness.parallel`).  Callers that need the live simulation —
+result logs, per-node traces, the optimizer state — use
+:func:`run_workload_live`, which returns a :class:`LiveRun` carrying both
+the result and the :class:`Deployment` handle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional
 
 from ..sim.messages import MessageKind
+from ..sim.trace import EnergyModel
 from ..workloads.spec import EventKind, Workload
 from .strategies import Deployment, DeploymentConfig, Strategy
 
@@ -19,9 +28,12 @@ from .strategies import Deployment, DeploymentConfig, Strategy
 DEFAULT_DRAIN_MS = 4_000.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunResult:
-    """Measured outcome of one (strategy, workload) simulation."""
+    """Measured outcome of one (strategy, workload) simulation.
+
+    Pure data: picklable, JSON-serialisable, comparable field-by-field.
+    """
 
     strategy: Strategy
     workload_description: str
@@ -36,7 +48,11 @@ class RunResult:
     retransmissions: int
     dropped_frames: int
     acquisitions: int
-    deployment: Deployment = field(repr=False)
+    #: Mean per-node energy (mJ) under the default :class:`EnergyModel`,
+    #: base station excluded — the sleep-mode ablation's metric.
+    average_energy_mj: float = 0.0
+    #: Total rows the base station logged (user-visible data volume).
+    result_rows: int = 0
 
     def frames_by_kind(self) -> Dict[str, int]:
         return {
@@ -46,6 +62,40 @@ class RunResult:
             "maintenance": self.maintenance_frames,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict (strategy by enum name); inverse of from_dict."""
+        payload = asdict(self)
+        payload["strategy"] = self.strategy.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
+        data = dict(payload)
+        data["strategy"] = Strategy[data["strategy"]]
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class LiveRun:
+    """A completed run plus the live deployment it measured.
+
+    The deployment holds the whole simulation (event queue, node apps,
+    result logs) and therefore neither pickles nor belongs in a cache;
+    it lives only in the process that ran the simulation.  Metric
+    attributes delegate to :attr:`result`, so a ``LiveRun`` reads like a
+    ``RunResult`` wherever only metrics are needed.
+    """
+
+    result: RunResult
+    deployment: Deployment = field(repr=False)
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not found on LiveRun itself.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.result, name)
+
 
 def run_workload(
     strategy: Strategy,
@@ -54,6 +104,16 @@ def run_workload(
     drain_ms: float = DEFAULT_DRAIN_MS,
 ) -> RunResult:
     """Simulate ``workload`` under ``strategy`` and return the measurements."""
+    return run_workload_live(strategy, workload, config, drain_ms).result
+
+
+def run_workload_live(
+    strategy: Strategy,
+    workload: Workload,
+    config: Optional[DeploymentConfig] = None,
+    drain_ms: float = DEFAULT_DRAIN_MS,
+) -> LiveRun:
+    """Like :func:`run_workload` but also hand back the live deployment."""
     config = config or DeploymentConfig()
     deployment = Deployment(strategy, config)
     sim = deployment.sim
@@ -70,7 +130,7 @@ def run_workload(
     sim.run_until(horizon)
 
     trace = sim.trace
-    return RunResult(
+    result = RunResult(
         strategy=strategy,
         workload_description=workload.description,
         duration_ms=horizon,
@@ -84,8 +144,12 @@ def run_workload(
         retransmissions=trace.retransmissions,
         dropped_frames=trace.dropped_frames,
         acquisitions=deployment.total_acquisitions(),
-        deployment=deployment,
+        average_energy_mj=trace.average_energy_mj(
+            sim.topology.node_ids, EnergyModel(),
+            include_base_station=sim.topology.base_station),
+        result_rows=deployment.results.total_rows(),
     )
+    return LiveRun(result=result, deployment=deployment)
 
 
 def run_all_strategies(
@@ -98,3 +162,15 @@ def run_all_strategies(
     chosen = strategies or (Strategy.BASELINE, Strategy.BS_ONLY,
                             Strategy.INNET_ONLY, Strategy.TTMQO)
     return {s: run_workload(s, workload, config, drain_ms) for s in chosen}
+
+
+def run_all_strategies_live(
+    workload: Workload,
+    config: Optional[DeploymentConfig] = None,
+    strategies: Optional[tuple] = None,
+    drain_ms: float = DEFAULT_DRAIN_MS,
+) -> Dict[Strategy, LiveRun]:
+    """Like :func:`run_all_strategies`, keeping each live deployment."""
+    chosen = strategies or (Strategy.BASELINE, Strategy.BS_ONLY,
+                            Strategy.INNET_ONLY, Strategy.TTMQO)
+    return {s: run_workload_live(s, workload, config, drain_ms) for s in chosen}

@@ -8,6 +8,7 @@ from .ast import (
     Query,
     QueryValidationError,
     combined_epoch,
+    fresh_qids,
     gcd_epoch,
     next_qid,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "canonicalize",
     "combined_epoch",
     "covers",
+    "fresh_qids",
     "parse_canonical",
     "gcd_epoch",
     "merge",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 import itertools
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -98,6 +99,27 @@ _qid_counter = itertools.count(1)
 def next_qid() -> int:
     """Allocate a globally unique query id."""
     return next(_qid_counter)
+
+
+@contextmanager
+def fresh_qids(start: int = 1):
+    """Run a block with the qid counter reset to ``start``.
+
+    The sweep executor wraps every experiment cell in this scope so a cell
+    builds byte-identical queries no matter which process — or how old an
+    interpreter — runs it: a fresh worker and a long-lived test process both
+    start the cell's queries at ``start``.  The previous counter is restored
+    on exit, so qids allocated *after* the scope continue the outer
+    sequence.  Qids are only required to be unique within one deployment,
+    which the scope preserves (each cell owns its whole deployment).
+    """
+    global _qid_counter
+    saved = _qid_counter
+    _qid_counter = itertools.count(start)
+    try:
+        yield
+    finally:
+        _qid_counter = saved
 
 
 @dataclass(frozen=True)

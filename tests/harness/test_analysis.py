@@ -9,7 +9,7 @@ from repro.harness import (
     hotspot_ratio,
     level_breakdown,
     lifetime_estimate_days,
-    run_workload,
+    run_workload_live,
 )
 from repro.queries import parse_query
 from repro.workloads import Workload
@@ -22,7 +22,7 @@ def run():
         parse_query("SELECT light, temp FROM sensors EPOCH DURATION 8192"),
     ]
     workload = Workload.static(queries, duration_ms=60_000.0)
-    return run_workload(Strategy.BASELINE, workload,
+    return run_workload_live(Strategy.BASELINE, workload,
                         DeploymentConfig(side=6, seed=3))
 
 
@@ -93,7 +93,7 @@ class TestLifetime:
         workload = Workload.static(queries, duration_ms=60_000.0)
         days = {}
         for strategy in (Strategy.BASELINE, Strategy.TTMQO):
-            result = run_workload(strategy, workload,
+            result = run_workload_live(strategy, workload,
                                   DeploymentConfig(side=6, seed=3))
             sim = result.deployment.sim
             days[strategy] = lifetime_estimate_days(sim.trace, sim.topology)

@@ -1,0 +1,93 @@
+"""Cross-process determinism: the same cell in fresh interpreters.
+
+Runs one fixed cell in two **separately spawned** Python interpreters with
+*different* ``PYTHONHASHSEED`` values and asserts the metrics, derived
+seed, canonical JSON, and cache key are byte-identical — and match an
+in-process run.  This is the executable guard behind the ``_attr_salt``
+fix in :mod:`repro.sensors.field`: randomised string hashing must never
+leak into a simulated world or a cache key.
+
+A static companion test keeps builtin ``hash()`` out of the
+determinism-critical harness modules entirely.
+"""
+
+import ast
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.harness import (
+    CellSpec,
+    DeploymentConfig,
+    Strategy,
+    WorkloadSpec,
+    canonical_cell_json,
+    cell_key,
+)
+
+SRC_ROOT = Path(repro.__file__).resolve().parent.parent
+
+CHILD_SCRIPT = """
+import json
+from repro.harness import (CellSpec, DeploymentConfig, Strategy,
+                           WorkloadSpec, canonical_cell_json, cell_key)
+
+spec = CellSpec(strategy=Strategy.TTMQO,
+                workload=WorkloadSpec.named("A", duration_ms=15_000.0),
+                config=DeploymentConfig(side=3, seed=5))
+result = spec.run()
+print(json.dumps({
+    "metrics": result.to_dict(),
+    "seed": spec.resolved_seed(),
+    "canonical": canonical_cell_json(spec),
+    "key": cell_key(spec, "0" * 64),
+}, sort_keys=True))
+"""
+
+
+def _run_child(tmp_path: Path, hash_seed: str) -> dict:
+    script = tmp_path / "child.py"
+    script.write_text(CHILD_SCRIPT)
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(SRC_ROOT)
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, env=env,
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.slow
+def test_same_cell_identical_across_interpreters(tmp_path):
+    first = _run_child(tmp_path, "1")
+    second = _run_child(tmp_path, "20051")
+    assert first == second
+
+    # And a fresh interpreter agrees with *this* one.
+    spec = CellSpec(strategy=Strategy.TTMQO,
+                    workload=WorkloadSpec.named("A", duration_ms=15_000.0),
+                    config=DeploymentConfig(side=3, seed=5))
+    assert first["metrics"] == spec.run().to_dict()
+    assert first["seed"] == spec.resolved_seed()
+    assert first["canonical"] == canonical_cell_json(spec)
+    assert first["key"] == cell_key(spec, "0" * 64)
+
+
+def test_builtin_hash_absent_from_determinism_critical_modules():
+    # ``hash()`` output depends on PYTHONHASHSEED for strings; a single
+    # call in the key/seed path would quietly break cross-process caching.
+    for name in ("harness/cells.py", "harness/parallel.py",
+                 "sensors/field.py"):
+        path = SRC_ROOT / "repro" / name
+        tree = ast.parse(path.read_text(), filename=name)
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                pytest.fail(f"builtin hash() in {name}:{node.lineno}")

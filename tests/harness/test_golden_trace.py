@@ -1,0 +1,70 @@
+"""Golden-trace regression test for the Figure 3 headline configuration.
+
+``tests/data/golden_fig3_a16.json`` pins the exact metrics of WORKLOAD_A on
+a 16-node (4x4) grid under all four strategies at the paper's 90 s horizon
+(seed 11) — the configuration every Fig. 3 claim is anchored on.  Any
+change to the simulator, optimizer, or harness that moves *any* metric by
+*any* amount fails here and forces a deliberate snapshot regeneration:
+
+    PYTHONPATH=src python -m tests.harness.test_golden_trace
+
+The snapshot also pins each cell's canonical JSON and derived seed, so a
+cache-key or seed-derivation change is caught even when the simulation
+itself is untouched.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import canonical_cell_json, run_sweep
+from repro.harness.experiments import fig3_cells
+
+GOLDEN_PATH = (Path(__file__).resolve().parent.parent
+               / "data" / "golden_fig3_a16.json")
+
+
+def _current_cells():
+    cells = fig3_cells("A", 4)
+    report = run_sweep(cells, workers=0)
+    return [
+        {
+            "strategy": completed.spec.strategy.name,
+            "seed": completed.seed,
+            "canonical_json": canonical_cell_json(completed.spec),
+            "result": completed.result.to_dict(),
+        }
+        for completed in report.cells
+    ]
+
+
+@pytest.mark.slow
+def test_fig3_a16_matches_golden_trace():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = _current_cells()
+
+    assert [c["strategy"] for c in current] == \
+        [c["strategy"] for c in golden["cells"]]
+    for got, want in zip(current, golden["cells"]):
+        strategy = want["strategy"]
+        assert got["canonical_json"] == want["canonical_json"], strategy
+        assert got["seed"] == want["seed"], strategy
+        for metric, value in want["result"].items():
+            assert got["result"][metric] == value, f"{strategy}.{metric}"
+
+
+def _regenerate():
+    payload = {
+        "description": "Golden trace: WORKLOAD_A, 16 nodes (4x4 grid), all "
+                       "four strategies, 90 s, seed 11 — fig3_cells('A', 4).",
+        "canonical_version": 1,
+        "cells": _current_cells(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"regenerated {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate()

@@ -9,7 +9,7 @@ every received row back into per-attribute histograms.
 
 import pytest
 
-from repro.harness import DeploymentConfig, Strategy, run_workload
+from repro.harness import DeploymentConfig, Strategy, run_workload_live
 from repro.queries import parse_query
 from repro.workloads import Workload
 
@@ -21,7 +21,7 @@ def _run(statistics, world="correlated"):
     workload = Workload.static(queries, duration_ms=50_000.0)
     config = DeploymentConfig(side=4, seed=23, world=world,
                               statistics=statistics)
-    return run_workload(Strategy.BS_ONLY, workload, config)
+    return run_workload_live(Strategy.BS_ONLY, workload, config)
 
 
 class TestWiring:

@@ -1,5 +1,7 @@
 """Integration smoke tests for the experiment runner."""
 
+import pickle
+
 import pytest
 
 from repro.harness import (
@@ -8,7 +10,9 @@ from repro.harness import (
     message_savings,
     percent_savings,
     run_all_strategies,
+    run_all_strategies_live,
     run_workload,
+    run_workload_live,
     savings_table,
 )
 from repro.queries import parse_query
@@ -47,12 +51,35 @@ class TestRunWorkload:
         assert a.total_frames == b.total_frames
 
     def test_all_strategies_produce_results(self, small_workload):
-        results = run_all_strategies(small_workload,
-                                     DeploymentConfig(side=4, seed=2))
+        results = run_all_strategies_live(small_workload,
+                                          DeploymentConfig(side=4, seed=2))
         assert set(results) == set(Strategy)
-        for result in results.values():
-            bs = result.deployment.bs
+        for run in results.values():
+            bs = run.deployment.bs
             assert bs.results.queries_seen()
+
+    def test_run_result_pickle_round_trips(self, small_workload):
+        result = run_workload(Strategy.TTMQO, small_workload,
+                              DeploymentConfig(side=4, seed=1))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.to_dict() == result.to_dict()
+
+    def test_run_result_dict_round_trips(self, small_workload):
+        result = run_workload(Strategy.BASELINE, small_workload,
+                              DeploymentConfig(side=4, seed=1))
+        from repro.harness import RunResult
+        assert RunResult.from_dict(result.to_dict()) == result
+
+    def test_live_run_delegates_metrics(self, small_workload):
+        live = run_workload_live(Strategy.TTMQO, small_workload,
+                                 DeploymentConfig(side=4, seed=1))
+        assert live.average_transmission_time == \
+            live.result.average_transmission_time
+        assert live.deployment.sim is not None
+        # the live handle is explicitly NOT picklable; the result is
+        with pytest.raises(Exception):
+            pickle.dumps(live)
 
     def test_ttmqo_beats_baseline(self, small_workload):
         results = run_all_strategies(

@@ -10,7 +10,7 @@ the baseline and each optimized strategy at common epochs.
 import pytest
 
 from repro.core.basestation import ResultMapper
-from repro.harness import DeploymentConfig, Strategy, run_workload
+from repro.harness import DeploymentConfig, Strategy, run_workload_live
 from repro.queries import parse_query
 from repro.workloads import Workload
 
@@ -28,7 +28,7 @@ def runs():
                                description="correctness")
     results = {}
     for strategy in Strategy:
-        results[strategy] = run_workload(strategy, workload,
+        results[strategy] = run_workload_live(strategy, workload,
                                          DeploymentConfig(side=4, seed=31))
     return queries, results
 

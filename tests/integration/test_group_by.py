@@ -11,7 +11,7 @@ import math
 import pytest
 
 from repro.core.basestation import ResultMapper
-from repro.harness import DeploymentConfig, Strategy, run_workload
+from repro.harness import DeploymentConfig, Strategy, run_workload_live
 from repro.queries import parse_query
 from repro.queries.ast import Aggregate, AggregateOp, GroupBy, Query
 from repro.tinydb.aggregation import compute_grouped_aggregates
@@ -75,7 +75,7 @@ class TestGroupByEndToEnd:
             "SELECT MAX(temp), COUNT(temp) FROM sensors "
             "GROUP BY light / 250 EPOCH DURATION 8192")
         workload = Workload.static([query], duration_ms=90_000.0)
-        result = run_workload(strategy, workload,
+        result = run_workload_live(strategy, workload,
                               DeploymentConfig(side=4, seed=37))
         deployment = result.deployment
         network_qid = deployment.network_query_for(query.qid).qid
@@ -113,7 +113,7 @@ class TestGroupByEndToEnd:
         query = parse_query("SELECT COUNT(light) FROM sensors "
                             "GROUP BY light / 500 EPOCH DURATION 8192")
         workload = Workload.static([query], duration_ms=60_000.0)
-        result = run_workload(strategy, workload,
+        result = run_workload_live(strategy, workload,
                               DeploymentConfig(side=4, seed=38))
         deployment = result.deployment
         network_qid = deployment.network_query_for(query.qid).qid

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness import DeploymentConfig, Strategy, run_workload
+from repro.harness import DeploymentConfig, Strategy, run_workload_live
 from repro.queries import parse_query
 from repro.sim import (
     EventLog,
@@ -112,7 +112,7 @@ class TestResultLatency:
     def test_latency_positive_and_bounded(self):
         query = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
         workload = Workload.static([query], duration_ms=40_000.0)
-        result = run_workload(Strategy.BASELINE, workload,
+        result = run_workload_live(Strategy.BASELINE, workload,
                               DeploymentConfig(side=4, seed=2))
         log = result.deployment.results
         latencies = log.row_latencies(query.qid)
@@ -124,7 +124,7 @@ class TestResultLatency:
     def test_deeper_origins_take_longer(self):
         query = parse_query("SELECT light FROM sensors EPOCH DURATION 4096")
         workload = Workload.static([query], duration_ms=60_000.0)
-        result = run_workload(Strategy.BASELINE, workload,
+        result = run_workload_live(Strategy.BASELINE, workload,
                               DeploymentConfig(side=6, seed=2))
         deployment = result.deployment
         topo = deployment.topology
