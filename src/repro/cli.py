@@ -12,6 +12,9 @@ Commands:
   a scripted client load against the simulator;
 * ``sweep``   — fan the Figure 3 (workload x size x strategy) grid across
   worker processes with deterministic result caching;
+* ``obs``     — run one experiment cell in an isolated metrics registry
+  and export every metric (text, JSON, or Prometheus exposition format;
+  the names are the telemetry contract of ``docs/observability.md``);
 * ``topo``    — render a deployment's topology as ASCII.
 
 Examples::
@@ -23,6 +26,7 @@ Examples::
     python -m repro fig fig4a
     python -m repro serve --clients 60 --unique 6
     python -m repro sweep --workers 4 --sides 4 8
+    python -m repro obs --workload A --strategy ttmqo --format json
 """
 
 from __future__ import annotations
@@ -143,6 +147,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="always re-simulate, never read/write cache")
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="run one experiment cell and export its metrics")
+    obs_p.add_argument("--workload", choices=["A", "B", "C"], default="A")
+    obs_p.add_argument("--strategy", type=_strategy, default=Strategy.TTMQO,
+                       metavar="{" + ",".join(sorted(_STRATEGY_NAMES)) + "}")
+    obs_p.add_argument("--side", type=int, default=4,
+                       help="grid side (nodes = side^2)")
+    obs_p.add_argument("--duration", type=float, default=90.0,
+                       help="simulated seconds")
+    obs_p.add_argument("--seed", type=int, default=11)
+    obs_p.add_argument("--format", choices=["text", "json", "prom"],
+                       default="text", help="export format")
+    obs_p.add_argument("--spans", type=int, default=0, metavar="N",
+                       help="also export the last N spans (json/text)")
 
     topo_p = sub.add_parser("topo", help="render a deployment as ASCII")
     topo_p.add_argument("--kind", choices=["grid", "random"], default="grid")
@@ -381,6 +401,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .harness.experiments import fig3_cells
+    from .obs import render_json, render_prometheus, render_text, scoped
+    from .queries.ast import fresh_qids
+
+    spec = fig3_cells(args.workload, args.side,
+                      duration_ms=args.duration * 1000.0, seed=args.seed,
+                      strategies=(args.strategy,))[0]
+    with scoped() as registry:
+        # Same calls as CellSpec.run(), kept live so the span buffer on
+        # the simulation's obs bundle is still reachable afterwards.
+        with fresh_qids():
+            workload = spec.workload.build()
+            live = run_workload_live(spec.strategy, workload,
+                                     spec.resolved_config(), spec.drain_ms)
+        snapshot = registry.snapshot()
+    spans = live.deployment.sim.obs.tracer.snapshot(limit=args.spans) \
+        if args.spans > 0 else None
+    if args.format == "json":
+        print(render_json(snapshot, spans=spans))
+    elif args.format == "prom":
+        print(render_prometheus(snapshot), end="")
+    else:
+        print(f"# {spec.workload.description} {spec.strategy.value} "
+              f"seed {spec.resolved_seed()}")
+        print(render_text(snapshot))
+        for span in spans or ():
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(span["labels"].items()))
+            print(f"span {span['name']}{{{labels}}} "
+                  f"{span['start_ms']:.3f}..{span['end_ms']:.3f} "
+                  f"{span['status']}")
+    return 0
+
+
 def _cmd_topo(args: argparse.Namespace) -> int:
     from .harness.reporting import render_topology
     from .sim import Topology
@@ -405,6 +460,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "topo":
         return _cmd_topo(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -9,6 +9,12 @@ complete the whole process".
 
 The optimizer is pure (no simulator dependency), which is what lets the
 Figure 4 experiments sweep 500-query workloads in milliseconds.
+
+Every instance records its rewriting activity into the metrics registry
+current at construction time (``optimizer.*`` families, see
+``docs/observability.md``): step counters are incremented inline, while
+the query-table gauges are lazy callbacks evaluated only when a snapshot
+is taken, so the hot path stays cheap.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ...obs import get_registry
 from ...queries.ast import Query
 from ..qos import QoSClass, QoSRegistry
 from .cost_model import CostModel
@@ -76,6 +83,34 @@ class BaseStationOptimizer:
         self.network_operations = 0
         #: Registrations/terminations fully absorbed at the base station.
         self.absorbed_operations = 0
+        self._init_metrics(get_registry())
+
+    def _init_metrics(self, registry) -> None:
+        self._m_registrations = registry.counter(
+            "optimizer.registrations_total",
+            help="user queries admitted (Algorithm 1 runs)")
+        self._m_terminations = registry.counter(
+            "optimizer.terminations_total",
+            help="user queries retired (Algorithm 2 runs)")
+        self._m_network_ops = registry.counter(
+            "optimizer.network_ops_total",
+            help="abort/inject operations sent to the network")
+        self._m_absorbed = registry.counter(
+            "optimizer.absorbed_ops_total",
+            help="steps absorbed entirely at the base station")
+        # Table-state gauges are lazy: evaluated at snapshot time only.
+        # With several optimizers in one registry the last constructed
+        # instance owns the gauges (one optimizer per deployment in
+        # practice).
+        registry.gauge("optimizer.user_queries",
+                       help="currently registered user queries"
+                       ).set_fn(self.user_count)
+        registry.gauge("optimizer.synthetic_queries",
+                       help="currently running synthetic queries"
+                       ).set_fn(self.synthetic_count)
+        registry.gauge("optimizer.total_benefit",
+                       help="modelled per-ms cost saving of the rewrite",
+                       unit="cost/ms").set_fn(self.total_benefit)
 
     # ------------------------------------------------------------------
     # Workload interface
@@ -97,6 +132,7 @@ class BaseStationOptimizer:
             insert_query(query, {query.qid: query}, self.table,
                          self.cost_model)
             self.qos_registry.sync_with_table(self.table)
+            self._m_registrations.inc()
             return self._diff(before)
 
     def terminate(self, user_qid: int) -> NetworkActions:
@@ -110,6 +146,7 @@ class BaseStationOptimizer:
             terminate_query(user_qid, self.table, self.cost_model, self.alpha)
             self.qos_registry.forget_user(user_qid)
             self.qos_registry.sync_with_table(self.table)
+            self._m_terminations.inc()
             return self._diff(before)
 
     # ------------------------------------------------------------------
@@ -192,6 +229,8 @@ class BaseStationOptimizer:
         )
         if actions.is_noop:
             self.absorbed_operations += 1
+            self._m_absorbed.inc()
         else:
             self.network_operations += actions.n_operations
+            self._m_network_ops.inc(actions.n_operations)
         return actions

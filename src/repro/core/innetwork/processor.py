@@ -477,6 +477,8 @@ class TTMQOBaseStationApp(TinyDBBaseStationApp):
             raise ValueError(f"query {query.qid} already injected")
         self.injected[query.qid] = query
         self._seen_queries.add(query.qid)
+        self._count("tinydb.bs.queries_injected_total",
+                    "queries flooded into the network")
         delay = self._defer_delay()
         if delay <= 0:
             self._schedule_control(self._flood_query_now, query)
@@ -491,6 +493,8 @@ class TTMQOBaseStationApp(TinyDBBaseStationApp):
             return
         self.aborted.add(qid)
         self._seen_aborts.add(qid)
+        self._count("tinydb.bs.aborts_total",
+                    "abortions flooded into the network")
         pending = self._pending_injects.pop(qid, None)
         if pending is not None:
             # The query never reached the network; cancel silently.

@@ -107,6 +107,41 @@ class SweepTelemetry:
             "cell_p95_s": self.cell_p95_s,
         }
 
+    def export(self, registry=None) -> None:
+        """Fold this telemetry into a metrics registry (``sweep.*``).
+
+        Serial and parallel sweeps call this with identical semantics, so
+        an exported snapshot has the same schema either way (wall-clock
+        derived values naturally differ; everything else is
+        deterministic).  Counters accumulate across sweeps in the same
+        registry; the gauges describe the most recent one.
+        """
+        from ..obs import get_registry  # local import: avoid cycle at load
+
+        registry = registry or get_registry()
+        registry.counter("sweep.cells_total",
+                         help="experiment cells requested").inc(
+            self.total_cells)
+        registry.counter("sweep.cache_hits_total",
+                         help="cells served from the result cache").inc(
+            self.cache_hits)
+        registry.counter("sweep.cache_misses_total",
+                         help="cells that had to simulate").inc(
+            self.cache_misses)
+        registry.gauge("sweep.workers",
+                       help="worker processes of the last sweep").set(
+            self.workers)
+        registry.gauge("sweep.wall_seconds", unit="s",
+                       help="wall-clock duration of the last sweep").set(
+            self.wall_s)
+        registry.gauge("sweep.utilization",
+                       help="worker busy fraction of the last sweep").set(
+            self.utilization)
+        hist = registry.histogram("sweep.cell_seconds", unit="s",
+                                  help="per-cell simulation durations")
+        for seconds in self.cell_seconds:
+            hist.observe(seconds)
+
 
 def message_savings(results: Mapping[Strategy, RunResult]) -> Dict[Strategy, float]:
     """Percent result-frame savings of each strategy vs the baseline."""

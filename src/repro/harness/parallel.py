@@ -89,6 +89,7 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[dict]:
+        """The cached entry for ``key``, or None on miss/corruption."""
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -97,6 +98,7 @@ class ResultCache:
             return None
 
     def put(self, key: str, entry: dict) -> None:
+        """Atomically persist ``entry`` under ``key`` (write + rename)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -165,6 +167,7 @@ class SweepReport:
     fingerprint: str = ""
 
     def results(self) -> List[AnyResult]:
+        """The per-cell results, in the sweep's canonical cell order."""
         return [cell.result for cell in self.cells]
 
     def result_for(self, spec: AnyCell) -> AnyResult:
@@ -268,6 +271,10 @@ def run_sweep(
                 _record_fresh(index, result, duration, pid)
 
     telemetry.wall_s = time.perf_counter() - started
+    # Fold the finished telemetry into the current metrics registry, so a
+    # sweep exports the same ``sweep.*`` schema whether it ran serially or
+    # across a pool (see docs/observability.md).
+    telemetry.export()
     return SweepReport(cells=[c for c in slots if c is not None],
                        telemetry=telemetry, fingerprint=fingerprint)
 

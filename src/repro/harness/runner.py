@@ -12,6 +12,13 @@ boundaries and serialise to JSON for the sweep executor's on-disk cache
 result logs, per-node traces, the optimizer state — use
 :func:`run_workload_live`, which returns a :class:`LiveRun` carrying both
 the result and the :class:`Deployment` handle.
+
+At the end of every run the measured scalars are also published to the
+current metrics registry: each :class:`RunResult` field becomes a
+``run.*`` gauge (labelled by strategy and workload), the radio
+accountant's energy gauges are finalised, and per-query mean row
+latencies are exported — all bit-identical to the ``RunResult`` itself
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -149,7 +156,39 @@ def run_workload_live(
             include_base_station=sim.topology.base_station),
         result_rows=deployment.results.total_rows(),
     )
+    _export_run_metrics(result, deployment)
     return LiveRun(result=result, deployment=deployment)
+
+
+def _export_run_metrics(result: RunResult, deployment: Deployment) -> None:
+    """Publish the finished run into the current metrics registry.
+
+    Every numeric :class:`RunResult` field becomes a ``run.*`` gauge with
+    the exact value the result carries; the radio accountant's energy
+    gauges are finalised with the same model and elapsed time the trace
+    collector used, so ``sim.energy.avg_node_mj`` equals
+    ``RunResult.average_energy_mj`` bit-for-bit.
+    """
+    obs = getattr(deployment.sim, "obs", None)
+    if obs is None:
+        return
+    sim = deployment.sim
+    obs.radio.finalize_energy(
+        sim.topology.node_ids, EnergyModel(), sim.trace.elapsed_ms,
+        include_base_station=sim.topology.base_station)
+    labels = {"strategy": result.strategy.name,
+              "workload": result.workload_description}
+    for name, value in sorted(result.to_dict().items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        obs.registry.gauge(f"run.{name}",
+                           help="RunResult field exported verbatim",
+                           **labels).set(value)
+    for qid in deployment.results.queries_seen():
+        obs.registry.gauge(
+            "run.query_mean_row_latency_ms",
+            help="mean end-to-end row latency per query", unit="ms",
+            qid=qid, **labels).set(deployment.results.mean_row_latency(qid))
 
 
 def run_all_strategies(

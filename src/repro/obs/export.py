@@ -1,0 +1,116 @@
+"""Exporters: render a registry snapshot as text, JSON, or Prometheus.
+
+All three formats render the same :meth:`MetricsRegistry.snapshot` list,
+so they always agree on names, labels, and values:
+
+* **text** — an aligned human-readable table (the ``python -m repro obs``
+  default);
+* **json** — one object with ``metrics`` (and optionally ``spans``),
+  sorted keys, deterministic for a deterministic registry;
+* **prometheus** — the Prometheus text exposition format (version 0.0.4).
+  Dots in metric names become underscores (``sim.radio.tx_frames_total``
+  -> ``sim_radio_tx_frames_total``); histograms are exposed summary-style
+  as ``_count`` / ``_sum`` plus ``{quantile="0.5"|"0.95"}`` sample lines.
+
+The renderers are pure functions of the snapshot — exporting never
+mutates the registry, so exports can be taken mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"))
+
+
+def _labels_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_text(snapshot: List[Dict[str, object]]) -> str:
+    """An aligned, human-readable metric table."""
+    lines: List[str] = []
+    rows: List[tuple] = []
+    for entry in snapshot:
+        name = f"{entry['name']}{_labels_suffix(entry['labels'])}"
+        if entry["kind"] == "histogram":
+            value = (f"count={entry['count']:g} mean={entry['mean']:g} "
+                     f"p50={entry['p50']:g} p95={entry['p95']:g} "
+                     f"max={entry['max']:g}")
+        else:
+            value = f"{entry['value']:g}"
+        unit = str(entry.get("unit") or "")
+        rows.append((name, str(entry["kind"]), unit, value))
+    width_name = max((len(r[0]) for r in rows), default=4)
+    width_kind = max((len(r[1]) for r in rows), default=4)
+    width_unit = max((len(r[2]) for r in rows), default=0)
+    for name, kind, unit, value in rows:
+        lines.append(f"{name:<{width_name}}  {kind:<{width_kind}}  "
+                     f"{unit:<{width_unit}}  {value}".rstrip())
+    return "\n".join(lines)
+
+
+def render_json(snapshot: List[Dict[str, object]],
+                spans: Optional[List[Dict[str, object]]] = None,
+                indent: Optional[int] = 2) -> str:
+    """The snapshot (and optionally spans) as one sorted-key JSON object."""
+    payload: Dict[str, object] = {"metrics": snapshot}
+    if spans is not None:
+        payload["spans"] = spans
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def _prom_name(name: str) -> str:
+    cleaned = []
+    for ch in name:
+        cleaned.append(ch if ch.isalnum() or ch == "_" else "_")
+    prom = "".join(cleaned)
+    if prom and prom[0].isdigit():
+        prom = "_" + prom
+    return prom
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[tuple] = None) -> str:
+    pairs = [(k, v) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{_prom_escape(str(v))}"'
+                     for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: List[Dict[str, object]]) -> str:
+    """The Prometheus text exposition format (0.0.4)."""
+    lines: List[str] = []
+    seen_header = set()
+    for entry in snapshot:
+        name = _prom_name(str(entry["name"]))
+        kind = str(entry["kind"])
+        labels = entry["labels"]  # type: ignore[assignment]
+        if name not in seen_header:
+            seen_header.add(name)
+            if entry.get("help"):
+                lines.append(f"# HELP {name} {_prom_escape(str(entry['help']))}")
+            prom_type = "summary" if kind == "histogram" else kind
+            lines.append(f"# TYPE {name} {prom_type}")
+        if kind == "histogram":
+            for quantile, stat in _QUANTILES:
+                lines.append(
+                    f"{name}{_prom_labels(labels, ('quantile', quantile))} "
+                    f"{entry[stat]:g}")
+            lines.append(f"{name}_count{_prom_labels(labels)} "
+                         f"{entry['count']:g}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} {entry['sum']:g}")
+        else:
+            lines.append(f"{name}{_prom_labels(labels)} {entry['value']:g}")
+    return "\n".join(lines) + ("\n" if lines else "")

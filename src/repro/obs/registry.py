@@ -1,0 +1,299 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the single sink every instrumented layer records into —
+the simulator's radio/MAC/node stack, the TinyDB base station, the tier-1
+optimizer, the query service, and the sweep executor all emit metrics
+here, under the names documented in ``docs/observability.md`` (the
+telemetry contract: metric names are API).
+
+Identity and determinism
+------------------------
+A metric *family* is a name plus a kind (counter/gauge/histogram), a unit,
+and help text; a *series* is one family instantiated with a concrete label
+set.  Series are keyed by ``(name, sorted(labels))``, so label order never
+matters and snapshots iterate in a sorted, interpreter-independent order.
+Nothing in this module reads the wall clock or draws randomness: a
+registry filled from a deterministic simulation snapshots bit-identically
+across processes, which is what lets the sweep executor keep its
+serial/parallel equivalence guarantee while instrumented.
+
+Scoping
+-------
+There is one module-level *current* registry (:func:`get_registry`).
+Components capture it at construction time, so a caller that wants an
+isolated view runs inside :func:`scoped`::
+
+    with scoped() as registry:
+        live = run_workload_live(Strategy.TTMQO, workload, config)
+    print(render_text(registry.snapshot()))
+
+Thread safety: family/series creation is locked; value updates are plain
+attribute writes (atomic enough under the GIL for counters incremented
+from one thread at a time — the service layer already serialises its
+updates under its own lock, and the simulator is single-threaded).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100] (got {q})")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * (rank - lower)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down — set directly, or read on demand.
+
+    :meth:`set_fn` registers a zero-argument callable evaluated at
+    snapshot time, which keeps expensive readings (live query counts,
+    modelled benefit) off the hot path entirely.
+    """
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """A distribution: count/sum/min/max plus p50/p95 over retained samples.
+
+    ``sample_cap`` bounds memory on long-running services by retaining
+    only the most recent samples (count and sum still cover everything);
+    ``None`` retains every observation, which is what deterministic
+    simulation runs use.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, sample_cap: Optional[int] = None) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self.sample_cap = sample_cap
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.sum += value
+        self._samples.append(value)
+        if self.sample_cap is not None and len(self._samples) > self.sample_cap:
+            del self._samples[: len(self._samples) - self.sample_cap]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) over the retained samples."""
+        return percentile(self._samples, q)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(50.0),
+            "p95": self.quantile(95.0),
+        }
+
+
+class _Family:
+    """One metric name: its kind, metadata, and all label series."""
+
+    def __init__(self, name: str, kind: str, help: str, unit: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.unit = unit
+        self.series: Dict[LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Holds every metric family and hands out label series.
+
+    ``counter`` / ``gauge`` / ``histogram`` create-or-return the series
+    for the given labels; re-registering a name with a different kind is
+    an error (names are part of the telemetry contract).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- series access -------------------------------------------------
+    def counter(self, name: str, help: str = "", unit: str = "",
+                **labels: object) -> Counter:
+        return self._series(name, "counter", help, unit, labels,
+                            Counter)
+
+    def gauge(self, name: str, help: str = "", unit: str = "",
+              **labels: object) -> Gauge:
+        return self._series(name, "gauge", help, unit, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "", unit: str = "",
+                  sample_cap: Optional[int] = None,
+                  **labels: object) -> Histogram:
+        return self._series(name, "histogram", help, unit, labels,
+                            lambda: Histogram(sample_cap=sample_cap))
+
+    def _series(self, name: str, kind: str, help: str, unit: str,
+                labels: Dict[str, object], factory: Callable[[], object]):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help, unit)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"cannot re-register as {kind}")
+            else:
+                if help and not family.help:
+                    family.help = help
+                if unit and not family.unit:
+                    family.unit = unit
+            metric = family.series.get(key)
+            if metric is None:
+                metric = factory()
+                family.series[key] = metric
+            return metric
+
+    # -- introspection -------------------------------------------------
+    def families(self) -> List[str]:
+        """Sorted names of every registered metric family."""
+        with self._lock:
+            return sorted(self._families)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Every series as a plain JSON-safe dict, in sorted order.
+
+        Counters and gauges carry ``value``; histograms carry the
+        ``summary()`` dict.  The ordering — by (name, labels) — is
+        deterministic regardless of registration order.
+        """
+        with self._lock:
+            out: List[Dict[str, object]] = []
+            for name in sorted(self._families):
+                family = self._families[name]
+                for key in sorted(family.series):
+                    metric = family.series[key]
+                    entry: Dict[str, object] = {
+                        "name": name,
+                        "kind": family.kind,
+                        "unit": family.unit,
+                        "help": family.help,
+                        "labels": dict(key),
+                    }
+                    if isinstance(metric, Histogram):
+                        entry.update(metric.summary())
+                    else:
+                        entry["value"] = metric.value  # type: ignore[union-attr]
+                    out.append(entry)
+            return out
+
+
+# ----------------------------------------------------------------------
+# The current registry
+# ----------------------------------------------------------------------
+_current = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-wide registry (what new components record into)."""
+    return _current
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the current registry; returns the previous one."""
+    global _current
+    previous = _current
+    _current = registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install a fresh empty registry (and return it)."""
+    return set_registry(MetricsRegistry()) and _current
+
+
+@contextmanager
+def scoped(registry: Optional[MetricsRegistry] = None
+           ) -> Iterator[MetricsRegistry]:
+    """Run a block against an isolated (or supplied) registry.
+
+    Components constructed inside the block record into it; the previous
+    registry is restored on exit.  This is how one experiment cell gets
+    its own clean metric view::
+
+        with scoped() as reg:
+            result = run_workload(...)
+        snapshot = reg.snapshot()
+    """
+    registry = registry or MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -52,6 +52,7 @@ class AdmissionBatcher:
     # Accumulation
     # ------------------------------------------------------------------
     def add(self, pending: PendingAdmission, now_ms: float) -> None:
+        """Queue a submission, opening the batch window if it was empty."""
         if not self._pending:
             self._window_opened_ms = now_ms
         self._pending.append(pending)

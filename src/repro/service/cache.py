@@ -62,6 +62,7 @@ class CanonicalQueryCache:
         return entry
 
     def insert(self, key: CanonicalKey, anchor: Query) -> CacheEntry:
+        """Cache ``anchor`` as the live query for ``key`` (refcount 0)."""
         if key in self._entries:
             raise ValueError(f"canonical key already cached: {key}")
         entry = CacheEntry(key=key, anchor=anchor)
@@ -73,6 +74,7 @@ class CanonicalQueryCache:
     # Refcounting
     # ------------------------------------------------------------------
     def acquire(self, entry: CacheEntry) -> None:
+        """Take one more reference on a cached anchor query."""
         entry.refcount += 1
 
     def release(self, key: CanonicalKey) -> Optional[CacheEntry]:
@@ -102,4 +104,5 @@ class CanonicalQueryCache:
         return len(self._entries)
 
     def entries(self) -> Dict[CanonicalKey, CacheEntry]:
+        """A shallow copy of the live entries, keyed by canonical key."""
         return dict(self._entries)

@@ -16,6 +16,11 @@ The pipeline per submission::
 and symmetrically on termination the anchor query is only released — and
 Algorithm 2 only run — when the *last* duplicate holder lets go.
 
+All counters live in the metrics registry current at construction time
+(``service.*`` families, see ``docs/observability.md``); the
+:class:`ServiceStats` snapshot API is a typed view over those same
+series, so ``stats()`` and ``python -m repro obs`` can never disagree.
+
 Results flow back through :meth:`pump`: for every live, subscribed ticket
 the service maps the anchor's synthetic-query results (via
 :class:`ResultMapper`, across the whole re-optimization history) and
@@ -28,13 +33,12 @@ import enum
 import queue
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from ..core.basestation import BaseStationOptimizer, ResultMapper
 from ..core.qos import QoSClass
-from ..harness.metrics import percentile
+from ..obs import Histogram, get_registry
 from ..queries.ast import Query, next_qid
 from ..queries.canonical import CanonicalKey, canonical_key, canonicalize
 from ..queries.parser import parse_query
@@ -72,9 +76,11 @@ class OptimizerBackend:
 
     def register(self, query: Query,
                  qos: QoSClass = QoSClass.BEST_EFFORT) -> None:
+        """Run Algorithm 1 for ``query`` on the wrapped optimizer."""
         self.optimizer.register(query, qos=qos)
 
     def terminate(self, qid: int) -> None:
+        """Run Algorithm 2 for user query ``qid``."""
         self.optimizer.terminate(qid)
 
 
@@ -187,14 +193,69 @@ class QueryService:
         self._ticket_qos: Dict[int, QoSClass] = {}
         self._subs: Dict[int, List["queue.Queue"]] = {}
         self._delivered: Dict[int, set] = {}
-        self._latencies: Deque[float] = deque(maxlen=LATENCY_SAMPLE_CAP)
-        self.submissions_total = 0
-        self.admitted_total = 0
-        self.registrations = 0
-        self.injected_registrations = 0
-        self.absorbed_registrations = 0
-        self.terminations = 0
-        self.results_delivered = 0
+        self._init_metrics(get_registry())
+
+    def _init_metrics(self, registry) -> None:
+        """Register the ``service.*`` metric families (telemetry contract).
+
+        Counters are incremented inline under the service lock; gauges are
+        lazy callbacks evaluated at snapshot time.  With several services
+        sharing one registry the exported counters aggregate and the last
+        constructed instance owns the gauges; :meth:`stats` stays
+        instance-scoped by snapshotting each counter's value at
+        construction and reporting the delta.
+        """
+        self._m_submissions = registry.counter(
+            "service.submissions_total", help="queries submitted by clients")
+        self._m_admitted = registry.counter(
+            "service.admitted_total", help="tickets that went live")
+        self._m_registrations = registry.counter(
+            "service.registrations_total",
+            help="tier-1 optimizer passes (cache misses)")
+        self._m_injected = registry.counter(
+            "service.registrations_injected_total",
+            help="registrations that caused network operations")
+        self._m_absorbed = registry.counter(
+            "service.registrations_absorbed_total",
+            help="registrations absorbed at the base station")
+        self._m_terminations = registry.counter(
+            "service.terminations_total",
+            help="live tickets terminated (user, close, or lease expiry)")
+        self._m_delivered = registry.counter(
+            "service.results_delivered_total",
+            help="mapped result items fanned out to subscribers")
+        self._m_latency = registry.histogram(
+            "service.admission_latency_ms",
+            help="submit-to-live latency per admitted ticket", unit="ms",
+            sample_cap=LATENCY_SAMPLE_CAP)
+        #: Instance-scoped latency view behind the shared registry series.
+        self._lat_local = Histogram(sample_cap=LATENCY_SAMPLE_CAP)
+        self._baseline = {
+            "submissions": self._m_submissions.value,
+            "admitted": self._m_admitted.value,
+            "registrations": self._m_registrations.value,
+            "injected": self._m_injected.value,
+            "absorbed": self._m_absorbed.value,
+            "terminations": self._m_terminations.value,
+            "delivered": self._m_delivered.value,
+        }
+        registry.gauge("service.sessions_open",
+                       help="sessions with an unexpired lease"
+                       ).set_fn(lambda: float(len(self._sessions)))
+        registry.gauge("service.pending_admissions",
+                       help="submissions waiting in the batch window"
+                       ).set_fn(lambda: float(len(self._batcher)))
+        registry.gauge("service.live_tickets",
+                       help="tickets currently in the LIVE state"
+                       ).set_fn(lambda: float(sum(
+                           1 for t in self._tickets.values()
+                           if t.status is TicketStatus.LIVE)))
+        registry.gauge("service.cached_queries",
+                       help="distinct live anchor queries in the dedup cache"
+                       ).set_fn(lambda: float(len(self._cache)))
+        registry.gauge("service.cache_hit_rate",
+                       help="fraction of admissions served from the cache"
+                       ).set_fn(lambda: self._cache.hit_rate)
 
     @property
     def optimizer(self) -> BaseStationOptimizer:
@@ -209,6 +270,7 @@ class QueryService:
     def open_session(self, client_id: str = "anonymous",
                      ttl_ms: Optional[float] = None,
                      now_ms: Optional[float] = None) -> str:
+        """Open a TTL-leased session and return its id."""
         with self._lock:
             now = self._now(now_ms)
             self.expire_leases(now)
@@ -277,7 +339,7 @@ class QueryService:
             )
             self._tickets[ticket.ticket_id] = ticket
             session.tickets.add(ticket.ticket_id)
-            self.submissions_total += 1
+            self._m_submissions.inc()
             self._ticket_qos[ticket.ticket_id] = qos
             self._batcher.add(
                 PendingAdmission(ticket.ticket_id, session_id, canonical,
@@ -320,11 +382,11 @@ class QueryService:
                     ticket.error = str(exc)
                     self._session_drop(ticket)
                     continue
-                self.registrations += 1
+                self._m_registrations.inc()
                 if self.optimizer.network_operations > ops_before:
-                    self.injected_registrations += 1
+                    self._m_injected.inc()
                 else:
-                    self.absorbed_registrations += 1
+                    self._m_absorbed.inc()
                 entry = self._cache.insert(pending.key, anchor)
             else:
                 ticket.cache_hit = True
@@ -332,8 +394,9 @@ class QueryService:
             ticket.anchor = entry.anchor
             ticket.status = TicketStatus.LIVE
             ticket.admitted_ms = now
-            self.admitted_total += 1
-            self._latencies.append(now - pending.submitted_ms)
+            self._m_admitted.inc()
+            self._m_latency.observe(now - pending.submitted_ms)
+            self._lat_local.observe(now - pending.submitted_ms)
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -359,7 +422,7 @@ class QueryService:
             dead = self._cache.release(ticket.key)
             if dead is not None:
                 self._backend.terminate(dead.anchor_qid)
-            self.terminations += 1
+            self._m_terminations.inc()
         else:
             return  # already terminal
         ticket.status = status
@@ -429,13 +492,14 @@ class QueryService:
                         for subscriber in subscribers:
                             subscriber.put(item)
                             pushed += 1
-            self.results_delivered += pushed
+            self._m_delivered.inc(pushed)
             return pushed
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def ticket(self, ticket_id: int) -> Ticket:
+        """Look up a ticket by id; raises ``KeyError`` if unknown."""
         with self._lock:
             ticket = self._tickets.get(ticket_id)
             if ticket is None:
@@ -443,31 +507,42 @@ class QueryService:
             return ticket
 
     def live_tickets(self) -> List[Ticket]:
+        """All tickets currently in the LIVE state."""
         with self._lock:
             return [t for t in self._tickets.values()
                     if t.status is TicketStatus.LIVE]
 
     def stats(self) -> ServiceStats:
-        """A consistent counters snapshot (takes the service lock)."""
+        """A consistent snapshot of the registry-backed counters.
+
+        Takes the service lock, so every field is read from the same
+        quiescent state; the values are the very series ``python -m repro
+        obs`` exports.
+        """
         with self._lock:
-            samples = list(self._latencies)
+            base = self._baseline
             return ServiceStats(
                 sessions_open=len(self._sessions),
                 sessions_opened_total=self._sessions.opened_total,
                 sessions_expired_total=self._sessions.expired_total,
-                submissions_total=self.submissions_total,
-                admitted_total=self.admitted_total,
+                submissions_total=int(self._m_submissions.value
+                                      - base["submissions"]),
+                admitted_total=int(self._m_admitted.value - base["admitted"]),
                 pending=len(self._batcher),
                 cache_hits=self._cache.hits,
                 cache_misses=self._cache.misses,
                 cache_hit_rate=self._cache.hit_rate,
                 live_cached_queries=len(self._cache),
-                registrations=self.registrations,
-                injected_registrations=self.injected_registrations,
-                absorbed_registrations=self.absorbed_registrations,
-                terminations=self.terminations,
-                admission_latency_p50_ms=percentile(samples, 50.0),
-                admission_latency_p95_ms=percentile(samples, 95.0),
+                registrations=int(self._m_registrations.value
+                                  - base["registrations"]),
+                injected_registrations=int(self._m_injected.value
+                                           - base["injected"]),
+                absorbed_registrations=int(self._m_absorbed.value
+                                           - base["absorbed"]),
+                terminations=int(self._m_terminations.value
+                                 - base["terminations"]),
+                admission_latency_p50_ms=self._lat_local.quantile(50.0),
+                admission_latency_p95_ms=self._lat_local.quantile(95.0),
                 batches_flushed=self._batcher.batches_flushed,
                 max_batch_size=self._batcher.max_batch_size,
                 live_tickets=sum(
@@ -477,7 +552,8 @@ class QueryService:
                 live_synthetic_queries=self.optimizer.synthetic_count(),
                 network_operations=self.optimizer.network_operations,
                 absorbed_operations=self.optimizer.absorbed_operations,
-                results_delivered=self.results_delivered,
+                results_delivered=int(self._m_delivered.value
+                                      - base["delivered"]),
             )
 
     def validate(self) -> None:

@@ -38,9 +38,11 @@ class Session:
     tickets: Set[int] = field(default_factory=set)
 
     def alive_at(self, now_ms: float) -> bool:
+        """True while the lease has not lapsed at ``now_ms``."""
         return now_ms < self.expires_at_ms
 
     def renew(self, now_ms: float, ttl_ms: Optional[float] = None) -> None:
+        """Push the expiry to ``now + ttl`` (optionally changing the TTL)."""
         if ttl_ms is not None:
             self.ttl_ms = ttl_ms
         self.expires_at_ms = now_ms + self.ttl_ms
@@ -63,6 +65,7 @@ class SessionManager:
     # ------------------------------------------------------------------
     def open(self, client_id: str, now_ms: float,
              ttl_ms: Optional[float] = None) -> Session:
+        """Open a session for ``client_id`` with a fresh lease."""
         ttl = self.default_ttl_ms if ttl_ms is None else ttl_ms
         if ttl <= 0:
             raise ValueError(f"ttl must be positive (got {ttl})")
@@ -78,6 +81,7 @@ class SessionManager:
         return session
 
     def get(self, session_id: str) -> Session:
+        """The registered session, or :class:`SessionError` if unknown."""
         session = self._sessions.get(session_id)
         if session is None:
             raise SessionError(f"unknown or closed session {session_id!r}")
@@ -85,11 +89,13 @@ class SessionManager:
 
     def renew(self, session_id: str, now_ms: float,
               ttl_ms: Optional[float] = None) -> Session:
+        """Renew a session's lease; raises if it is unknown or closed."""
         session = self.get(session_id)
         session.renew(now_ms, ttl_ms)
         return session
 
     def close(self, session_id: str) -> Session:
+        """Drop a session from the registry, returning it."""
         session = self._sessions.pop(session_id, None)
         if session is None:
             raise SessionError(f"unknown or closed session {session_id!r}")
@@ -110,4 +116,5 @@ class SessionManager:
         return len(self._sessions)
 
     def sessions(self) -> List[Session]:
+        """Every registered session (open or lapsed-but-uncollected)."""
         return list(self._sessions.values())

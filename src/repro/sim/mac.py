@@ -21,11 +21,14 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Set
+from typing import Callable, Deque, Optional, Set, TYPE_CHECKING
 
 from .engine import Event, EventQueue
 from .messages import Message
 from .radio import Channel, DeliveryReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import SimObs
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,7 @@ class MacLayer:
         params: Optional[MacParams] = None,
         seed: int = 0,
         on_drop: Optional[Callable[[Message, Set[int]], None]] = None,
+        obs: Optional["SimObs"] = None,
     ) -> None:
         self.node_id = node_id
         self._engine = engine
@@ -69,6 +73,7 @@ class MacLayer:
         self._pending_event: Optional[Event] = None
         self._enabled = True
         self._on_drop = on_drop
+        self._obs = obs
         #: Frames dropped due to queue overflow or retry exhaustion.
         self.dropped = 0
 
@@ -88,6 +93,8 @@ class MacLayer:
         """Queue a frame for transmission.  Returns False if dropped (full)."""
         if len(self._queue) >= self.params.queue_capacity:
             self.dropped += 1
+            if self._obs is not None:
+                self._obs.on_drop(self.node_id, "queue_full")
             if self._on_drop is not None:
                 self._on_drop(msg, set(msg.destinations() or ()))
             return False
@@ -138,10 +145,14 @@ class MacLayer:
         if needs_ack and report.failed_destinations and self._retries_left > 0:
             self._retries_left -= 1
             msg.retransmissions += 1
+            if self._obs is not None:
+                self._obs.on_retransmission(self.node_id)
             self._schedule_attempt(self._congestion_backoff())
             return
         if needs_ack and report.failed_destinations:
             self.dropped += 1
+            if self._obs is not None:
+                self._obs.on_drop(self.node_id, "retry_exhausted")
             if self._on_drop is not None:
                 self._on_drop(msg, set(report.failed_destinations))
         self._current = None

@@ -18,6 +18,7 @@ from .messages import BROADCAST, LinkDestination, Message, MessageKind
 from .radio import Channel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import SimObs
     from .network import Topology
     from .trace import TraceCollector
 
@@ -61,14 +62,18 @@ class SensorNode:
         trace: "TraceCollector",
         mac_params: Optional[MacParams] = None,
         seed: int = 0,
+        obs: Optional["SimObs"] = None,
     ) -> None:
         self.node_id = node_id
         self.engine = engine
         self.channel = channel
         self.topology = topology
         self.trace = trace
+        #: Observability bundle (metrics/spans/energy); None when the node
+        #: is constructed outside a :class:`repro.sim.runtime.Simulation`.
+        self.obs = obs
         self.mac = MacLayer(node_id, engine, channel, mac_params, seed=seed,
-                            on_drop=self._send_failed)
+                            on_drop=self._send_failed, obs=obs)
         self._radio_on = True
         self._sleep_until: Optional[float] = None
         self._wake_event: Optional[Event] = None
@@ -167,6 +172,8 @@ class SensorNode:
         self._sleep_until = self.engine.now + duration
         self.mac.set_enabled(False)
         self.trace.record_sleep(self.node_id, duration)
+        if self.obs is not None:
+            self.obs.on_sleep(self.node_id, duration)
         self._wake_event = self.engine.schedule(duration, self._wake)
 
     def wake(self) -> None:
@@ -209,6 +216,9 @@ class SensorNode:
         self._radio_on = False
         self.mac.set_enabled(False)
         self.trace.record_sleep(self.node_id, duration)
+        if self.obs is not None:
+            self.obs.on_sleep(self.node_id, duration)
+            self.obs.on_failure(self.node_id, duration)
         self._recover_event = self.engine.schedule(duration, self._recover)
 
     def _recover(self) -> None:

@@ -16,6 +16,11 @@ metric observes:
 
 The paper otherwise assumes a lossless environment (Section 4.1), so there
 is no independent bit-error loss.
+
+Besides the legacy :class:`TraceCollector`, the channel reports every
+frame, airtime, and collision to the observability layer
+(:class:`repro.obs.SimObs` — counters, spans, energy accounting) under
+the ``sim.radio.*`` names documented in ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from .engine import EventQueue
 from .messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import SimObs
     from .network import Topology
     from .trace import TraceCollector
 
@@ -101,13 +107,14 @@ class Channel:
     def __init__(self, engine: EventQueue, topology: "Topology",
                  params: Optional[RadioParams] = None,
                  trace: Optional["TraceCollector"] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, obs: Optional["SimObs"] = None) -> None:
         import random
 
         self._engine = engine
         self._topology = topology
         self.params = params or RadioParams()
         self._trace = trace
+        self._obs = obs
         self._history: List[_Transmission] = []
         self._active: Dict[int, _Transmission] = {}
         # node id -> (receive hook, radio-on query)
@@ -156,6 +163,9 @@ class Channel:
         self._history.append(record)
         if self._trace is not None:
             self._trace.record_transmission(src, msg, duration)
+        if self._obs is not None:
+            self._obs.on_transmit(src, msg.kind.value, msg.length_bytes,
+                                  duration)
         self._engine.schedule(duration, self._complete, record, on_complete)
         return duration
 
@@ -182,6 +192,8 @@ class Channel:
             report.failed_destinations = set(destinations) - report.received
         if self._trace is not None and report.collided:
             self._trace.record_collision(record.msg, report.collided)
+        if self._obs is not None and report.collided:
+            self._obs.on_collision(len(report.collided))
 
         # Deliver after the report is fully built so the sender's MAC and the
         # receivers observe a consistent ordering.

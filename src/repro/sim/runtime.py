@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from ..obs import SimObs
 from .engine import EventQueue
 from .mac import MacParams
 from .node import NodeApp, SensorNode
@@ -42,11 +43,17 @@ class Simulation:
         self.seed = seed
         self.engine = EventQueue()
         self.trace = TraceCollector(self.engine)
+        #: Observability bundle: metrics + spans + energy/latency
+        #: accounting, recording into the registry current at construction
+        #: time on the engine's virtual clock (never the wall clock, so
+        #: instrumented runs stay bit-identically deterministic).
+        self.obs = SimObs(clock=lambda: self.engine.now)
         self.channel = Channel(self.engine, topology, radio_params, self.trace,
-                               seed=seed)
+                               seed=seed, obs=self.obs)
         self.nodes: Dict[int, SensorNode] = {
             node_id: SensorNode(node_id, self.engine, self.channel, topology,
-                                self.trace, mac_params, seed=seed)
+                                self.trace, mac_params, seed=seed,
+                                obs=self.obs)
             for node_id in topology.node_ids
         }
         self._started = False

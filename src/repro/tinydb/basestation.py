@@ -13,6 +13,10 @@ Two robustness mechanisms mirror real TinyDB deployments:
 * **reactive re-abort** — a result frame arriving for an aborted query
   (some node missed the abort flood) triggers a rate-limited re-flood of
   the abortion, which eventually silences zombies.
+
+The app also feeds the observability layer (``tinydb.bs.*`` metrics in
+``docs/observability.md``): control-flood counters and, per query id, the
+end-to-end result latency from epoch boundary to sink arrival.
 """
 
 from __future__ import annotations
@@ -52,6 +56,16 @@ class TinyDBBaseStationApp(TinyDBNodeApp):
         #: the query's reliability class so tier-2 can apply multipath.
         self.qos_registry = None
 
+    def _obs(self):
+        """The simulation's observability bundle (None outside a sim)."""
+        node = getattr(self, "node", None)
+        return getattr(node, "obs", None)
+
+    def _count(self, name: str, help: str = "") -> None:
+        obs = self._obs()
+        if obs is not None:
+            obs.registry.counter(name, help=help).inc()
+
     # ------------------------------------------------------------------
     # Network control interface
     # ------------------------------------------------------------------
@@ -65,6 +79,8 @@ class TinyDBBaseStationApp(TinyDBNodeApp):
             raise ValueError(f"query {query.qid} already injected")
         self.injected[query.qid] = query
         self._seen_queries.add(query.qid)
+        self._count("tinydb.bs.queries_injected_total",
+                    "queries flooded into the network")
         self._schedule_control(self._flood_query_now, query)
 
     def abort(self, qid: int) -> None:
@@ -75,6 +91,8 @@ class TinyDBBaseStationApp(TinyDBNodeApp):
             return
         self.aborted.add(qid)
         self._seen_aborts.add(qid)
+        self._count("tinydb.bs.aborts_total",
+                    "abortions flooded into the network")
         self._schedule_control(self._flood_abort_now, qid)
 
     def running_queries(self) -> Dict[int, Query]:
@@ -131,6 +149,8 @@ class TinyDBBaseStationApp(TinyDBNodeApp):
         last = self._last_reabort.get(qid, float("-inf"))
         if now - last >= REABORT_INTERVAL_MS:
             self._last_reabort[qid] = now
+            self._count("tinydb.bs.reaborts_total",
+                        "rate-limited re-abort floods for zombie queries")
             self._schedule_control(self._flood_abort_now, qid)
 
     # ------------------------------------------------------------------
@@ -141,6 +161,7 @@ class TinyDBBaseStationApp(TinyDBNodeApp):
         pass                                        # pre-marks qids as seen
 
     def _handle_result(self, payload) -> None:
+        obs = self._obs()
         if isinstance(payload, RowResultPayload):
             values = payload.values_dict()
             now = self.node.engine.now
@@ -152,7 +173,14 @@ class TinyDBBaseStationApp(TinyDBNodeApp):
                     continue
                 self.results.add_row(qid, payload.epoch_time, payload.origin,
                                      values, received_at=now)
+                if obs is not None:
+                    obs.registry.counter(
+                        "tinydb.bs.rows_received_total",
+                        help="acquisition rows logged at the sink").inc()
+                    obs.latency.observe_row(
+                        qid, max(now - payload.epoch_time, 0.0))
         elif isinstance(payload, AggResultPayload):
+            now = self.node.engine.now
             for group in payload.groups:
                 for qid in group.qids:
                     if qid in self.aborted:
@@ -160,3 +188,10 @@ class TinyDBBaseStationApp(TinyDBNodeApp):
                         continue
                     self.results.add_partials(qid, payload.epoch_time,
                                               group.partials, group.group_key)
+                    if obs is not None:
+                        obs.registry.counter(
+                            "tinydb.bs.aggregates_received_total",
+                            help="aggregation partials logged at the sink"
+                        ).inc()
+                        obs.latency.observe_aggregate(
+                            qid, max(now - payload.epoch_time, 0.0))

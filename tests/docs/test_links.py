@@ -1,0 +1,61 @@
+"""Intra-repo markdown link checker for README.md and docs/.
+
+Every relative link target (``[text](path)`` and ``[text](path#anchor)``)
+must exist on disk, resolved against the file containing the link.
+External links (``http(s)://``, ``mailto:``) are out of scope — CI must
+not depend on the network.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+# [text](target) — ignoring images is unnecessary; their targets must
+# exist too.  Reference-style links are not used in this repo.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced code blocks so example syntax can't look like links."""
+    return re.sub(r"```.*?```", "", text, flags=re.S)
+
+
+def _links(path: Path):
+    for target in _LINK.findall(_strip_code(path.read_text(encoding="utf-8"))):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=[str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+)
+def test_intra_repo_links_resolve(path):
+    broken = []
+    for target in _links(path):
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            broken.append(target)
+    assert not broken, f"broken links in {path.name}: {broken}"
+
+
+def test_docs_are_linked_from_readme():
+    """Every file in docs/ is reachable from the README's index."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    missing = [
+        doc.name
+        for doc in sorted((REPO_ROOT / "docs").glob("*.md"))
+        if f"docs/{doc.name}" not in readme
+    ]
+    assert not missing, f"docs not linked from README.md: {missing}"

@@ -1,0 +1,70 @@
+"""Execute every fenced ``python`` block in README.md and docs/*.md.
+
+Documentation code is part of the API surface: a snippet that no longer
+runs means the docs are lying about the library.  Every block is
+compiled (syntax is always checked) and executed in a throwaway
+namespace with the working directory pointed at a tmp dir, so snippets
+that write caches or files cannot dirty the repo.
+
+A block that is intentionally not runnable (pseudo-code, fragments that
+need unavailable context) opts out of *execution* with an HTML comment
+on the line immediately before the fence::
+
+    <!-- snippet: no-run -->
+    ```python
+    ...
+    ```
+
+Opted-out blocks are still syntax-checked.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_FENCE = re.compile(
+    r"(?P<norun><!--\s*snippet:\s*no-run\s*-->\s*\n)?```python\n(?P<body>.*?)```",
+    re.S,
+)
+
+
+def _collect():
+    params = []
+    for path in DOC_FILES:
+        text = path.read_text(encoding="utf-8")
+        for index, match in enumerate(_FENCE.finditer(text)):
+            params.append(
+                pytest.param(
+                    path,
+                    match.group("body"),
+                    bool(match.group("norun")),
+                    id=f"{path.relative_to(REPO_ROOT)}[{index}]",
+                )
+            )
+    return params
+
+
+SNIPPETS = _collect()
+
+
+def test_docs_contain_python_snippets():
+    """The extractor found something — guards against a regex rot that
+    would silently turn the whole module into a no-op."""
+    assert len(SNIPPETS) >= 3
+
+
+@pytest.mark.parametrize("path, body, no_run", SNIPPETS)
+def test_snippet_executes(path, body, no_run, tmp_path, monkeypatch):
+    code = compile(body, f"{path.name}:snippet", "exec")
+    if no_run:
+        return  # syntax-checked only, by explicit opt-out
+    monkeypatch.chdir(tmp_path)  # snippet side effects land in tmp
+    exec(code, {"__name__": "__doc_snippet__"})

@@ -1,0 +1,53 @@
+"""The ``python -m repro obs`` command: one cell, three export formats."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["obs", "--workload", "A", "--side", "4", "--duration", "15"]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.command == "obs"
+        assert args.workload == "A"
+        assert args.format == "text"
+        assert args.spans == 0
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--format", "xml"])
+
+
+class TestObsCommand:
+    def test_json_export_has_contract_metrics(self, capsys):
+        code = main(FAST + ["--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {m["name"] for m in payload["metrics"]}
+        assert "sim.energy.avg_node_mj" in names
+        assert "run.average_energy_mj" in names
+        assert any(n.startswith("tinydb.bs.") for n in names)
+        # the export mirrors the run: the two energy values agree exactly
+        by_name = {}
+        for m in payload["metrics"]:
+            by_name.setdefault(m["name"], m)
+        assert (by_name["sim.energy.avg_node_mj"]["value"]
+                == by_name["run.average_energy_mj"]["value"])
+
+    def test_text_export_with_spans(self, capsys):
+        code = main(FAST + ["--spans", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sim.radio.tx_frames_total" in out
+        assert out.count("span radio.tx{") == 5
+
+    def test_prometheus_export(self, capsys):
+        code = main(FAST + ["--format", "prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sim_radio_tx_frames_total counter" in out
+        assert "sim_energy_avg_node_mj " in out

@@ -1,0 +1,74 @@
+"""Exporter tests: text / JSON / Prometheus renderings of one snapshot."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    render_json,
+    render_prometheus,
+    render_text,
+)
+
+
+def make_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("sim.radio.tx_frames_total", help="frames on air",
+                     kind="row").inc(5)
+    registry.gauge("optimizer.user_queries", unit="queries").set(3.0)
+    hist = registry.histogram("tinydb.bs.row_latency_ms", unit="ms", qid=1)
+    for v in [100.0, 200.0]:
+        hist.observe(v)
+    return registry.snapshot()
+
+
+class TestText:
+    def test_counter_gauge_histogram_lines(self):
+        text = render_text(make_snapshot())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert any("sim.radio.tx_frames_total{kind=row}" in l and
+                   l.rstrip().endswith("5") for l in lines)
+        assert any("optimizer.user_queries" in l and "queries" in l
+                   for l in lines)
+        assert any("count=2" in l and "p50=150" in l for l in lines)
+
+    def test_empty_snapshot(self):
+        assert render_text([]) == ""
+
+
+class TestJson:
+    def test_round_trips_and_sorts_keys(self):
+        payload = json.loads(render_json(make_snapshot()))
+        assert set(payload) == {"metrics"}
+        assert len(payload["metrics"]) == 3
+        names = [m["name"] for m in payload["metrics"]]
+        assert names == sorted(names)
+
+    def test_spans_included_when_given(self):
+        spans = [{"name": "radio.tx", "duration_ms": 1.5}]
+        payload = json.loads(render_json([], spans=spans))
+        assert payload["spans"] == spans
+
+    def test_deterministic_output(self):
+        assert render_json(make_snapshot()) == render_json(make_snapshot())
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        prom = render_prometheus(make_snapshot())
+        assert "# TYPE optimizer_user_queries gauge" in prom
+        assert "# TYPE sim_radio_tx_frames_total counter" in prom
+        assert 'sim_radio_tx_frames_total{kind="row"} 5' in prom
+        # histograms export summary-style
+        assert "# TYPE tinydb_bs_row_latency_ms summary" in prom
+        assert 'tinydb_bs_row_latency_ms{qid="1",quantile="0.5"} 150' in prom
+        assert 'tinydb_bs_row_latency_ms_count{qid="1"} 2' in prom
+        assert 'tinydb_bs_row_latency_ms_sum{qid="1"} 300' in prom
+        assert prom.endswith("\n")
+
+    def test_help_lines_escaped_once_per_family(self):
+        prom = render_prometheus(make_snapshot())
+        assert prom.count("# HELP sim_radio_tx_frames_total frames on air") == 1
+
+    def test_empty_snapshot(self):
+        assert render_prometheus([]) == ""
