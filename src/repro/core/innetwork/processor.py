@@ -81,12 +81,38 @@ class TTMQOParams:
     sleep_defer_ms: float = 1280.0
     #: Minimum remaining time worth sleeping for (ms).
     min_sleep_ms: float = 64.0
-    #: How long a parent is avoided after a delivery failure (ms).
+    #: How long a parent is avoided after a delivery failure (ms).  The
+    #: window escalates exponentially with consecutive failures.
     unreachable_backoff_ms: float = 4096.0
-    #: Maximum app-level reroute attempts per frame.
-    max_reroutes: int = 2
+    #: Ceiling for the escalating unreachable backoff (ms).
+    max_unreachable_backoff_ms: float = 65536.0
+    #: Consecutive delivery failures before a parent is evicted from
+    #: routing until it is heard again (0 disables eviction).
+    evict_after_failures: int = 4
+    #: Maximum app-level reroute attempts per frame.  Higher than the
+    #: baseline's same-link retry budget because each attempt re-routes:
+    #: under correlated fades later attempts leave the faded link entirely,
+    #: so extra attempts keep paying off where same-link retries stall.
+    max_reroutes: int = 4
+    #: Base delay before an app-level reroute retransmission (ms); doubles
+    #: with each attempt (hop-by-hop retransmission backoff).
+    reroute_backoff_ms: float = 96.0
+    #: When every parent is suspect, widen origin row frames to this many
+    #: parents (multicast fallback re-parenting; the base station's result
+    #: log deduplicates rows, so duplicates are safe — aggregates are
+    #: never widened, duplicated partials would double-count).
+    fallback_fanout: int = 2
     #: Delay after a tick boundary before the base station floods (ms).
     inject_offset_ms: float = 8.0
+    #: Base station re-disseminates a query when origins that previously
+    #: reported have been silent for this many of its epochs (0 disables
+    #: the monitor; it is an explicit robustness knob because selective
+    #: queries legitimately go silent).
+    silence_epochs: int = 0
+    #: Period of the base station's subtree-silence check (ms).
+    silence_check_ms: float = 4096.0
+    #: Minimum spacing between re-disseminations of the same query (ms).
+    redissemination_min_interval_ms: float = 30720.0
 
 
 class TTMQONodeApp:
@@ -126,8 +152,10 @@ class TTMQONodeApp:
         self.clock = GcdClock(node.engine, self._on_tick)
         uppers = node.topology.upper_neighbors(node.node_id)
         quality = {u: node.topology.quality(node.node_id, u) for u in uppers}
-        self.view = UpperNeighborView(uppers, quality,
-                                      freshness_ms=self.params.freshness_ms)
+        self.view = UpperNeighborView(
+            uppers, quality, freshness_ms=self.params.freshness_ms,
+            evict_after=self.params.evict_after_failures,
+            max_backoff_ms=self.params.max_unreachable_backoff_ms)
         self._slots = SlotSchedule(node.topology.max_depth, self.params.slot_ms)
         period = self.params.maintenance_period_ms
         if period > 0 and not node.is_base_station:
@@ -137,9 +165,28 @@ class TTMQONodeApp:
     def on_wake(self) -> None:
         pass
 
+    # ------------------------------------------------------------------
+    # Recovery telemetry (no-ops outside a Simulation; see repro.obs)
+    # ------------------------------------------------------------------
+    def _count(self, name: str, help: str, n: int = 1, **labels) -> None:
+        obs = self.node.obs
+        if obs is not None:
+            obs.registry.counter(name, help=help, **labels).inc(n)
+
+    def _observe(self, name: str, help: str, value: float, **labels) -> None:
+        obs = self.node.obs
+        if obs is not None:
+            obs.registry.histogram(name, help=help, **labels).observe(value)
+
     def on_message(self, msg: Message) -> None:
         now = self.node.engine.now
-        self.view.note_heard(msg.src, now)
+        recovery = self.view.note_heard(msg.src, now)
+        if recovery is not None:
+            self._count("recovery.readmissions_total",
+                        "evicted DAG parents re-admitted on being heard")
+            self._observe("recovery.latency_ms",
+                          "first delivery failure to re-admission per "
+                          "evicted parent", recovery, unit="ms")
         if msg.kind is MessageKind.QUERY:
             self._handle_query(msg.payload)
         elif msg.kind is MessageKind.ABORT:
@@ -154,16 +201,27 @@ class TTMQONodeApp:
                 self._handle_result(msg.payload)
 
     def on_send_failed(self, msg: Message, failed: Set[int]) -> None:
-        """Reroute a result frame around unreachable (likely sleeping) parents."""
+        """Retransmit a failed result frame around (or back to) its parents.
+
+        Hop-by-hop recovery: each MAC give-up escalates the failed parents'
+        avoidance backoff (and may evict them), then the lost query subset
+        is re-routed and re-sent after an exponentially growing delay —
+        ``reroute_backoff_ms * 2^attempt`` — up to ``max_reroutes`` times.
+        """
         if msg.kind is not MessageKind.RESULT:
             return
         now = self.node.engine.now
-        for neighbor in failed:
-            self.view.note_unreachable(neighbor, now,
-                                       self.params.unreachable_backoff_ms)
+        for neighbor in sorted(failed):
+            evicted = self.view.note_unreachable(
+                neighbor, now, self.params.unreachable_backoff_ms)
+            if evicted:
+                self._count("recovery.evictions_total",
+                            "DAG parents evicted after repeated delivery "
+                            "failures")
         attempts = self._reroutes.pop(msg.msg_id, 0)
         if attempts >= self.params.max_reroutes:
             return
+        delay = self.params.reroute_backoff_ms * (2.0 ** attempts)
         payload = msg.payload
         if isinstance(payload, SharedRowPayload):
             lost = frozenset().union(*(payload.subset_for(f) for f in failed)) \
@@ -171,16 +229,22 @@ class TTMQONodeApp:
             if lost:
                 replacement = dataclasses.replace(payload, qids=lost,
                                                   responsibilities=())
-                self._route_and_send_row(replacement, exclude=set(failed),
-                                         attempts=attempts + 1)
+                self._count("recovery.app_retries_total",
+                            "app-level retransmissions after MAC give-up",
+                            layer="ttmqo")
+                self.node.after(delay, self._route_and_send_row, replacement,
+                                set(failed), attempts + 1)
         elif isinstance(payload, SharedAggPayload):
             lost = frozenset().union(*(payload.subset_for(f) for f in failed)) \
                 if failed else frozenset()
             groups = payload.groups_for(lost)
             if groups:
-                self._route_and_send_groups(payload.epoch_time, groups,
-                                            exclude=set(failed),
-                                            attempts=attempts + 1)
+                self._count("recovery.app_retries_total",
+                            "app-level retransmissions after MAC give-up",
+                            layer="ttmqo")
+                self.node.after(delay, self._route_and_send_groups,
+                                payload.epoch_time, groups, set(failed),
+                                attempts + 1)
 
     # ------------------------------------------------------------------
     # Query propagation (flooding + DAG piggyback)
@@ -332,8 +396,26 @@ class TTMQONodeApp:
                             attempts: int = 0) -> None:
         now = self.node.engine.now
         assignment = self.view.select_parents(payload.qids, now, exclude=exclude)
+        if not assignment and exclude:
+            # Every non-excluded parent is out of reach (a single-parent
+            # node rerouting around its only link).  Retrying the failed
+            # parent is strictly better than dropping the rows.
+            assignment = self.view.select_parents(payload.qids, now)
         if not assignment:
             return
+        if (self.params.fallback_fanout > 1 and len(assignment) == 1
+                and self.view.all_suspect(now, exclude)):
+            # Multicast fallback re-parenting: every parent is suspect, so
+            # one frame is widened to a second parent — two chances to get
+            # the row out for one transmission.  Rows only: the result log
+            # deduplicates rows, duplicated aggregates would double-count.
+            extra = self.view.next_best(
+                now, exclude=(exclude or set()) | set(assignment))
+            if extra is not None:
+                assignment[extra] = payload.qids
+                self._count("recovery.fallback_multicasts_total",
+                            "row frames widened to a second parent because "
+                            "every parent was suspect")
         routed = dataclasses.replace(
             payload, responsibilities=encode_responsibilities(assignment))
         msg = self.node.send(MessageKind.RESULT, frozenset(assignment), routed,
@@ -383,6 +465,10 @@ class TTMQONodeApp:
         for group in groups:
             assignment = self.view.select_parents(group.qids, now,
                                                   exclude=exclude)
+            if not assignment and exclude:
+                # Same single-parent fallback as rows: retry the failed
+                # link rather than lose the partials.
+                assignment = self.view.select_parents(group.qids, now)
             if not assignment:
                 continue
             payload = SharedAggPayload(
@@ -391,7 +477,7 @@ class TTMQONodeApp:
                 responsibilities=encode_responsibilities(assignment))
             msg = self.node.send(MessageKind.RESULT, frozenset(assignment),
                                  payload, payload.payload_bytes())
-            if attempts:
+            if msg is not None and attempts:
                 self._reroutes[msg.msg_id] = attempts
             self._active_since_tick = True
 
@@ -468,6 +554,17 @@ class TTMQOBaseStationApp(TinyDBBaseStationApp):
         self.ttmqo_params = ttmqo_params or TTMQOParams()
         self._flooded: Dict[int, Query] = {}
         self._pending_injects: Dict[int, Event] = {}
+        #: qid -> origin -> last result arrival (origin None for partial
+        #: aggregates, which do not carry their origins).
+        self._last_report: Dict[int, Dict[Optional[int], float]] = {}
+        self._last_redissemination: Dict[int, float] = {}
+
+    def on_start(self) -> None:
+        super().on_start()
+        period = self.ttmqo_params.silence_check_ms
+        if self.ttmqo_params.silence_epochs > 0 and period > 0:
+            self.node.every(period, self._check_silence,
+                            start=self.node.engine.now + period)
 
     # ------------------------------------------------------------------
     # Deferred network control
@@ -543,3 +640,54 @@ class TTMQOBaseStationApp(TinyDBBaseStationApp):
         else:
             parent_refresh = super()._refresh_queries
             self.node.after(delay, parent_refresh)
+
+    # ------------------------------------------------------------------
+    # Subtree-silence recovery (robustness extension)
+    # ------------------------------------------------------------------
+    def _handle_result(self, payload) -> None:
+        super()._handle_result(payload)
+        if self.ttmqo_params.silence_epochs <= 0:
+            return
+        now = self.node.engine.now
+        if isinstance(payload, RowResultPayload):
+            for qid in payload.qids:
+                if qid not in self.aborted:
+                    self._last_report.setdefault(qid, {})[payload.origin] = now
+        elif isinstance(payload, AggResultPayload):
+            for group in payload.groups:
+                for qid in group.qids:
+                    if qid not in self.aborted:
+                        self._last_report.setdefault(qid, {})[None] = now
+
+    def _check_silence(self) -> None:
+        """Re-disseminate queries whose reporting origins went silent.
+
+        A query that was producing results and stopped — for longer than
+        ``silence_epochs`` of its own epochs — most likely lost its subtree
+        to failures or a partitioned DAG.  Re-flooding the query (with a
+        bumped generation) repairs nodes that lost it, refreshes every
+        node's has-data evidence, and clears unreachable state via the
+        flood frames themselves being heard.  Rate-limited per query.
+        """
+        now = self.node.engine.now
+        for qid, query in sorted(self.running_queries().items()):
+            reports = self._last_report.get(qid)
+            if not reports:
+                continue  # never produced anything: nothing to recover
+            threshold = self.ttmqo_params.silence_epochs * query.epoch_ms
+            silent = [origin for origin, last in reports.items()
+                      if now - last > threshold]
+            if not silent:
+                continue
+            last_re = self._last_redissemination.get(qid, float("-inf"))
+            if now - last_re < self.ttmqo_params.redissemination_min_interval_ms:
+                continue
+            self._last_redissemination[qid] = now
+            # Silent origins must report again before they can re-trigger.
+            for origin in silent:
+                del reports[origin]
+            self._generations[qid] = self._generations.get(qid, 0) + 1
+            self._count("recovery.redisseminations_total",
+                        "base-station query re-floods triggered by subtree "
+                        "silence")
+            self._schedule_control(self._flood_query_now, query)

@@ -30,6 +30,7 @@ class GcdClock:
         self._on_tick = on_tick
         self._queries: Dict[int, Query] = {}
         self._timer: Optional[PeriodicTimer] = None
+        self._last_tick: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Query-set maintenance
@@ -68,12 +69,26 @@ class GcdClock:
         period = self.period
         if period is None:
             return
-        start = next_boundary(self._engine.now, period)
+        now = self._engine.now
+        if now > 0.0 and now % period == 0.0 and self._last_tick != now:
+            # The query-set change landed exactly on an epoch boundary the
+            # clock has not fired for yet (e.g. a 4096 ms query admitted at
+            # t=4096 while only an 8192 ms query was running).  ``next_
+            # boundary`` is strictly-after and would delay the first shared
+            # acquisition by a whole period; fire at this boundary instead.
+            # t=0 is excluded: the first acquisition comes one epoch after
+            # admission, never at the instant the clock starts.
+            start = now
+        else:
+            start = next_boundary(now, period)
         self._timer = PeriodicTimer(self._engine, float(period), self._tick,
                                     start=start)
 
     def _tick(self) -> None:
         now = self._engine.now
+        if self._last_tick == now:
+            return  # re-armed onto a boundary that already fired
+        self._last_tick = now
         firing = [q for q in self.queries if q.fires_at(now)]
         if firing:
             self._on_tick(now, firing)

@@ -20,6 +20,7 @@ from .failures import (
     FailureInjector,
     Outage,
     expected_rows,
+    merge_outages,
     row_completeness,
 )
 from .metrics import (
@@ -80,6 +81,7 @@ __all__ = [
     "hotspot_ratio",
     "level_breakdown",
     "lifetime_estimate_days",
+    "merge_outages",
     "message_savings",
     "percent_savings",
     "percentile",

@@ -42,7 +42,44 @@ class Outage:
         return self.start_ms + self.duration_ms
 
     def covers(self, time_ms: float) -> bool:
+        """Half-open containment: down at ``start_ms``, back up at ``end_ms``.
+
+        This matches the simulator exactly — ``SensorNode.fail`` powers the
+        radio off at the instant the outage starts and the recovery event at
+        ``end_ms`` restores it, so a frame arriving at ``end_ms`` *is*
+        received.  Every consumer (``down_nodes_at``, ``expected_rows``)
+        uses this same edge convention.
+        """
         return self.start_ms <= time_ms < self.end_ms
+
+    def overlaps(self, other: "Outage") -> bool:
+        """Share any instant (or touch end-to-start) on the same node?"""
+        return (self.node_id == other.node_id
+                and self.start_ms <= other.end_ms
+                and other.start_ms <= self.end_ms)
+
+
+def merge_outages(outages: Iterable[Outage]) -> List[Outage]:
+    """Union overlapping/touching outages into maximal intervals per node.
+
+    The simulator already behaves this way (``SensorNode.fail`` only ever
+    *extends* the failure deadline, so a shorter overlapping outage cannot
+    revive a node another outage still covers); merging the schedule gives
+    analysis code the same ground truth.  Output is sorted by
+    (node, start).
+    """
+    per_node: dict = {}
+    for outage in sorted(outages,
+                         key=lambda o: (o.node_id, o.start_ms, o.end_ms)):
+        merged = per_node.setdefault(outage.node_id, [])
+        if merged and outage.start_ms <= merged[-1].end_ms:
+            last = merged[-1]
+            if outage.end_ms > last.end_ms:
+                merged[-1] = Outage(last.node_id, last.start_ms,
+                                    outage.end_ms - last.start_ms)
+        else:
+            merged.append(outage)
+    return [o for node in sorted(per_node) for o in per_node[node]]
 
 
 class FailureInjector:
@@ -90,9 +127,14 @@ class FailureInjector:
             injected.append(self.fail_at(node_id, start, duration_ms))
         return injected
 
+    def merged_outages(self) -> List[Outage]:
+        """The injected schedule as maximal per-node down intervals."""
+        return merge_outages(self.outages)
+
     def down_nodes_at(self, time_ms: float) -> List[int]:
-        """Nodes that are failed at a given instant."""
-        return sorted({o.node_id for o in self.outages if o.covers(time_ms)})
+        """Nodes that are failed at a given instant (merged intervals)."""
+        return sorted({o.node_id for o in self.merged_outages()
+                       if o.covers(time_ms)})
 
 
 def expected_rows(
@@ -110,7 +152,7 @@ def expected_rows(
     """
     if not query.is_acquisition:
         raise ValueError("expected_rows only applies to acquisition queries")
-    outages = list(down or ())
+    outages = merge_outages(down or ())
     pairs: List[Tuple[float, int]] = []
     for t in epochs:
         for node in topology.node_ids:

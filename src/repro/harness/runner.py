@@ -60,6 +60,11 @@ class RunResult:
     average_energy_mj: float = 0.0
     #: Total rows the base station logged (user-visible data volume).
     result_rows: int = 0
+    #: Mean fraction of ground-truth matching (epoch, origin) readings that
+    #: reached the base station across acquisition user queries — the
+    #: robustness extension's graceful-degradation metric.  1.0 when there
+    #: is nothing to measure (lossless runs are complete by construction).
+    row_completeness: float = 1.0
 
     def frames_by_kind(self) -> Dict[str, int]:
         return {
@@ -155,6 +160,7 @@ def run_workload_live(
             sim.topology.node_ids, EnergyModel(),
             include_base_station=sim.topology.base_station),
         result_rows=deployment.results.total_rows(),
+        row_completeness=deployment.row_completeness(),
     )
     _export_run_metrics(result, deployment)
     return LiveRun(result=result, deployment=deployment)

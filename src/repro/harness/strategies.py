@@ -216,6 +216,50 @@ class Deployment:
         merged.sort(key=lambda r: (r.epoch_time, r.origin))
         return merged
 
+    def row_completeness(self, outages=None) -> float:
+        """Mean delivery completeness across live acquisition user queries.
+
+        For each acquisition user query, the fraction of ground-truth
+        matching (epoch, origin) readings — over the epochs its network
+        query actually observed — that reached the base station (see
+        :func:`repro.harness.failures.row_completeness`).  ``outages``
+        (an iterable of :class:`~repro.harness.failures.Outage`) excludes
+        failed-at-the-epoch origins from the ground truth, so the score
+        measures routing loss, not source loss.  Queries that produced no
+        epochs (or have no expected rows) are skipped; with nothing to
+        measure the score is 1.0 — lossless runs report perfect
+        completeness by construction.
+        """
+        from .failures import expected_rows, row_completeness as _score
+        scores = []
+        for user_qid in sorted(self.user_queries):
+            user = self.user_queries[user_qid]
+            if not user.is_acquisition:
+                continue
+            try:
+                network = self.network_query_for(user_qid)
+            except KeyError:
+                continue
+            # A shared synthetic query runs at the GCD epoch; the user only
+            # answers at its own epoch multiples (result-mapper semantics),
+            # so ground truth is restricted to the epochs the user fires at.
+            # The final epoch is excluded unless a whole further epoch has
+            # elapsed — its rows may legitimately still be in flight, and
+            # counting them would report routing loss that never happened.
+            now = self.sim.engine.now
+            epochs = [t for t in self.results.row_epochs(network.qid)
+                      if user.fires_at(t) and t + user.epoch_ms <= now]
+            if not epochs:
+                continue
+            expected = expected_rows(user, self.world, self.topology, epochs,
+                                     outages)
+            if not expected:
+                continue
+            received = [(row.epoch_time, row.origin)
+                        for row in self.user_answer_rows(user_qid)]
+            scores.append(_score(received, expected))
+        return sum(scores) / len(scores) if scores else 1.0
+
     def total_acquisitions(self) -> int:
         """Physical sensor acquisitions across all nodes."""
         total = 0

@@ -53,6 +53,7 @@ class RadioAccountant:
         self._retx = self.registry.counter(
             "sim.mac.retransmissions_total",
             help="link-layer retransmissions of acknowledged frames")
+        self._link_losses: Dict[str, Counter] = {}
 
     # -- event hooks (called by the sim layers) ------------------------
     def record_tx(self, node_id: int, kind: str, length_bytes: int,
@@ -84,6 +85,15 @@ class RadioAccountant:
 
     def record_collision(self, receivers: int) -> None:
         self._collisions.inc(receivers)
+
+    def record_link_loss(self, model: str) -> None:
+        counter = self._link_losses.get(model)
+        if counter is None:
+            counter = self._link_losses[model] = self.registry.counter(
+                "sim.radio.link_losses_total",
+                help="frames eaten by the channel loss models",
+                model=model)
+        counter.inc()
 
     def record_retransmission(self, node_id: int) -> None:
         self._retx.inc()
@@ -202,6 +212,10 @@ class SimObs:
 
     def on_collision(self, receivers: int) -> None:
         self.radio.record_collision(receivers)
+
+    def on_link_loss(self, src: int, dst: int, model: str) -> None:
+        """The channel loss model (Bernoulli/burst) ate a frame copy."""
+        self.radio.record_link_loss(model)
 
     def on_retransmission(self, node_id: int) -> None:
         self.radio.record_retransmission(node_id)

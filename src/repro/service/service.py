@@ -148,6 +148,15 @@ class ServiceStats:
     network_operations: int
     absorbed_operations: int
     results_delivered: int
+    #: Fault-tolerance counters (``recovery.*`` metric families); zero for
+    #: backends without a simulated network.
+    recovery_app_retries: int = 0
+    recovery_evictions: int = 0
+    recovery_readmissions: int = 0
+    recovery_redisseminations: int = 0
+    #: Graceful-degradation score from the backend deployment (1.0 when
+    #: the backend has no network or nothing measurable).
+    row_completeness: float = 1.0
 
     @property
     def admissions_without_inject(self) -> int:
@@ -228,6 +237,31 @@ class QueryService:
             "service.admission_latency_ms",
             help="submit-to-live latency per admitted ticket", unit="ms",
             sample_cap=LATENCY_SAMPLE_CAP)
+        # Fault-tolerance counters, incremented by the simulated network's
+        # node processors (repro.core.innetwork / repro.tinydb) when the
+        # backend carries one; stats() reports the delta since construction.
+        self._m_recovery = {
+            "app_retries": [
+                registry.counter("recovery.app_retries_total",
+                                 help="app-level retransmissions after MAC "
+                                      "give-up", layer="ttmqo"),
+                registry.counter("recovery.app_retries_total",
+                                 help="app-level retransmissions after MAC "
+                                      "give-up", layer="tinydb"),
+            ],
+            "evictions": [
+                registry.counter("recovery.evictions_total",
+                                 help="DAG parents evicted after repeated "
+                                      "delivery failures")],
+            "readmissions": [
+                registry.counter("recovery.readmissions_total",
+                                 help="evicted DAG parents re-admitted on "
+                                      "being heard")],
+            "redisseminations": [
+                registry.counter("recovery.redisseminations_total",
+                                 help="base-station query re-floods "
+                                      "triggered by subtree silence")],
+        }
         #: Instance-scoped latency view behind the shared registry series.
         self._lat_local = Histogram(sample_cap=LATENCY_SAMPLE_CAP)
         self._baseline = {
@@ -239,6 +273,9 @@ class QueryService:
             "terminations": self._m_terminations.value,
             "delivered": self._m_delivered.value,
         }
+        self._baseline.update({
+            f"recovery_{key}": sum(c.value for c in counters)
+            for key, counters in self._m_recovery.items()})
         registry.gauge("service.sessions_open",
                        help="sessions with an unexpired lease"
                        ).set_fn(lambda: float(len(self._sessions)))
@@ -554,7 +591,21 @@ class QueryService:
                 absorbed_operations=self.optimizer.absorbed_operations,
                 results_delivered=int(self._m_delivered.value
                                       - base["delivered"]),
+                recovery_app_retries=self._recovery_delta("app_retries"),
+                recovery_evictions=self._recovery_delta("evictions"),
+                recovery_readmissions=self._recovery_delta("readmissions"),
+                recovery_redisseminations=self._recovery_delta(
+                    "redisseminations"),
+                row_completeness=self._backend_completeness(),
             )
+
+    def _recovery_delta(self, key: str) -> int:
+        total = sum(c.value for c in self._m_recovery[key])
+        return int(total - self._baseline[f"recovery_{key}"])
+
+    def _backend_completeness(self) -> float:
+        fn = getattr(self._backend, "row_completeness", None)
+        return float(fn()) if callable(fn) else 1.0
 
     def validate(self) -> None:
         """Cross-layer invariants (used by the concurrency stress test)."""

@@ -27,7 +27,7 @@ from .messages import (
 )
 from .network import GRID_SPACING_FT, RADIO_RANGE_FT, Topology
 from .node import NodeApp, SensorNode
-from .radio import Channel, DeliveryReport, RadioParams
+from .radio import Channel, DeliveryReport, GilbertElliottParams, RadioParams
 from .runtime import Simulation
 from .trace import EnergyModel, NodeStats, TraceCollector
 
@@ -48,6 +48,7 @@ __all__ = [
     "NodeStats",
     "PeriodicTimer",
     "RADIO_RANGE_FT",
+    "GilbertElliottParams",
     "RadioParams",
     "SensorNode",
     "Simulation",

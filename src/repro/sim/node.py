@@ -78,6 +78,7 @@ class SensorNode:
         self._sleep_until: Optional[float] = None
         self._wake_event: Optional[Event] = None
         self._failed = False
+        self._failed_until: Optional[float] = None
         self._recover_event: Optional[Event] = None
         self.app: Optional[NodeApp] = None
         channel.attach(node_id, self._receive, lambda: self._radio_on)
@@ -203,26 +204,41 @@ class SensorNode:
 
         The paper explicitly defers node failures to future work
         (Section 5); this hook powers the robustness extension benchmark.
+
+        Overlapping outages merge: the node stays down until the *latest*
+        deadline of any injected outage (a shorter overlap can never revive
+        it early), and the radio-off time is accounted once — only the time
+        the new outage adds beyond the current deadline is recorded.
         """
+        now = self.engine.now
+        deadline = now + duration
         if self._failed:
-            # extend the outage if the new deadline is later
+            assert self._failed_until is not None
+            if deadline <= self._failed_until:
+                return  # fully covered by the outage already in force
+            off_ms = deadline - self._failed_until
             if self._recover_event is not None:
                 self._recover_event.cancel()
+        else:
+            off_ms = duration
         if self._wake_event is not None:
             self._wake_event.cancel()
             self._wake_event = None
             self._sleep_until = None
         self._failed = True
+        self._failed_until = deadline
         self._radio_on = False
         self.mac.set_enabled(False)
-        self.trace.record_sleep(self.node_id, duration)
+        self.trace.record_sleep(self.node_id, off_ms)
         if self.obs is not None:
-            self.obs.on_sleep(self.node_id, duration)
+            self.obs.on_sleep(self.node_id, off_ms)
             self.obs.on_failure(self.node_id, duration)
-        self._recover_event = self.engine.schedule(duration, self._recover)
+        self._recover_event = self.engine.schedule(deadline - now,
+                                                   self._recover)
 
     def _recover(self) -> None:
         self._failed = False
+        self._failed_until = None
         self._recover_event = None
         self._radio_on = True
         self.mac.set_enabled(True)

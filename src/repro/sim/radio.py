@@ -14,8 +14,12 @@ metric observes:
   collisions", Section 3.1.2);
 * nodes are half-duplex: a node cannot receive while transmitting.
 
-The paper otherwise assumes a lossless environment (Section 4.1), so there
-is no independent bit-error loss.
+The paper otherwise assumes a lossless environment (Section 4.1), so link
+loss is off by default.  Two optional loss models power the robustness
+extension: an independent Bernoulli per-receiver ``loss_rate`` and a
+seeded per-link Gilbert–Elliott burst model
+(:class:`GilbertElliottParams`) whose two-state Markov chain reproduces
+the correlated loss bursts real motes see.
 
 Besides the legacy :class:`TraceCollector`, the channel reports every
 frame, airtime, and collision to the observability layer
@@ -25,6 +29,7 @@ the ``sim.radio.*`` names documented in ``docs/observability.md``.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
@@ -35,6 +40,51 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs import SimObs
     from .network import Topology
     from .trace import TraceCollector
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Two-state Markov (Gilbert–Elliott) burst-loss model for one link.
+
+    Each directed link carries an independent chain: in the *good* state
+    frames are lost with ``loss_good``, in the *bad* state with
+    ``loss_bad``.  The chain advances once per frame on the link, so mean
+    burst length is ``1 / p_bad_to_good`` frames and the stationary
+    bad-state probability is ``p_good_to_bad / (p_good_to_bad +
+    p_bad_to_good)``.  Defaults model short deep fades: ~12% of time in a
+    bad state that drops three of four frames.
+    """
+
+    #: Per-frame probability of a good link entering a fade.
+    p_good_to_bad: float = 0.05
+    #: Per-frame probability of a fade ending.
+    p_bad_to_good: float = 0.35
+    #: Frame-loss probability while the link is good.
+    loss_good: float = 0.0
+    #: Frame-loss probability while the link is bad.
+    loss_bad: float = 0.75
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1] (got {value})")
+        for name in ("loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1) (got {value})")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of frames sent while the link is bad."""
+        total = self.p_good_to_bad + self.p_bad_to_good
+        return self.p_good_to_bad / total if total > 0 else 0.0
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Long-run per-frame loss probability of the chain."""
+        bad = self.stationary_bad
+        return bad * self.loss_bad + (1.0 - bad) * self.loss_good
 
 
 @dataclass(frozen=True)
@@ -50,12 +100,15 @@ class RadioParams:
     ``loss_rate`` is an independent per-receiver frame-loss probability.
     The paper "assume[s] a lossless communication environment" (its default
     here, 0.0) and names unreliable transmission as future work; a non-zero
-    rate enables that extension (see the robustness benchmark).
+    rate enables that extension (see the robustness benchmark).  ``burst``
+    additionally (or instead) enables the per-link Gilbert–Elliott burst
+    model; both default off, leaving the lossless channel untouched.
     """
 
     data_rate_bytes_per_ms: float = 4.8
     startup_ms: float = 2.0
     loss_rate: float = 0.0
+    burst: Optional[GilbertElliottParams] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
@@ -95,6 +148,8 @@ class DeliveryReport:
     failed_destinations: Set[int] = field(default_factory=set)
     #: Receivers lost to a collision specifically.
     collided: Set[int] = field(default_factory=set)
+    #: Receivers lost to channel loss (Bernoulli or burst model).
+    lost: Set[int] = field(default_factory=set)
 
 
 class Channel:
@@ -108,8 +163,6 @@ class Channel:
                  params: Optional[RadioParams] = None,
                  trace: Optional["TraceCollector"] = None,
                  seed: int = 0, obs: Optional["SimObs"] = None) -> None:
-        import random
-
         self._engine = engine
         self._topology = topology
         self.params = params or RadioParams()
@@ -121,6 +174,13 @@ class Channel:
         self._receivers: Dict[int, Callable[[Message], None]] = {}
         self._radio_on: Dict[int, Callable[[], bool]] = {}
         self._loss_rng = random.Random((seed << 8) ^ 0x10551)
+        self._seed = seed
+        # Gilbert–Elliott state, lazily created per *directed* link.  Each
+        # link owns its RNG (seeded from (seed, src, dst)) so loss patterns
+        # are independent of global transmission order — the same link sees
+        # the same fade sequence regardless of what other nodes do.
+        self._link_bad: Dict["tuple[int, int]", bool] = {}
+        self._link_rngs: Dict["tuple[int, int]", random.Random] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -180,9 +240,13 @@ class Channel:
 
         for receiver in sorted(self._topology.neighbors[record.src]):
             ok, collided = self._receives(receiver, record)
-            if ok and self.params.loss_rate > 0.0 \
-                    and self._loss_rng.random() < self.params.loss_rate:
-                ok = False  # independent channel loss (extension; default off)
+            if ok:
+                model = self._channel_loss(record.src, receiver)
+                if model is not None:
+                    ok = False
+                    report.lost.add(receiver)
+                    if self._obs is not None:
+                        self._obs.on_link_loss(record.src, receiver, model)
             if ok:
                 report.received.add(receiver)
             elif collided:
@@ -203,6 +267,37 @@ class Channel:
                 hook(record.msg)
         on_complete(report)
         self._prune_history()
+
+    def _channel_loss(self, src: int, receiver: int) -> Optional[str]:
+        """Name of the loss model that ate the frame, or None if delivered.
+
+        No RNG is consumed while both models are disabled, so lossless runs
+        remain bit-identical to a build without the loss extension.
+        """
+        if self.params.loss_rate > 0.0 \
+                and self._loss_rng.random() < self.params.loss_rate:
+            return "bernoulli"
+        if self.params.burst is not None and self._burst_loss(src, receiver):
+            return "burst"
+        return None
+
+    def _burst_loss(self, src: int, receiver: int) -> bool:
+        """Advance the link's Gilbert–Elliott chain one frame; lost?"""
+        burst = self.params.burst
+        link = (src, receiver)
+        rng = self._link_rngs.get(link)
+        if rng is None:
+            rng = self._link_rngs[link] = random.Random(
+                (self._seed << 16) ^ (src * 0x1F123BB5)
+                ^ (receiver * 0x9E3779B1) ^ 0x6E110B)
+        bad = self._link_bad.get(link, False)
+        if bad:
+            if rng.random() < burst.p_bad_to_good:
+                bad = False
+        elif rng.random() < burst.p_good_to_bad:
+            bad = True
+        self._link_bad[link] = bad
+        return rng.random() < (burst.loss_bad if bad else burst.loss_good)
 
     def _receives(self, receiver: int, record: _Transmission) -> "tuple[bool, bool]":
         """(received?, lost-to-collision?) for one candidate receiver."""

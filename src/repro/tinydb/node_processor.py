@@ -63,6 +63,13 @@ class TinyDBParams:
     #: Disseminate node-id based queries along the Semantic Routing Tree
     #: (acknowledged unicasts into matching subtrees) instead of flooding.
     use_srt: bool = False
+    #: App-level retransmissions of a RESULT frame after the MAC gives up
+    #: (hop-by-hop recovery on the fixed tree link; 0 restores the old
+    #: drop-silently behaviour).
+    link_retry_limit: int = 2
+    #: Base delay before an app-level retransmission (ms); doubles with
+    #: each attempt (exponential backoff above the MAC's own backoff).
+    link_retry_base_ms: float = 128.0
 
 
 @dataclass
@@ -91,6 +98,8 @@ class TinyDBNodeApp:
         self._pending_agg: Dict[Tuple[int, float], Dict[tuple, object]] = {}
         self._slots = SlotSchedule(tree.max_depth, self.params.slot_ms)
         self._rng: Optional[random.Random] = None
+        # msg_id -> app-level retransmission attempts already spent.
+        self._link_retries: Dict[int, int] = {}
         self.srt = (SemanticRoutingTree(tree, world.topology.positions)
                     if self.params.use_srt else None)
 
@@ -109,7 +118,37 @@ class TinyDBNodeApp:
         pass
 
     def on_send_failed(self, msg: Message, failed) -> None:
-        """The fixed routing tree has no alternative route; drop silently."""
+        """Hop-by-hop recovery: retransmit a result up the same tree link.
+
+        The fixed routing tree has no alternative route, so the only
+        recovery is to try the same parent again after an exponentially
+        growing delay (``link_retry_base_ms * 2^attempt``) — the parent may
+        have been busy, collided, or briefly down.  Bounded by
+        ``link_retry_limit``; exhausted frames are dropped for good.
+        """
+        if msg.kind is not MessageKind.RESULT:
+            return
+        attempts = self._link_retries.pop(msg.msg_id, 0)
+        if attempts >= self.params.link_retry_limit:
+            return
+        delay = self.params.link_retry_base_ms * (2.0 ** attempts)
+        obs = getattr(self.node, "obs", None)
+        if obs is not None:
+            obs.registry.counter(
+                "recovery.app_retries_total",
+                help="app-level retransmissions after MAC give-up",
+                layer="tinydb").inc()
+        self.node.after(delay, self._resend_to_parent, msg.payload,
+                        attempts + 1)
+
+    def _resend_to_parent(self, payload, attempts: int) -> None:
+        parent = self.tree.parent.get(self.node.node_id)
+        if parent is None:
+            return
+        msg = self.node.send(MessageKind.RESULT, parent, payload,
+                             payload.payload_bytes())
+        if msg is not None:
+            self._link_retries[msg.msg_id] = attempts
 
     def on_message(self, msg: Message) -> None:
         if msg.kind is MessageKind.QUERY:

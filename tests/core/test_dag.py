@@ -109,3 +109,91 @@ class TestParentSelection:
         assignment = view.select_parents(frozenset((1, 2, 3)), now=1.0)
         all_qids = sorted(q for qs in assignment.values() for q in qs)
         assert all_qids == [1, 2, 3]  # no duplicates, nothing lost
+
+
+class TestEscalatingBackoff:
+    def test_backoff_escalates_with_consecutive_failures(self, view):
+        view.note_unreachable(10, now=0.0, backoff_ms=1000.0)
+        assert view.is_available(10, now=1000.0)       # 1x after 1 failure
+        view.note_unreachable(10, now=1000.0, backoff_ms=1000.0)
+        assert not view.is_available(10, now=2500.0)   # 2x: until 3000
+        assert view.is_available(10, now=3000.0)
+        view.note_unreachable(10, now=3000.0, backoff_ms=1000.0)
+        assert not view.is_available(10, now=6500.0)   # 4x: until 7000
+        assert view.is_available(10, now=7000.0)
+
+    def test_backoff_is_capped(self):
+        view = UpperNeighborView([10], {10: 0.9}, evict_after=0,
+                                 max_backoff_ms=4000.0)
+        for i in range(20):
+            view.note_unreachable(10, now=float(i), backoff_ms=1000.0)
+        assert view.is_available(10, now=19.0 + 4000.0)
+
+    def test_hearing_resets_the_escalation(self, view):
+        view.note_unreachable(10, now=0.0, backoff_ms=1000.0)
+        view.note_unreachable(10, now=1000.0, backoff_ms=1000.0)
+        view.note_heard(10, now=1500.0)
+        view.note_unreachable(10, now=2000.0, backoff_ms=1000.0)
+        assert view.is_available(10, now=3000.0)  # back to 1x
+
+
+class TestEviction:
+    @pytest.fixture
+    def quick_evict(self):
+        return UpperNeighborView([10, 11], {10: 0.9, 11: 0.7},
+                                 evict_after=2)
+
+    def test_evicted_after_consecutive_failures(self, quick_evict):
+        assert quick_evict.note_unreachable(10, now=0.0) is False
+        assert quick_evict.note_unreachable(10, now=10.0) is True
+        assert quick_evict.is_evicted(10)
+        # Only the transition reports True.
+        assert quick_evict.note_unreachable(10, now=20.0) is False
+
+    def test_evicted_neighbor_not_selected_even_by_fallback(self, quick_evict):
+        quick_evict.note_unreachable(10, now=0.0)
+        quick_evict.note_unreachable(10, now=1.0)
+        quick_evict.note_unreachable(11, now=2.0, backoff_ms=5000.0)
+        # 11 is backed off (but not evicted); 10 is evicted.  The
+        # all-unavailable fallback must prefer the backed-off one.
+        assignment = quick_evict.select_parents(frozenset((1,)), now=3.0)
+        assert assignment == {11: frozenset((1,))}
+
+    def test_all_evicted_still_routes(self, quick_evict):
+        for neighbor in (10, 11):
+            quick_evict.note_unreachable(neighbor, now=0.0)
+            quick_evict.note_unreachable(neighbor, now=1.0)
+        assignment = quick_evict.select_parents(frozenset((1,)), now=2.0)
+        assert assignment  # liveness: never drop data for the heuristic
+
+    def test_note_heard_readmits_and_reports_latency(self, quick_evict):
+        quick_evict.note_unreachable(10, now=100.0)
+        quick_evict.note_unreachable(10, now=200.0)
+        assert quick_evict.is_evicted(10)
+        recovery = quick_evict.note_heard(10, now=700.0)
+        assert recovery == 600.0  # first failure at 100 -> heard at 700
+        assert not quick_evict.is_evicted(10)
+        assert quick_evict.is_available(10, now=700.0)
+
+    def test_note_heard_without_eviction_reports_nothing(self, quick_evict):
+        quick_evict.note_unreachable(10, now=100.0)
+        assert quick_evict.note_heard(10, now=200.0) is None
+
+
+class TestDeterminism:
+    def test_selection_independent_of_insertion_order(self):
+        """Ties on coverage AND quality break by stable neighbour id."""
+        quality = {10: 0.8, 11: 0.8, 12: 0.8}
+        assignments = []
+        for order in ([10, 11, 12], [12, 11, 10], [11, 12, 10]):
+            view = UpperNeighborView(order, quality)
+            for neighbor in order:
+                view.note_has_data(neighbor, qid=1, now=0.0)
+            assignments.append(view.select_parents(frozenset((1,)), now=1.0))
+        assert assignments[0] == assignments[1] == assignments[2]
+        assert assignments[0] == {10: frozenset((1,))}  # lowest id wins
+
+    def test_next_best_prefers_available_then_quality(self, view):
+        view.note_unreachable(10, now=0.0, backoff_ms=5000.0)
+        assert view.next_best(now=1.0) == 11  # best *available* quality
+        assert view.next_best(now=1.0, exclude={11}) == 12

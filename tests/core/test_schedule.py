@@ -116,3 +116,57 @@ class TestTicks:
         clock.stop()
         engine.run_until(10_000.0)
         assert ticks == []
+
+
+class TestBoundaryRearm:
+    """Query-set changes landing exactly on an epoch boundary.
+
+    ``next_boundary`` is strictly-after, so a naive rearm at t=4096 with a
+    new 4096 ms GCD would schedule the first tick at 8192 — a full period
+    late — while rearming right after a tick must not fire that boundary
+    twice.
+    """
+
+    def test_mid_epoch_gcd_change_fires_at_the_boundary(self, harness):
+        """8192 ms -> 4096 ms GCD change at exactly t=4096 (regression)."""
+        engine, clock, ticks = harness
+        clock.add_query(_acq(8192, qid=1))
+        engine.run_until(4096.0)
+        clock.add_query(_acq(4096, qid=2))
+        engine.run_until(16_384.0)
+        assert ticks == [
+            (4096.0, [2]),          # not delayed to 8192
+            (8192.0, [1, 2]),
+            (12288.0, [2]),
+            (16384.0, [1, 2]),
+        ]
+
+    def test_add_right_after_a_boundary_tick_does_not_double_fire(self, harness):
+        engine, clock, ticks = harness
+        clock.add_query(_acq(4096, qid=1))
+        engine.run_until(8192.0)  # ticks at 4096 and 8192 have fired
+        clock.add_query(_acq(4096, qid=2))  # rearm at the fired boundary
+        engine.run_until(12_288.0)
+        assert [t for t, _ in ticks] == [4096.0, 8192.0, 12288.0]
+        assert ticks[-1] == (12288.0, [1, 2])
+
+    def test_remove_on_boundary_keeps_that_boundary(self, harness):
+        """A removal event landing on a boundary before the tick must not
+        push the surviving queries' acquisition a period into the future."""
+        engine, clock, ticks = harness
+        q1, q2 = _acq(4096, qid=1), _acq(2048, qid=2)
+        clock.add_query(q1)
+        clock.add_query(q2)
+        # Scheduled at t=0, so it runs before the timer's 8192 tick event.
+        engine.schedule_at(8192.0, clock.remove_query, q2.qid)
+        engine.run_until(12_288.0)
+        assert (8192.0, [1]) in ticks
+        assert [t for t, _ in ticks].count(8192.0) == 1
+
+    def test_no_tick_at_time_zero(self, harness):
+        """Admission at t=0 still waits one full epoch (the first
+        acquisition comes one epoch after the clock starts)."""
+        engine, clock, ticks = harness
+        clock.add_query(_acq(4096, qid=1))
+        engine.run_until(4096.0)
+        assert ticks == [(4096.0, [1])]

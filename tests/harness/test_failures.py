@@ -111,3 +111,90 @@ class TestEndToEndResilience:
         rows_late = sum(len(deployment.results.rows(network_qid, t))
                         for t in late)
         assert rows_late / len(late) > 10  # most of the 15 sensors report
+
+
+class TestMergeOutages:
+    def test_overlapping_outages_merge(self):
+        from repro.harness import merge_outages
+        merged = merge_outages([Outage(3, 1000.0, 2000.0),
+                                Outage(3, 2000.0, 500.0)])
+        assert merged == [Outage(3, 1000.0, 2000.0)]
+
+    def test_extension_grows_the_interval(self):
+        from repro.harness import merge_outages
+        merged = merge_outages([Outage(3, 1000.0, 1000.0),
+                                Outage(3, 1500.0, 2000.0)])
+        assert merged == [Outage(3, 1000.0, 2500.0)]
+
+    def test_touching_outages_merge(self):
+        from repro.harness import merge_outages
+        merged = merge_outages([Outage(3, 1000.0, 500.0),
+                                Outage(3, 1500.0, 500.0)])
+        assert merged == [Outage(3, 1000.0, 1000.0)]
+
+    def test_disjoint_and_cross_node_kept_apart(self):
+        from repro.harness import merge_outages
+        merged = merge_outages([Outage(4, 1000.0, 500.0),
+                                Outage(3, 9000.0, 500.0),
+                                Outage(3, 1000.0, 500.0)])
+        assert merged == [Outage(3, 1000.0, 500.0),
+                          Outage(3, 9000.0, 500.0),
+                          Outage(4, 1000.0, 500.0)]
+
+    def test_input_order_irrelevant(self):
+        from repro.harness import merge_outages
+        outages = [Outage(3, 1000.0, 2000.0), Outage(3, 1500.0, 100.0),
+                   Outage(3, 2500.0, 2000.0)]
+        assert merge_outages(outages) == merge_outages(reversed(outages))
+
+
+class TestOverlappingOutages:
+    """Regression: a shorter second outage must not revive the node early."""
+
+    def test_shorter_overlap_does_not_shorten_the_first(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        injector.fail_at(5, 1000.0, 4000.0)   # down until 5000
+        injector.fail_at(5, 2000.0, 1000.0)   # would end at 3000
+        sim.run_until(3500.0)
+        assert sim.nodes[5].failed            # still inside the first outage
+        sim.run_until(5100.0)
+        assert not sim.nodes[5].failed
+
+    def test_overlap_extension_keeps_node_down(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        injector.fail_at(5, 1000.0, 2000.0)   # down until 3000
+        injector.fail_at(5, 2500.0, 2000.0)   # extends to 4500
+        sim.run_until(3500.0)
+        assert sim.nodes[5].failed
+        sim.run_until(4600.0)
+        assert not sim.nodes[5].failed
+
+    def test_sleep_accounting_not_double_counted(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        injector.fail_at(5, 1000.0, 2000.0)
+        injector.fail_at(5, 2000.0, 2000.0)   # overlap: union is [1000, 4000)
+        sim.run_until(5000.0)
+        assert sim.trace.node_stats(5).sleep_ms == pytest.approx(3000.0)
+
+    def test_down_nodes_at_uses_merged_schedule(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        injector.fail_at(5, 1000.0, 4000.0)
+        injector.fail_at(5, 2000.0, 1000.0)
+        # 3500 is past the short outage's end but inside the union.
+        assert injector.down_nodes_at(3500.0) == [5]
+        assert injector.down_nodes_at(5000.0) == []  # half-open at end
+
+    def test_covers_edges_match_simulator(self):
+        sim = Simulation(Topology.grid(3), seed=1)
+        injector = FailureInjector(sim, seed=1)
+        outage = injector.fail_at(5, 1000.0, 500.0)
+        sim.run_until(999.0)
+        assert sim.nodes[5].failed == outage.covers(999.0) == False
+        sim.run_until(1000.0)
+        assert sim.nodes[5].failed == outage.covers(1000.0) == True
+        sim.run_until(1500.0)
+        assert sim.nodes[5].failed == outage.covers(1500.0) == False

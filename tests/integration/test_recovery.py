@@ -1,0 +1,167 @@
+"""End-to-end tests of the fault-tolerance runtime.
+
+Three recovery layers stack on top of the MAC's own retransmissions:
+
+* the baseline's same-link app retry after a MAC give-up;
+* tier-2's DAG eviction of repeatedly failing parents, with re-admission
+  (and a measured recovery latency) once the parent is heard again;
+* the completeness asymmetry the robustness extension is built around —
+  under link loss plus a relay outage, the DAG's reroute machinery keeps
+  whole subtrees flowing that the baseline's fixed tree loses.
+
+The scenarios use bursty (Gilbert–Elliott) loss: the MAC's retry budget
+absorbs independent per-frame loss almost completely, so only correlated
+fades ever exhaust it and hand recovery to the application layer.
+"""
+
+import pytest
+
+from repro.core.innetwork import TTMQOParams
+from repro.harness import (
+    DeploymentConfig,
+    FailureInjector,
+    Strategy,
+    run_workload,
+)
+from repro.harness.strategies import Deployment
+from repro.obs import scoped
+from repro.queries import parse_query
+from repro.sim import GilbertElliottParams, RadioParams
+from repro.tinydb.node_processor import TinyDBParams
+from repro.workloads import Workload
+
+QUERY = "SELECT light FROM sensors EPOCH DURATION 4096"
+
+#: Deep fades, ~24% mean loss: long enough to exhaust the MAC retry budget.
+HARSH_FADES = GilbertElliottParams(p_good_to_bad=0.08, p_bad_to_good=0.2,
+                                   loss_good=0.0, loss_bad=0.85)
+#: The robustness extension's reference point: ~10% mean link loss.
+TEN_PERCENT = GilbertElliottParams(p_good_to_bad=0.05, p_bad_to_good=0.35,
+                                   loss_good=0.0, loss_bad=0.8)
+#: The relay with the most children in the seed-13 grid-4 routing tree
+#: (nodes 7, 10 and 11 route through it).
+RELAY = 6
+
+
+def _counter(registry, name, **labels):
+    total = 0.0
+    for metric in registry.snapshot():
+        if metric["name"] == name and all(
+                metric["labels"].get(k) == v for k, v in labels.items()):
+            total += metric["value"]
+    return total
+
+
+class TestBaselineLinkRetries:
+    def _run(self, link_retry_limit):
+        config = DeploymentConfig(
+            side=4, seed=13,
+            radio_params=RadioParams(burst=HARSH_FADES),
+            tinydb_params=TinyDBParams(link_retry_limit=link_retry_limit))
+        workload = Workload.static([parse_query(QUERY)],
+                                   duration_ms=60_000.0,
+                                   description="link-retry")
+        with scoped() as registry:
+            result = run_workload(Strategy.BASELINE, workload, config)
+        return result, registry
+
+    def test_app_retries_recover_rows_after_mac_give_up(self):
+        without, reg_without = self._run(link_retry_limit=0)
+        with_retries, reg_with = self._run(link_retry_limit=3)
+        assert _counter(reg_without, "recovery.app_retries_total") == 0
+        assert _counter(reg_with, "recovery.app_retries_total",
+                        layer="tinydb") > 0
+        assert without.row_completeness < 1.0  # MAC give-ups actually happen
+        # The retried run lands strictly more of the ground truth.
+        assert with_retries.row_completeness > without.row_completeness
+        assert with_retries.result_rows > without.result_rows
+
+
+class TestDagEvictionAndReadmission:
+    def test_failed_parent_is_evicted_then_readmitted(self):
+        params = TTMQOParams(evict_after_failures=2,
+                             unreachable_backoff_ms=1024.0)
+        config = DeploymentConfig(side=4, seed=13, ttmqo_params=params)
+        with scoped() as registry:
+            deployment = Deployment(Strategy.TTMQO, config)
+            sim = deployment.sim
+            sim.start()
+            query = parse_query(QUERY)
+            sim.engine.schedule_at(400.0, deployment.register, query)
+            # One long relay outage: children keep failing into it until
+            # the DAG evicts it, then re-admit once it speaks again.
+            injector = FailureInjector(sim, seed=2)
+            injector.fail_at(RELAY, 20_000.0, 30_000.0)
+            sim.run_until(120_000.0)
+            evictions = _counter(registry, "recovery.evictions_total")
+            readmissions = _counter(registry, "recovery.readmissions_total")
+        assert evictions > 0
+        assert readmissions > 0
+        network_qid = deployment.network_query_for(query.qid).qid
+        epochs = deployment.results.row_epochs(network_qid)
+        assert any(t > 60_000.0 for t in epochs)  # traffic resumed
+
+
+class TestCompletenessUnderLoss:
+    @pytest.fixture(scope="class")
+    def completeness(self):
+        scores = {}
+        for strategy in (Strategy.BASELINE, Strategy.TTMQO):
+            config = DeploymentConfig(
+                side=4, seed=13, radio_params=RadioParams(burst=TEN_PERCENT))
+            deployment = Deployment(strategy, config)
+            sim = deployment.sim
+            sim.start()
+            sim.engine.schedule_at(400.0, deployment.register,
+                                   parse_query(QUERY))
+            injector = FailureInjector(sim, seed=2)
+            injector.fail_at(RELAY, 20_000.0, 30_000.0)
+            sim.run_until(84_000.0)
+            scores[strategy] = deployment.row_completeness(
+                injector.merged_outages())
+        return scores
+
+    def test_ttmqo_strictly_more_complete_than_baseline(self, completeness):
+        baseline = completeness[Strategy.BASELINE]
+        ttmqo = completeness[Strategy.TTMQO]
+        # The fixed tree loses the failed relay's subtree; the DAG reroutes.
+        assert baseline < 1.0
+        assert ttmqo > baseline
+
+    def test_ttmqo_stays_nearly_complete(self, completeness):
+        assert completeness[Strategy.TTMQO] > 0.98
+
+
+class TestSubtreeSilenceRedissemination:
+    def test_silent_origin_triggers_a_refresh_flood(self):
+        params = TTMQOParams(silence_epochs=2, silence_check_ms=4096.0)
+        config = DeploymentConfig(side=4, seed=13, ttmqo_params=params)
+        with scoped() as registry:
+            deployment = Deployment(Strategy.TTMQO, config)
+            sim = deployment.sim
+            sim.start()
+            sim.engine.schedule_at(400.0, deployment.register,
+                                   parse_query(QUERY))
+            # A long leaf outage: the origin reported, then goes silent for
+            # many of its epochs — the monitor must re-flood the query.
+            injector = FailureInjector(sim, seed=2)
+            injector.fail_at(15, 20_000.0, 40_000.0)
+            sim.run_until(70_000.0)
+            redisseminations = _counter(registry,
+                                        "recovery.redisseminations_total")
+        assert redisseminations >= 1
+
+    def test_monitor_off_by_default(self):
+        config = DeploymentConfig(side=4, seed=13)
+        with scoped() as registry:
+            deployment = Deployment(Strategy.TTMQO, config)
+            sim = deployment.sim
+            sim.start()
+            sim.engine.schedule_at(400.0, deployment.register,
+                                   parse_query(QUERY))
+            injector = FailureInjector(sim, seed=2)
+            injector.fail_at(15, 20_000.0, 40_000.0)
+            sim.run_until(70_000.0)
+            redisseminations = _counter(registry,
+                                        "recovery.redisseminations_total")
+        assert redisseminations == 0
