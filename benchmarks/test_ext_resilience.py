@@ -1,0 +1,105 @@
+"""Extension: service-tier resilience — crash/recover × link loss.
+
+The chaos harness (``repro.harness.chaos``) crashes the base-station
+service mid-run, recovers it from its WAL + snapshot, and checks the
+recovery invariants the durability design promises:
+
+* **state parity** — the recovered durable state (sessions, tickets,
+  cache refcounts, optimizer table with its synthetic merges) equals the
+  pre-crash state at the same simulated instant;
+* **no zombies** — every network query maps to a RUNNING table entry;
+* **bounded degradation** — row completeness under crash + recovery stays
+  within a declared bound of the identically-seeded no-crash twin run.
+
+The sweep crosses link-loss rates with crash points on the parallel
+executor and records ``BENCH_service_resilience.json``.
+``REPRO_CHAOS_SMOKE=1`` shrinks the grid for CI (the ``chaos-smoke``
+job), which still writes and uploads the benchmark file.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.harness import print_table, run_sweep
+from repro.harness.chaos import chaos_grid
+
+from _util import run_once, sweep_workers
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_service_resilience.json"
+
+
+def _grid():
+    """(smoke?, cells): the loss × crash grid, shrunk under smoke."""
+    smoke = os.environ.get("REPRO_CHAOS_SMOKE") == "1"
+    if smoke:
+        cells = chaos_grid(
+            loss_rates=(0.0, 0.1), crash_fractions=(0.45,),
+            n_clients=8, n_unique=4, side=3, duration_s=10.0,
+            snapshot_every_ops=4)
+    else:
+        cells = chaos_grid(loss_rates=(0.0, 0.1),
+                           crash_fractions=(0.0, 0.45))
+    return smoke, cells
+
+
+def test_ext_service_resilience(benchmark):
+    smoke, cells = _grid()
+    report = run_once(benchmark, run_sweep, cells, workers=sweep_workers())
+    results = report.results()
+
+    print_table(
+        ["loss", "crash@", "parity", "zombies", "replayed",
+         "compl(crash)", "compl(base)", "gap"],
+        [[f"{spec.loss_rate:.0%}", f"{spec.crash_fraction:.2f}",
+          "ok" if r.parity_ok else "FAIL", r.zombies_after_recovery,
+          r.replayed_ops, f"{r.completeness_crash:.4f}",
+          f"{r.completeness_baseline:.4f}", f"{r.completeness_gap:+.4f}"]
+         for spec, r in zip(cells, results)],
+        title="Extension — service crash/recovery invariants "
+              f"({'smoke' if smoke else 'full'} grid)",
+    )
+
+    for spec, result in zip(cells, results):
+        label = f"loss={spec.loss_rate} crash={spec.crash_fraction}"
+        assert result.parity_ok, (label, result.parity_failures)
+        assert result.zombies_after_recovery == 0, label
+        assert result.refcounts_ok, label
+        assert result.within_bound, (label, result.completeness_gap)
+        assert result.ok, label
+    # Crash cells actually crashed, recovered, and replayed WAL suffixes.
+    crashed = [r for s, r in zip(cells, results) if s.crash_fraction > 0]
+    assert crashed
+    assert all(r.crashed and r.wal_records > 0 and r.replayed_ops > 0
+               for r in crashed)
+
+    record = {
+        "grid": "smoke" if smoke else "full",
+        "cells": [
+            {
+                "loss_rate": spec.loss_rate,
+                "crash_fraction": spec.crash_fraction,
+                "seed": spec.resolved_seed(),
+                "parity_ok": r.parity_ok,
+                "zombies_after_recovery": r.zombies_after_recovery,
+                "refcounts_ok": r.refcounts_ok,
+                "row_completeness_crash": r.completeness_crash,
+                "row_completeness_baseline": r.completeness_baseline,
+                "row_completeness_gap": r.completeness_gap,
+                "row_completeness_bound": r.completeness_bound,
+                "within_bound": r.within_bound,
+                "wal_records": r.wal_records,
+                "replayed_ops": r.replayed_ops,
+                "torn_records": r.torn_records,
+                "reinjected": r.reinjected,
+                "zombies_aborted": r.zombies_aborted,
+                "snapshots": r.snapshots,
+                "admitted": r.admitted,
+                "shed": r.shed,
+                "delivered_crash": r.delivered_crash,
+                "delivered_baseline": r.delivered_baseline,
+            }
+            for spec, r in zip(cells, results)
+        ],
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -9,7 +9,11 @@ Commands:
 * ``fig``     — regenerate a paper figure's table (fig3, fig4a, fig4b,
   fig4c, fig5);
 * ``serve``   — stand up the multi-tenant :class:`QueryService` and drive
-  a scripted client load against the simulator;
+  a scripted client load against the simulator (``--state-dir`` enables
+  WAL durability; SIGTERM/SIGINT trigger a graceful shutdown);
+* ``chaos``   — crash the base station mid-run at seeded instants, recover
+  from the WAL, and assert the recovery invariants over a loss x crash
+  grid;
 * ``sweep``   — fan the Figure 3 (workload x size x strategy) grid across
   worker processes with deterministic result caching;
 * ``obs``     — run one experiment cell in an isolated metrics registry
@@ -24,7 +28,8 @@ Examples::
         "SELECT MAX(light) FROM sensors EPOCH DURATION 8192"
     python -m repro compare --workload C --side 8
     python -m repro fig fig4a
-    python -m repro serve --clients 60 --unique 6
+    python -m repro serve --clients 60 --unique 6 --state-dir .repro-state
+    python -m repro chaos --loss 0.0 0.1 --crash 0.45 --duration 20
     python -m repro sweep --workers 4 --sides 4 8
     python -m repro obs --workload A --strategy ttmqo --format json
 """
@@ -126,6 +131,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--ttl", type=float, default=None,
                          help="session lease TTL in seconds "
                               "(default: outlives the run)")
+    serve_p.add_argument("--state-dir", default=None,
+                         help="durability directory (WAL + snapshots); the "
+                              "run ends with a graceful shutdown and a "
+                              "clean recovery point")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="crash/recovery sweep: kill the base station mid-run, recover "
+             "from the WAL, assert the recovery invariants")
+    chaos_p.add_argument("--loss", nargs="+", type=float, default=[0.0, 0.1],
+                         help="per-link frame loss rates to sweep")
+    chaos_p.add_argument("--crash", nargs="+", type=float, default=[0.45],
+                         help="crash instants as fractions of the horizon "
+                              "(0 = control row without a crash)")
+    chaos_p.add_argument("--clients", type=int, default=18,
+                         help="scripted clients per cell")
+    chaos_p.add_argument("--side", type=int, default=4,
+                         help="grid side (nodes = side^2)")
+    chaos_p.add_argument("--duration", type=float, default=30.0,
+                         help="simulated seconds per cell")
+    chaos_p.add_argument("--bound", type=float, default=0.25,
+                         help="allowed row-completeness gap vs the "
+                              "no-crash twin run")
+    chaos_p.add_argument("--workers", type=int, default=0,
+                         help="worker processes (0 = serial in-process)")
+    chaos_p.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the sweep results as JSON")
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -310,6 +342,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             batch_window_ms=args.batch_window * 1000.0,
             ttl_s=args.ttl,
+            state_dir=args.state_dir,
+            handle_signals=True,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -341,6 +375,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({report.clients_served}/{len(report.clients)} clients "
           f"received data)")
 
+    if report.interrupted:
+        print("graceful shutdown   : signal received; batch window flushed, "
+              f"{report.shutdown_terminated} tickets terminated, state "
+              "snapshotted")
+    elif args.state_dir is not None:
+        print(f"graceful shutdown   : {report.shutdown_terminated} tickets "
+              "terminated at end of run")
+    if report.resilience is not None:
+        res = report.resilience
+        print(f"durability          : {args.state_dir} "
+              f"({res.wal_records} WAL records, {res.snapshots} snapshots; "
+              f"recover with QueryService.recover)")
+        if res.shed_total or res.subscriber_drops:
+            print(f"overload            : {res.shed_total} submissions shed, "
+                  f"{res.subscriber_drops} subscriber items dropped")
+
     sample = sorted(report.clients, key=lambda c: c.client_id)[:8]
     print_table(
         ["client", "ticket", "cache", "results", "query"],
@@ -350,7 +400,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
          for c in sample],
         title="first clients (alphabetical)",
     )
+    if report.interrupted:
+        return 0
     return 0 if report.all_clients_served else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import asdict
+
+    from .harness import print_table, run_sweep
+    from .harness.chaos import chaos_grid
+
+    cells = chaos_grid(
+        loss_rates=tuple(args.loss), crash_fractions=tuple(args.crash),
+        n_clients=args.clients, side=args.side, duration_s=args.duration,
+        completeness_bound=args.bound)
+    report = run_sweep(cells, workers=args.workers)
+
+    rows = []
+    all_ok = True
+    for cell in report.cells:
+        spec, result = cell.spec, cell.result
+        all_ok = all_ok and result.ok
+        rows.append([
+            f"{spec.loss_rate:.2f}", f"{spec.crash_fraction:.2f}",
+            "ok" if result.parity_ok else "FAIL",
+            result.zombies_after_recovery,
+            result.replayed_ops, result.torn_records, result.reinjected,
+            f"{result.completeness_crash:.3f}",
+            f"{result.completeness_baseline:.3f}",
+            f"{result.completeness_gap:+.3f}"
+            + ("" if result.within_bound else " OVER"),
+        ])
+    print_table(
+        ["loss", "crash@", "parity", "zombies", "replayed", "torn",
+         "reinjected", "compl(crash)", "compl(base)", "gap"],
+        rows,
+        title=f"chaos sweep — {len(cells)} cells, bound {args.bound:.2f}",
+    )
+    for cell in report.cells:
+        for failure in cell.result.parity_failures:
+            print(f"parity failure [loss={cell.spec.loss_rate} "
+                  f"crash={cell.spec.crash_fraction}]: {failure}",
+                  file=sys.stderr)
+    if args.json is not None:
+        payload = {
+            "bound": args.bound,
+            "cells": [{"spec": {"loss_rate": c.spec.loss_rate,
+                                "crash_fraction": c.spec.crash_fraction,
+                                "seed": c.seed},
+                       "result": asdict(c.result)}
+                      for c in report.cells],
+            "all_ok": all_ok,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    print(f"\nrecovery invariants : "
+          f"{'all held' if all_ok else 'VIOLATED (see above)'}")
+    return 0 if all_ok else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -458,6 +567,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fig(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "obs":

@@ -24,11 +24,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ...obs import get_registry
-from ...queries.ast import Query
+from ...queries.ast import Query, query_from_dict, query_to_dict
 from ..qos import QoSClass, QoSRegistry
 from .cost_model import CostModel
 from .insertion import insert_query
 from .query_table import QueryTable, SyntheticQueryRecord, SyntheticStatus
+from .rewriter import new_synthetic_record
 from .termination import synthetic_benefit, terminate_query
 
 #: Default rewriting aggressiveness; the paper's sweep peaks at 0.6.
@@ -135,6 +136,29 @@ class BaseStationOptimizer:
             self._m_registrations.inc()
             return self._diff(before)
 
+    def register_passthrough(self, query: Query,
+                             qos: QoSClass = QoSClass.BEST_EFFORT
+                             ) -> NetworkActions:
+        """Admit ``query`` without running Algorithm 1 (degraded mode).
+
+        The query becomes its own synthetic query, 1:1 — no candidate
+        scan, no cost-model evaluation, no merging.  The service tier's
+        circuit breaker falls back to this path when full optimization is
+        slow or failing: admission keeps working (degraded, never down) at
+        the price of an unshared injection.  The resulting table state is
+        ordinary — :meth:`terminate` and later :meth:`register` calls
+        treat the pass-through synthetic like any other record.
+        """
+        with self.lock:
+            before = self._running_qids()
+            self.table.add_user(query)
+            self.qos_registry.register_user(query.qid, qos)
+            record = new_synthetic_record(query, {query.qid: query})
+            self.table.add_synthetic(record)
+            self.qos_registry.sync_with_table(self.table)
+            self._m_registrations.inc()
+            return self._diff(before)
+
     def terminate(self, user_qid: int) -> NetworkActions:
         """Retire a user query (Algorithm 2).  Returns network actions."""
         with self.lock:
@@ -198,6 +222,75 @@ class BaseStationOptimizer:
         with self.lock:
             return sum(synthetic_benefit(r, self.cost_model)
                        for r in self.table.synthetic.values())
+
+    # ------------------------------------------------------------------
+    # Durability (service-tier snapshots)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """A JSON-safe snapshot of everything :meth:`restore_state` needs.
+
+        Covers the query table (synthetic merges included), the
+        user→synthetic mapping history with its query snapshots, the QoS
+        classes, and the cumulative operation counters — the full tier-1
+        state a restarted base station must carry to be indistinguishable
+        from one that never crashed.
+        """
+        with self.lock:
+            return {
+                "table": self.table.to_dict(),
+                "mapping_history": {
+                    str(qid): list(history)
+                    for qid, history in sorted(self._mapping_history.items())
+                },
+                "synthetic_snapshots": {
+                    str(qid): query_to_dict(query)
+                    for qid, query in sorted(self._synthetic_snapshots.items())
+                },
+                "user_qos": {
+                    str(qid): self.qos_registry.user_class(qid).value
+                    for qid in sorted(self.table.user)
+                },
+                "network_operations": self.network_operations,
+                "absorbed_operations": self.absorbed_operations,
+            }
+
+    def reset(self) -> None:
+        """Drop every query: back to the empty post-construction state.
+
+        Service recovery replays the WAL against a blank tier-1.  A fresh
+        process gets that for free, but a recovery that reuses an
+        in-memory backend (in-process chaos crashes, tests) still holds
+        the pre-crash table, which replay would double-register —
+        :meth:`QueryService.recover` clears it first.  The QoS registry
+        is reset in place because deployments alias it.
+        """
+        with self.lock:
+            self.table = QueryTable()
+            self.qos_registry.reset()
+            self._mapping_history = {}
+            self._synthetic_snapshots = {}
+            self.network_operations = 0
+            self.absorbed_operations = 0
+
+    def restore_state(self, state: dict) -> None:
+        """Replace this optimizer's state with a :meth:`snapshot_state`.
+
+        Intended for a freshly constructed optimizer during service
+        recovery; the table is validated after the swap.
+        """
+        with self.lock:
+            self.table = QueryTable.from_dict(state["table"])
+            self._mapping_history = {
+                int(qid): list(history)
+                for qid, history in state["mapping_history"].items()}
+            self._synthetic_snapshots = {
+                int(qid): query_from_dict(payload)
+                for qid, payload in state["synthetic_snapshots"].items()}
+            self.qos_registry.reset({int(qid): QoSClass(qos)
+                                     for qid, qos in state["user_qos"].items()})
+            self.qos_registry.sync_with_table(self.table)
+            self.network_operations = int(state["network_operations"])
+            self.absorbed_operations = int(state["absorbed_operations"])
 
     # ------------------------------------------------------------------
     # Internals

@@ -22,7 +22,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ...queries.ast import Aggregate, Query, next_qid
+from ...queries.ast import (
+    Aggregate,
+    Query,
+    next_qid,
+    query_from_dict,
+    query_to_dict,
+)
 from ...queries.semantics import covers, merge_all
 
 
@@ -199,6 +205,54 @@ class QueryTable:
     def running_synthetic(self) -> List[SyntheticQueryRecord]:
         return [r for r in self.synthetic.values()
                 if r.flag is not SyntheticStatus.ABORTED]
+
+    # ------------------------------------------------------------------
+    # Durability (repro.service.durability snapshots)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe encoding of the full table, synthetic merges included.
+
+        Inverse of :meth:`from_dict`; used by the service tier's snapshot
+        file so a restarted base station recovers the exact rewrite state
+        (not merely a state that happens to serve the same user queries —
+        Algorithm 2's α decisions make the table history-dependent).
+        """
+        return {
+            "user": [
+                {
+                    "query": query_to_dict(record.query),
+                    "synthetic_qid": record.synthetic_qid,
+                }
+                for _, record in sorted(self.user.items())
+            ],
+            "synthetic": [
+                {
+                    "query": query_to_dict(record.query),
+                    "from_qids": sorted(record.from_list),
+                    "flag": record.flag.value,
+                }
+                for _, record in sorted(self.synthetic.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QueryTable":
+        """Rebuild a table from :meth:`to_dict` output (validated)."""
+        table = cls()
+        for entry in payload["user"]:
+            record = table.add_user(query_from_dict(entry["query"]))
+            record.synthetic_qid = entry["synthetic_qid"]
+        for entry in payload["synthetic"]:
+            query = query_from_dict(entry["query"])
+            record = SyntheticQueryRecord(
+                query=query,
+                from_list={qid: table.user[qid].query
+                           for qid in entry["from_qids"]},
+                flag=SyntheticStatus(entry["flag"]),
+            )
+            table.synthetic[record.qid] = record
+        table.validate()
+        return table
 
     def validate(self) -> None:
         """Cross-record invariants (used heavily by tests)."""

@@ -89,6 +89,18 @@ class QoSRegistry:
         return {qid for qid, qos in self._synthetic.items()
                 if qos is QoSClass.RELIABLE}
 
+    def reset(self, user_classes: Optional[Mapping[int, "QoSClass"]] = None
+              ) -> None:
+        """Replace all bookkeeping in place (service-tier recovery).
+
+        In-place because deployments alias one registry across the
+        optimizer and the base-station app; swapping the object would
+        leave the network flooding stale classes.
+        """
+        self._user.clear()
+        self._synthetic.clear()
+        self._user.update(user_classes or {})
+
     def sync_with_table(self, table) -> None:
         """Re-derive every synthetic class from a tier-1 query table."""
         current = set(table.synthetic)

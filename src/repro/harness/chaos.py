@@ -1,0 +1,486 @@
+"""Chaos harness: crash/restart injection for the durable service tier.
+
+Two crash modes over :mod:`repro.service.durability`:
+
+* **In-process drops** (:class:`ChaosCellSpec`) — a scripted multi-client
+  load runs against a :class:`~repro.service.QueryService` fronting a full
+  packet-level TTMQO deployment; at a seeded simulated instant the service
+  object "dies" (:meth:`~repro.service.QueryService.simulate_crash`: WAL
+  handle released, nothing flushed or terminated) while the sensor network
+  keeps running.  The base station is then rebuilt with
+  :meth:`~repro.service.QueryService.recover`, which replays the WAL and
+  reconciles the network.  The cell asserts the recovery invariants:
+
+  - **state parity** — the recovered service's full durable state
+    (sessions, tickets, cache refcounts, batch window, counters, breaker,
+    the whole tier-1 query table) equals the pre-crash state bit for bit,
+    *except* the results-delivered counter: per-ticket delivery dedup is
+    deliberately volatile (at-least-once semantics), so deliveries since
+    the last snapshot are re-fanned-out, never silently lost;
+  - **no zombies** — after reconciliation the network runs exactly the
+    synthetic queries the recovered table flags RUNNING;
+  - **refcount consistency** — :meth:`QueryService.validate` holds;
+  - **bounded data loss** — end-of-run row completeness stays within a
+    configured bound of an identically-seeded no-crash twin run.
+
+* **SIGKILL** (:func:`run_sigkill_crash`) — a real child process drives a
+  WAL-backed service over a network-free :class:`OptimizerBackend` and is
+  killed mid-operation; the parent recovers the directory (tolerating a
+  torn WAL tail), checks invariants, and recovers it a *second* time to
+  prove recovery is idempotent.
+
+``python -m repro chaos`` sweeps the (loss rate x crash instant) grid on
+the parallel executor; ``benchmarks/test_ext_resilience.py`` emits
+``BENCH_service_resilience.json`` from the same cells.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..queries.ast import fresh_qids
+from ..service.durability import DurabilityConfig
+from ..service.service import OptimizerBackend, QueryService, TicketStatus
+from ..sim import RadioParams
+from .cells import derive_seed
+from .strategies import Deployment, DeploymentConfig, Strategy
+
+#: Distinct questions the scripted chaos clients draw from (cycled).
+_QUERY_POOL = (
+    "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096",
+    "SELECT light, temp FROM sensors WHERE temp > 15 EPOCH DURATION 4096",
+    "SELECT MAX(light) FROM sensors EPOCH DURATION 8192",
+    "SELECT MIN(temp) FROM sensors WHERE light > 200 EPOCH DURATION 8192",
+    "SELECT AVG(temp) FROM sensors EPOCH DURATION 8192",
+    "SELECT temp FROM sensors WHERE temp BETWEEN 10 AND 30 "
+    "EPOCH DURATION 4096",
+)
+
+
+def _variant(text: str, rng: random.Random) -> str:
+    """A canonicalization-equivalent textual variant of ``text``."""
+    choice = rng.random()
+    if choice < 0.3:
+        return text.lower()
+    if choice < 0.5:
+        return text.replace("EPOCH DURATION", "SAMPLE PERIOD")
+    return text
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosRunStats:
+    """Outcome of one chaos cell (JSON-safe; cached by the executor)."""
+
+    crashed: bool
+    #: Recovered state == pre-crash state (delivered counter excluded).
+    parity_ok: bool
+    parity_failures: List[str]
+    #: Network queries not in the recovered table, after reconciliation.
+    zombies_after_recovery: int
+    #: QueryService.validate() held on the recovered instance.
+    refcounts_ok: bool
+    completeness_crash: float
+    completeness_baseline: float
+    #: baseline - crash (positive = the crash cost rows).
+    completeness_gap: float
+    completeness_bound: float
+    within_bound: bool
+    wal_records: int
+    replayed_ops: int
+    torn_records: int
+    reinjected: int
+    zombies_aborted: int
+    snapshots: int
+    admitted: int
+    shed: int
+    sessions_opened: int
+    delivered_crash: int
+    delivered_baseline: int
+
+    @property
+    def ok(self) -> bool:
+        """Every recovery invariant held for this cell."""
+        return (self.parity_ok and self.refcounts_ok
+                and self.zombies_after_recovery == 0 and self.within_bound)
+
+
+@dataclass
+class _DriveOutcome:
+    """Internal: what one scripted run (crash or baseline) produced."""
+
+    completeness: float = 1.0
+    delivered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    sessions_opened: int = 0
+    parity_failures: List[str] = field(default_factory=list)
+    zombies_after: int = 0
+    refcounts_ok: bool = True
+    wal_records: int = 0
+    replayed_ops: int = 0
+    torn_records: int = 0
+    reinjected: int = 0
+    zombies_aborted: int = 0
+    snapshots: int = 0
+
+
+# ----------------------------------------------------------------------
+# In-process crash cells
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=True)
+class ChaosCellSpec:
+    """One (loss rate x crash instant) chaos experiment.
+
+    ``crash_fraction`` places the crash at that fraction of the simulated
+    horizon; ``0`` disables the crash (the cell degenerates to its own
+    baseline, useful as a sweep control row).  Seeds derive from the spec
+    hash exactly like every other cell kind, so results are independent of
+    grid position and worker process.
+    """
+
+    loss_rate: float = 0.0
+    crash_fraction: float = 0.5
+    n_clients: int = 18
+    n_unique: int = 5
+    side: int = 4
+    duration_s: float = 30.0
+    batch_window_ms: float = 256.0
+    snapshot_every_ops: int = 8
+    completeness_bound: float = 0.25
+    seed: Optional[int] = None
+
+    def resolved_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        return derive_seed(self)
+
+    def run(self) -> ChaosRunStats:
+        """Run the crash cell and its no-crash twin; compare."""
+        baseline = _drive(self, crash=False)
+        if self.crash_fraction > 0:
+            crashed = _drive(self, crash=True)
+        else:
+            crashed = baseline
+        gap = baseline.completeness - crashed.completeness
+        return ChaosRunStats(
+            crashed=self.crash_fraction > 0,
+            parity_ok=not crashed.parity_failures,
+            parity_failures=list(crashed.parity_failures),
+            zombies_after_recovery=crashed.zombies_after,
+            refcounts_ok=crashed.refcounts_ok,
+            completeness_crash=crashed.completeness,
+            completeness_baseline=baseline.completeness,
+            completeness_gap=gap,
+            completeness_bound=self.completeness_bound,
+            within_bound=gap <= self.completeness_bound,
+            wal_records=crashed.wal_records,
+            replayed_ops=crashed.replayed_ops,
+            torn_records=crashed.torn_records,
+            reinjected=crashed.reinjected,
+            zombies_aborted=crashed.zombies_aborted,
+            snapshots=crashed.snapshots,
+            admitted=crashed.admitted,
+            shed=crashed.shed,
+            sessions_opened=crashed.sessions_opened,
+            delivered_crash=crashed.delivered,
+            delivered_baseline=baseline.delivered,
+        )
+
+
+def _durable_state(service: QueryService, now: float) -> dict:
+    """The service's full durable state, minus the volatile bits.
+
+    ``saved_ms`` is the capture instant and the delivered counter is
+    at-least-once by design (delivery dedup state dies with the process),
+    so both are excluded from the parity comparison.
+    """
+    state = service._snapshot_state(now)
+    state.pop("saved_ms", None)
+    state["counters"].pop("delivered", None)
+    return state
+
+
+def _diff_keys(pre: dict, post: dict) -> List[str]:
+    """Top-level keys of the durable state that differ, for the report."""
+    failures = []
+    for key in sorted(set(pre) | set(post)):
+        if pre.get(key) != post.get(key):
+            failures.append(f"{key}: pre={pre.get(key)!r} "
+                            f"post={post.get(key)!r}")
+    return failures
+
+
+def _zombie_count(deployment: Deployment) -> int:
+    """Network queries the tier-1 table no longer flags RUNNING."""
+    from ..core.basestation.query_table import SyntheticStatus
+    table = deployment.optimizer.table
+    wanted = {record.qid for record in table.synthetic.values()
+              if record.flag is SyntheticStatus.RUNNING}
+    return len(set(deployment.bs.running_queries()) - wanted)
+
+
+def _drive(spec: ChaosCellSpec, crash: bool) -> _DriveOutcome:
+    """Run the scripted load once, crashing mid-run when asked."""
+    seed = spec.resolved_seed()
+    duration_ms = spec.duration_s * 1000.0
+    outcome = _DriveOutcome()
+    state_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        with fresh_qids():
+            config = DeploymentConfig(
+                side=spec.side, seed=seed,
+                radio_params=(RadioParams(loss_rate=spec.loss_rate)
+                              if spec.loss_rate else None))
+            deployment = Deployment(Strategy.TTMQO, config)
+            sim = deployment.sim
+            durability = DurabilityConfig(
+                directory=state_dir,
+                snapshot_every_ops=spec.snapshot_every_ops)
+            service = QueryService(
+                deployment, batch_window_ms=spec.batch_window_ms,
+                default_ttl_ms=duration_ms * 10.0,
+                clock=lambda: sim.now, durability=durability)
+            # The crash replaces the live service mid-run; every scheduled
+            # callback goes through the holder so post-crash events land
+            # on the recovered instance.
+            holder = {"service": service}
+            clients: List[Tuple[str, int]] = []
+            rng = random.Random(seed ^ 0xC4A05)
+
+            def _connect(index: int) -> None:
+                svc = holder["service"]
+                text = _variant(_QUERY_POOL[index % spec.n_unique], rng)
+                session_id = svc.open_session(f"client-{index:03d}")
+                ticket = svc.submit(session_id, text)
+                svc.subscribe(session_id, ticket.ticket_id)
+                clients.append((session_id, ticket.ticket_id))
+
+            arrival_span = duration_ms * 0.4
+            spacing = arrival_span / max(spec.n_clients, 1)
+            for index in range(spec.n_clients):
+                sim.engine.schedule_at(1000.0 + index * spacing,
+                                       _connect, index)
+
+            def _tick() -> None:
+                holder["service"].tick()
+
+            def _pump() -> None:
+                holder["service"].pump()
+
+            tick_period = max(spec.batch_window_ms, 64.0)
+            t = 1000.0
+            while t < duration_ms:
+                sim.engine.schedule_at(t + tick_period * 0.999, _tick)
+                t += tick_period
+            t = 2048.0
+            while t < duration_ms:
+                sim.engine.schedule_at(t + 1.0, _pump)
+                t += 2048.0
+
+            # A few clients disconnect late (exercises Algorithm 2 and
+            # refcounted release on both sides of the crash boundary).
+            n_early = max(1, spec.n_clients // 6)
+            early = rng.sample(range(spec.n_clients), n_early)
+
+            def _disconnect(position: int) -> None:
+                if position >= len(clients):
+                    return  # connect for this slot never ran (shed etc.)
+                session_id, ticket_id = clients[position]
+                try:
+                    holder["service"].terminate(session_id, ticket_id)
+                except KeyError:
+                    pass  # its session already lapsed or closed
+            for position in early:
+                sim.engine.schedule_at(duration_ms * rng.uniform(0.7, 0.95),
+                                       _disconnect, position)
+
+            def _crash() -> None:
+                old = holder["service"]
+                now = sim.now
+                pre = _durable_state(old, now)
+                old.simulate_crash()
+                recovered = QueryService.recover(
+                    deployment, durability, clock=lambda: sim.now)
+                holder["service"] = recovered
+                outcome.parity_failures = _diff_keys(
+                    pre, _durable_state(recovered, now))
+                outcome.zombies_after = _zombie_count(deployment)
+                try:
+                    recovered.validate()
+                except AssertionError as exc:
+                    outcome.refcounts_ok = False
+                    outcome.parity_failures.append(f"validate: {exc}")
+                report = recovered.last_recovery
+                outcome.wal_records = report.wal_records
+                outcome.replayed_ops = report.replayed_ops
+                outcome.torn_records = report.torn_records
+                outcome.reinjected = report.reinjected
+                outcome.zombies_aborted = report.zombies_aborted
+                # Clients re-subscribe (their old queues died with the old
+                # process); dedup state is gone, so delivery restarts from
+                # scratch — at-least-once, never silent loss.
+                for session_id, ticket_id in clients:
+                    try:
+                        if (recovered.ticket(ticket_id).status
+                                is TicketStatus.LIVE):
+                            recovered.subscribe(session_id, ticket_id)
+                    except KeyError:
+                        pass
+
+            if crash:
+                crash_ms = max(duration_ms * spec.crash_fraction, 1500.0)
+                sim.engine.schedule_at(crash_ms + 7.0, _crash)
+
+            sim.start()
+            sim.run_until(duration_ms + 4000.0)
+            service = holder["service"]
+            service.flush()
+            service.pump()
+            stats = service.stats()
+            res = service.resilience_stats()
+            outcome.completeness = deployment.row_completeness()
+            outcome.delivered = stats.results_delivered
+            outcome.admitted = stats.admitted_total
+            outcome.shed = res.shed_total
+            outcome.sessions_opened = stats.sessions_opened_total
+            outcome.snapshots = res.snapshots
+            if not crash:
+                outcome.wal_records = res.wal_records
+            service.shutdown()
+        return outcome
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def chaos_grid(loss_rates=(0.0, 0.1), crash_fractions=(0.45,),
+               **kwargs) -> List[ChaosCellSpec]:
+    """The (loss rate x crash instant) grid, in deterministic order."""
+    return [ChaosCellSpec(loss_rate=loss, crash_fraction=fraction, **kwargs)
+            for loss in loss_rates for fraction in crash_fractions]
+
+
+# ----------------------------------------------------------------------
+# SIGKILL mode (real process death over a network-free backend)
+# ----------------------------------------------------------------------
+def _make_backend() -> OptimizerBackend:
+    from ..core.basestation import BaseStationOptimizer
+    from .tier1_sim import default_cost_model
+    return OptimizerBackend(
+        BaseStationOptimizer(default_cost_model(16, 4), alpha=0.6))
+
+
+def _sigkill_child(state_dir: str, seed: int) -> None:
+    """Child entry point: append service ops forever until killed.
+
+    Writes an op counter to ``<state_dir>/progress`` after every loop so
+    the parent knows when enough state exists to make the kill
+    interesting.
+    """
+    progress = Path(state_dir) / "progress"
+    service = QueryService(
+        _make_backend(),
+        durability=DurabilityConfig(directory=state_dir,
+                                    snapshot_every_ops=5))
+    rng = random.Random(seed)
+    sessions: List[str] = []
+    index = 0
+    while True:
+        session_id = service.open_session(f"kill-client-{index}")
+        sessions.append(session_id)
+        service.submit(session_id, _variant(
+            _QUERY_POOL[index % len(_QUERY_POOL)], rng))
+        service.flush()
+        if len(sessions) > 4:
+            service.close_session(sessions.pop(0))
+        index += 1
+        progress.write_text(str(index), encoding="utf-8")
+        time.sleep(0.002)
+
+
+def run_sigkill_crash(min_ops: int = 8, seed: int = 0,
+                      timeout_s: float = 60.0) -> dict:
+    """Kill a real WAL-writing process mid-operation and recover its state.
+
+    Spawns :func:`_sigkill_child` in a fresh interpreter, waits until it
+    reports at least ``min_ops`` completed loops, sends ``SIGKILL``, then
+    recovers the directory twice: once to rebuild the service (asserting
+    :meth:`QueryService.validate`), and once more over the first
+    recovery's snapshot to prove recovery converges (identical state both
+    times).  Returns a summary dict for tests/CLI.
+    """
+    state_dir = tempfile.mkdtemp(prefix="repro-sigkill-")
+    progress = Path(state_dir) / "progress"
+    import repro
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(repro.__file__).resolve().parent.parent)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.chaos", state_dir, str(seed)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.monotonic() + timeout_s
+        ops = 0
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                raise RuntimeError(
+                    f"sigkill child exited early (rc={child.returncode})")
+            try:
+                ops = int(progress.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                ops = 0
+            if ops >= min_ops:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError(
+                f"sigkill child reached only {ops}/{min_ops} ops in "
+                f"{timeout_s:.0f}s")
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30.0)
+
+        durability = DurabilityConfig(directory=state_dir,
+                                      snapshot_every_ops=5)
+        with fresh_qids():
+            first = QueryService.recover(_make_backend(), durability)
+            first.validate()
+            report = first.last_recovery
+            state_one = _durable_state(first, 0.0)
+            live = len(first.live_tickets())
+            first.simulate_crash()  # release the WAL handle
+        with fresh_qids():
+            second = QueryService.recover(_make_backend(), durability)
+            second.validate()
+            state_two = _durable_state(second, 0.0)
+            second.simulate_crash()
+        return {
+            "ops_before_kill": ops,
+            "wal_records": report.wal_records,
+            "replayed_ops": report.replayed_ops,
+            "torn_records": report.torn_records,
+            "snapshot_loaded": report.snapshot_loaded,
+            "live_tickets": live,
+            "recovery_idempotent": state_one == state_two,
+        }
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30.0)
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    _sigkill_child(sys.argv[1], int(sys.argv[2]))

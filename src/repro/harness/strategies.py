@@ -161,6 +161,24 @@ class Deployment:
         for synthetic in actions.inject:
             self.bs.inject(synthetic)
 
+    def register_passthrough(self, query: Query,
+                             qos: QoSClass = QoSClass.BEST_EFFORT) -> None:
+        """Admit a query unmerged (circuit-breaker degraded mode).
+
+        Same control-plane contract as :meth:`register`, but tier-1 runs
+        :meth:`BaseStationOptimizer.register_passthrough` — no Algorithm 1
+        — so admission stays available when full optimization is failing.
+        """
+        self.user_queries[query.qid] = query
+        if self.optimizer is None:
+            self.register(query, qos=qos)
+            return
+        actions = self.optimizer.register_passthrough(query, qos=qos)
+        for qid in actions.abort_qids:
+            self.bs.abort(qid)
+        for synthetic in actions.inject:
+            self.bs.inject(synthetic)
+
     def terminate(self, qid: int) -> None:
         """A user query is terminated by its user."""
         self.user_queries.pop(qid, None)
@@ -174,6 +192,39 @@ class Deployment:
             self.bs.abort(aborted)
         for synthetic in actions.inject:
             self.bs.inject(synthetic)
+
+    def reconcile_queries(self) -> "tuple[int, int]":
+        """Make the network match tier-1's table after a service recovery.
+
+        Returns ``(reinjected, zombies_aborted)``: synthetic queries the
+        recovered table flags RUNNING but the network is not running are
+        (re-)disseminated, and network queries the table no longer knows
+        are aborted — the zombie-query sweep the recovery invariants
+        assert.  Also resyncs :attr:`user_queries` from the table so
+        :meth:`row_completeness` scores the recovered workload.
+        """
+        if self.optimizer is None:
+            raise ValueError("reconcile_queries needs a tier-1 optimizer")
+        from ..core.basestation.query_table import SyntheticStatus
+        table = self.optimizer.table
+        self.user_queries = {qid: record.query
+                             for qid, record in table.user.items()}
+        wanted = {record.qid: record.query
+                  for record in table.synthetic.values()
+                  if record.flag is SyntheticStatus.RUNNING}
+        running = self.bs.running_queries()
+        reinjected = 0
+        for qid in sorted(set(wanted) - set(running)):
+            # An aborted qid cannot be re-injected (generations would
+            # collide in the network); that only happens for operations
+            # torn out of the WAL, which recovery replays as never-ran.
+            if qid not in self.bs.aborted:
+                self.bs.inject(wanted[qid])
+                reinjected += 1
+        zombies = sorted(set(running) - set(wanted))
+        for qid in zombies:
+            self.bs.abort(qid)
+        return reinjected, len(zombies)
 
     # ------------------------------------------------------------------
     # Observation

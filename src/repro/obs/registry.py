@@ -157,6 +157,26 @@ class Histogram:
             "p95": self.quantile(95.0),
         }
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe full state (service-tier snapshots); see ``load_state``."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict`, replacing current observations."""
+        self.count = int(state["count"])
+        self.sum = float(state["sum"])
+        self.min = float(state["min"])
+        self.max = float(state["max"])
+        self._samples = [float(v) for v in state["samples"]]
+        if self.sample_cap is not None and len(self._samples) > self.sample_cap:
+            del self._samples[: len(self._samples) - self.sample_cap]
+
 
 class _Family:
     """One metric name: its kind, metadata, and all label series."""

@@ -14,7 +14,6 @@ assume that every epoch duration is divisible by it").
 from __future__ import annotations
 
 import enum
-import itertools
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -93,12 +92,48 @@ class GroupBy:
         return f"{self.attribute} / {divisor}"
 
 
-_qid_counter = itertools.count(1)
+class _QidCounter:
+    """The qid allocator: ``itertools.count`` plus peek/pin.
+
+    Durability replay (``repro.service.durability``) must reproduce the
+    exact qid sequence of the original process, so — unlike a bare
+    ``count`` — the counter can report the next value without consuming it
+    and can be pinned to a recorded value before a replayed allocation.
+    """
+
+    __slots__ = ("next_value",)
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_value = start
+
+    def __next__(self) -> int:
+        value = self.next_value
+        self.next_value += 1
+        return value
+
+
+_qid_counter = _QidCounter(1)
 
 
 def next_qid() -> int:
     """Allocate a globally unique query id."""
     return next(_qid_counter)
+
+
+def peek_qid() -> int:
+    """The qid the next :func:`next_qid` call will return (not consumed)."""
+    return _qid_counter.next_value
+
+
+def set_next_qid(value: int) -> None:
+    """Pin the allocator so the next :func:`next_qid` returns ``value``.
+
+    Used only by WAL replay, which must re-allocate the qids the crashed
+    process recorded; everything else should treat qids as opaque.
+    """
+    if value < 1:
+        raise ValueError(f"qids start at 1 (got {value})")
+    _qid_counter.next_value = value
 
 
 @contextmanager
@@ -115,7 +150,7 @@ def fresh_qids(start: int = 1):
     """
     global _qid_counter
     saved = _qid_counter
-    _qid_counter = itertools.count(start)
+    _qid_counter = _QidCounter(start)
     try:
         yield
     finally:
@@ -279,6 +314,43 @@ class Query:
         return (
             f"SELECT {select} FROM sensors{where} EPOCH DURATION {self.epoch_ms}"
         )
+
+
+def query_to_dict(query: Query) -> Dict[str, object]:
+    """A JSON-safe encoding of ``query`` (inverse of :func:`query_from_dict`).
+
+    Infinite predicate bounds are encoded as the strings ``"-inf"``/
+    ``"inf"`` so the payload survives strict JSON round-trips (the WAL and
+    snapshot files of ``repro.service.durability``).
+    """
+    def _bound(value: float):
+        return str(value) if math.isinf(value) else value
+
+    return {
+        "qid": query.qid,
+        "attributes": list(query.attributes),
+        "aggregates": [[a.op.value, a.attribute] for a in query.aggregates],
+        "predicates": [[attr, _bound(lo), _bound(hi)]
+                       for attr, lo, hi in query.predicates.to_triples()],
+        "epoch_ms": query.epoch_ms,
+        "group_by": [[g.attribute, g.divisor] for g in query.group_by],
+    }
+
+
+def query_from_dict(payload: Mapping[str, object]) -> Query:
+    """Rebuild a :class:`Query` from :func:`query_to_dict` output."""
+    triples = [(attr, float(lo), float(hi))
+               for attr, lo, hi in payload["predicates"]]
+    return Query(
+        qid=int(payload["qid"]),
+        attributes=tuple(payload["attributes"]),
+        aggregates=tuple(Aggregate(AggregateOp(op), attr)
+                         for op, attr in payload["aggregates"]),
+        predicates=PredicateSet.from_triples(triples),
+        epoch_ms=int(payload["epoch_ms"]),
+        group_by=tuple(GroupBy(attr, float(divisor))
+                       for attr, divisor in payload["group_by"]),
+    )
 
 
 def combined_epoch(e1: int, e2: int) -> int:

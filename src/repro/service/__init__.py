@@ -8,10 +8,19 @@ result subscriptions, and a metrics snapshot — see
 
 from .admission import AdmissionBatcher, PendingAdmission
 from .cache import CacheEntry, CanonicalQueryCache
+from .durability import (
+    DurabilityConfig,
+    RecoveryReport,
+    SnapshotStore,
+    WriteAheadLog,
+)
 from .load import ClientOutcome, LoadReport, run_scripted_load
+from .overload import BreakerState, CircuitBreaker, OverloadConfig
 from .service import (
     OptimizerBackend,
     QueryService,
+    ResilienceStats,
+    ServiceClosed,
     ServiceStats,
     Ticket,
     TicketStatus,
@@ -20,19 +29,28 @@ from .session import DEFAULT_TTL_MS, Session, SessionError, SessionManager
 
 __all__ = [
     "AdmissionBatcher",
+    "BreakerState",
+    "CircuitBreaker",
     "CacheEntry",
     "CanonicalQueryCache",
     "ClientOutcome",
     "DEFAULT_TTL_MS",
+    "DurabilityConfig",
     "LoadReport",
     "OptimizerBackend",
+    "OverloadConfig",
     "PendingAdmission",
     "QueryService",
+    "RecoveryReport",
+    "ResilienceStats",
+    "ServiceClosed",
     "ServiceStats",
     "Session",
+    "SnapshotStore",
     "SessionError",
     "SessionManager",
     "Ticket",
     "TicketStatus",
+    "WriteAheadLog",
     "run_scripted_load",
 ]

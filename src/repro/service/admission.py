@@ -89,3 +89,22 @@ class AdmissionBatcher:
 
     def __len__(self) -> int:
         return sum(1 for p in self._pending if not p.cancelled)
+
+    # ------------------------------------------------------------------
+    # Durability (repro.service.durability snapshots)
+    # ------------------------------------------------------------------
+    def pending(self) -> List[PendingAdmission]:
+        """The open window's live (non-cancelled) submissions, in order."""
+        return [p for p in self._pending if not p.cancelled]
+
+    @property
+    def window_opened_ms(self) -> Optional[float]:
+        return self._window_opened_ms
+
+    def restore_window(self, window_opened_ms: Optional[float],
+                       batches_flushed: int, max_batch_size: int) -> None:
+        """Restore snapshot bookkeeping (pending entries re-``add``-ed
+        first; cancelled ones were filtered out and stay gone)."""
+        self._window_opened_ms = window_opened_ms
+        self.batches_flushed = batches_flushed
+        self.max_batch_size = max_batch_size

@@ -1,0 +1,231 @@
+"""Crash durability for the query service: write-ahead log + snapshots.
+
+The base station is the single point the whole two-tier architecture
+funnels through (Section 3.1): losing it loses every session lease,
+ticket, cache refcount, and — worst — the optimizer's query table with
+its synthetic merges, leaving zombie queries sampling the network with
+nobody to answer to.  This module gives :class:`~repro.service.service.
+QueryService` a conventional database-style recovery story:
+
+* every state-changing public call appends one JSON record to a
+  **write-ahead log** before the state transition is applied;
+* a **snapshot** periodically captures the full service state (sessions,
+  tickets, cache, batch window, counters, optimizer table) so recovery
+  replays only the WAL suffix since the last snapshot;
+* :meth:`QueryService.recover` rebuilds a service from snapshot + WAL and
+  reconciles the network (re-disseminating synthetic queries the
+  recovered table says are RUNNING, aborting zombies the table no longer
+  knows).
+
+File formats (documented in ``docs/observability.md``)
+------------------------------------------------------
+``wal.jsonl``
+    One record per line: ``<crc32-hex-8> <canonical-json>``.  The CRC is
+    ``zlib.crc32`` over the UTF-8 canonical JSON (sorted keys, compact
+    separators).  Replay stops at the first line that fails to frame,
+    parse, or checksum — a torn tail from a crash mid-append is *ignored*
+    (counted in ``resilience.wal_torn_records_total``), never an error.
+
+``snapshot.json``
+    A single JSON document written atomically (temp file + fsync +
+    ``os.replace``), so a crash mid-snapshot leaves the previous snapshot
+    intact.  Taking a snapshot truncates the WAL: the pair
+    ``(snapshot, wal)`` is always a consistent recovery point.
+
+Replay determinism
+------------------
+Qids are allocated from a global counter shared by user submissions and
+the optimizer's synthetic queries, so WAL ``submit`` records carry the
+allocated qid and replay *pins* the counter
+(:func:`repro.queries.ast.set_next_qid`) before re-running each
+submission — the optimizer then re-derives the exact same synthetic qids
+and table state as the crashed process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: WAL / snapshot file names inside a durability directory.
+WAL_FILENAME = "wal.jsonl"
+SNAPSHOT_FILENAME = "snapshot.json"
+
+#: Bump when the snapshot/WAL schema changes incompatibly.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Where and how eagerly the service persists its state.
+
+    ``snapshot_every_ops = 0`` disables automatic snapshots (the WAL alone
+    still recovers everything, just with a longer replay).  ``fsync``
+    controls whether every WAL append is forced to stable storage; the
+    default only flushes to the OS, which survives process crashes (the
+    chaos harness's model) but not power loss.
+    """
+
+    directory: str
+    snapshot_every_ops: int = 0
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every_ops < 0:
+            raise ValueError(
+                f"snapshot_every_ops must be >= 0 "
+                f"(got {self.snapshot_every_ops})")
+
+    @property
+    def wal_path(self) -> Path:
+        return Path(self.directory) / WAL_FILENAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return Path(self.directory) / SNAPSHOT_FILENAME
+
+
+def _frame(record: dict) -> str:
+    """One WAL line: crc32 over the canonical JSON, then the JSON."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n"
+
+
+def _unframe(line: str) -> Optional[dict]:
+    """Decode one WAL line; ``None`` for torn/corrupt records."""
+    line = line.rstrip("\n")
+    if len(line) < 10 or line[8] != " ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class WriteAheadLog:
+    """Append-only JSON-lines log with per-record CRC framing."""
+
+    def __init__(self, path, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.records_appended = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (write-ahead: call before applying)."""
+        self._fh.write(_frame(record))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.records_appended += 1
+
+    def rotate(self) -> None:
+        """Truncate the log (its contents are covered by a new snapshot)."""
+        self._fh.close()
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    @staticmethod
+    def load(path) -> Tuple[List[dict], int]:
+        """Read ``(records, torn)`` from a WAL file.
+
+        Replay stops at the first undecodable record: everything after a
+        torn write is unreachable anyway (the crashed process appended
+        strictly in order), and counting it as data would resurrect a
+        half-written operation.  ``torn`` is the number of discarded
+        trailing lines (0 for a clean log or a missing file).
+        """
+        path = Path(path)
+        if not path.exists():
+            return [], 0
+        records: List[dict] = []
+        torn = 0
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            record = _unframe(line)
+            if record is None:
+                torn = len([l for l in lines[index:] if l.strip()])
+                break
+            records.append(record)
+        return records, torn
+
+
+class SnapshotStore:
+    """Atomic single-document snapshot persistence."""
+
+    @staticmethod
+    def save(path, state: dict) -> None:
+        """Write ``state`` atomically: temp file, fsync, rename."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    @staticmethod
+    def load(path) -> Optional[dict]:
+        """The snapshot document, or ``None`` when no snapshot exists.
+
+        A snapshot that exists but does not parse raises ``ValueError``:
+        writes are atomic, so corruption means external damage, and
+        silently recovering a near-empty state would *look* like success
+        while losing everything the snapshot covered (the WAL was rotated
+        when it was written).
+        """
+        path = Path(path)
+        if not path.exists():
+            return None
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                return json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"snapshot {path} is corrupt ({exc}); snapshot writes "
+                    f"are atomic, so this indicates external damage — "
+                    f"refusing to silently recover a partial state") from exc
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`QueryService.recover` call did."""
+
+    snapshot_loaded: bool = False
+    wal_records: int = 0
+    replayed_ops: int = 0
+    torn_records: int = 0
+    #: Replayed operations that raised — exactly as they did in the
+    #: original process (e.g. a submit against an already-expired
+    #: session); the exception *is* the replayed behavior.
+    replay_errors: int = 0
+    #: Synthetic queries re-disseminated to the network because the
+    #: recovered table says RUNNING but the network wasn't running them.
+    reinjected: int = 0
+    #: Network queries aborted because the recovered table no longer
+    #: knows them (zombies from operations lost with the crash).
+    zombies_aborted: int = 0

@@ -17,11 +17,17 @@ Used by ``python -m repro serve``, ``examples/service_gateway.py`` and
 from __future__ import annotations
 
 import random
+import signal
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..harness.strategies import Deployment, DeploymentConfig, Strategy
-from .service import QueryService, ServiceStats
+from .durability import DurabilityConfig
+from .service import QueryService, ResilienceStats, ServiceStats
+
+
+class _GracefulStop(Exception):
+    """Internal: unwinds the sim loop after a SIGTERM/SIGINT shutdown."""
 
 #: Base pool of distinct questions clients may ask (cycled, then
 #: textually perturbed per client to exercise canonicalization).
@@ -77,6 +83,12 @@ class LoadReport:
     clients: List[ClientOutcome]
     unique_queries: int
     duration_ms: float
+    #: True when SIGTERM/SIGINT cut the run short (graceful shutdown ran).
+    interrupted: bool = False
+    #: Tickets terminated by the end-of-run ``shutdown()`` (state-dir runs).
+    shutdown_terminated: int = 0
+    #: Durability/overload counters (state-dir runs; ``None`` otherwise).
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def clients_served(self) -> int:
@@ -100,6 +112,8 @@ def run_scripted_load(
     early_terminate_fraction: float = 0.15,
     strategy: Strategy = Strategy.TTMQO,
     config: Optional[DeploymentConfig] = None,
+    state_dir: Optional[str] = None,
+    handle_signals: bool = False,
 ) -> LoadReport:
     """Drive ``n_clients`` scripted clients against one simulated service.
 
@@ -107,6 +121,15 @@ def run_scripted_load(
     factor is ``n_clients / n_unique``), arrive spread over the first 40%
     of the horizon, and a small fraction terminate early.  Returns the
     full :class:`LoadReport`.
+
+    ``state_dir`` enables durability (WAL + periodic snapshots in that
+    directory) and finishes the run with a graceful ``shutdown()`` — no
+    zombie queries survive, and the directory is left at a clean recovery
+    point.  ``handle_signals`` additionally installs SIGTERM/SIGINT
+    handlers for the duration of the run: on a signal the service stops
+    admitting, flushes the open batch window, terminates every live
+    ticket through the ordinary path, snapshots, and the run returns
+    early with ``interrupted=True``.
     """
     if n_unique < 1 or n_unique > len(_QUERY_POOL):
         raise ValueError(
@@ -119,7 +142,20 @@ def run_scripted_load(
     service = QueryService(deployment, batch_window_ms=batch_window_ms,
                            default_ttl_ms=(ttl_s * 1000.0 if ttl_s
                                            else duration_ms * 10.0),
-                           clock=lambda: sim.now)
+                           clock=lambda: sim.now,
+                           durability=(DurabilityConfig(
+                               directory=state_dir, snapshot_every_ops=32)
+                               if state_dir is not None else None))
+    stop_requested = {"flag": False, "terminated": 0}
+
+    def _on_signal(signum, frame):  # pragma: no cover - signal timing
+        stop_requested["flag"] = True
+
+    def _tick() -> None:
+        if stop_requested["flag"]:
+            stop_requested["terminated"] = len(service.shutdown(sim.now))
+            raise _GracefulStop
+        service.tick()
 
     outcomes: List[ClientOutcome] = []
     queues: Dict[int, "object"] = {}
@@ -146,7 +182,7 @@ def run_scripted_load(
     tick_period = max(batch_window_ms, 64.0)
     t = 1000.0
     while t < duration_ms:
-        sim.engine.schedule_at(t + tick_period * 0.999, service.tick)
+        sim.engine.schedule_at(t + tick_period * 0.999, _tick)
         t += tick_period
     t = 2048.0
     while t < duration_ms:
@@ -165,19 +201,43 @@ def run_scripted_load(
         sim.engine.schedule_at(duration_ms * rng.uniform(0.7, 0.95),
                                _disconnect, position)
 
-    sim.start()
-    sim.run_until(duration_ms + 4000.0)
-    service.flush()
-    service.pump()
+    previous_handlers = {}
+    if handle_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+    interrupted = False
+    try:
+        sim.start()
+        sim.run_until(duration_ms + 4000.0)
+        service.flush()
+        service.pump()
+    except _GracefulStop:
+        interrupted = True
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
 
     for ticket_id, (session_id, subscriber, outcome) in queues.items():
         outcome.results_received = subscriber.qsize()
         ticket = service.ticket(ticket_id)
         outcome.cache_hit = ticket.cache_hit
 
+    stats = service.stats()
+    shutdown_terminated = stop_requested["terminated"]
+    resilience = None
+    if state_dir is not None:
+        # Finish at a clean recovery point: the shutdown WAL record plus
+        # a final snapshot, with no queries left running in the network.
+        # (Idempotent after a signal-driven shutdown.)
+        shutdown_terminated += len(service.shutdown())
+        resilience = service.resilience_stats()
+
     return LoadReport(
-        stats=service.stats(),
+        stats=stats,
         clients=outcomes,
         unique_queries=n_unique,
         duration_ms=duration_ms,
+        interrupted=interrupted,
+        shutdown_terminated=shutdown_terminated,
+        resilience=resilience,
     )

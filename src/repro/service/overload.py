@@ -1,0 +1,160 @@
+"""Overload protection: load shedding, deadlines, and a circuit breaker.
+
+At production scale the admission path has two failure modes the paper's
+batch experiments never see: *unbounded queueing* (a popular event makes
+every dashboard reconnect at once and the batch backlog grows without
+bound) and *tier-1 stall* (a pathological query or cost-model blow-up
+makes ``BaseStationOptimizer.register`` slow or failing while arrivals
+keep coming).  This module keeps the service *degraded, never down*:
+
+* **priority-aware load shedding** — when the admission backlog crosses a
+  threshold, BEST_EFFORT submissions are shed immediately (status
+  ``SHED``); RELIABLE submissions ride to a higher threshold, so paying
+  tenants survive bursts that drop free tiers;
+* **per-ticket submit deadlines** — a submission that sat in the batch
+  window longer than its deadline is shed at flush time instead of being
+  admitted uselessly late;
+* **circuit breaker** — consecutive optimizer failures open the breaker;
+  while open, admissions fall back to *pass-through* registration
+  (:meth:`BaseStationOptimizer.register_passthrough` — the query becomes
+  its own unshared synthetic query, no Algorithm 1), trading radio
+  efficiency for availability.  After a cooldown the breaker half-opens
+  and one trial registration decides whether to close it.
+
+Every decision is a deterministic function of service state and the
+caller-supplied clock, so WAL replay (``repro.service.durability``)
+reproduces shed/breaker behavior exactly.  The one optional exception is
+``register_latency_budget_ms``: it meters wall-clock optimizer latency,
+which no replay can reproduce, so it defaults to off (``inf``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.qos import QoSClass
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Thresholds for shedding, deadlines, queues, and the breaker.
+
+    The defaults change nothing except bounding subscriber queues: no
+    shedding (``None`` thresholds), no deadline (``inf``), breaker only
+    opens on repeated hard failures.
+    """
+
+    #: ``subscribe()`` queue bound; ``pump`` counts drops on full queues.
+    subscriber_queue_maxsize: int = 1024
+    #: Shed BEST_EFFORT submissions when the batch backlog reaches this.
+    shed_backlog_best_effort: Optional[int] = None
+    #: Shed RELIABLE submissions when the backlog reaches this (should be
+    #: >= the BEST_EFFORT threshold; defaults to it when unset).
+    shed_backlog_reliable: Optional[int] = None
+    #: Shed BEST_EFFORT submissions while p95 admission latency exceeds
+    #: this (measured on the service clock, so virtual-time runs and WAL
+    #: replay see identical values).
+    shed_latency_p95_ms: float = math.inf
+    #: A pending submission older than this at flush time is shed.
+    submit_deadline_ms: float = math.inf
+    #: Consecutive ``register`` failures that open the breaker.
+    breaker_failure_threshold: int = 3
+    #: How long the breaker stays open before a half-open trial.
+    breaker_cooldown_ms: float = 60_000.0
+    #: Optional wall-clock budget per register call; exceeding it counts
+    #: as a breaker failure.  Off by default — wall-clock latency is not
+    #: replay-deterministic, so enabling this weakens crash/recover
+    #: parity from exact to approximate.
+    register_latency_budget_ms: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.subscriber_queue_maxsize < 1:
+            raise ValueError(
+                f"subscriber_queue_maxsize must be >= 1 "
+                f"(got {self.subscriber_queue_maxsize})")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                f"breaker_failure_threshold must be >= 1 "
+                f"(got {self.breaker_failure_threshold})")
+        if self.breaker_cooldown_ms < 0:
+            raise ValueError(
+                f"breaker_cooldown_ms must be >= 0 "
+                f"(got {self.breaker_cooldown_ms})")
+        for name in ("shed_backlog_best_effort", "shed_backlog_reliable"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (got {value})")
+        for name in ("shed_latency_p95_ms", "submit_deadline_ms",
+                     "register_latency_budget_ms"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0 (got {value})")
+
+    def backlog_threshold(self, qos: QoSClass) -> Optional[int]:
+        """The shed threshold for one QoS class (``None`` = never shed)."""
+        if qos is QoSClass.RELIABLE:
+            if self.shed_backlog_reliable is not None:
+                return self.shed_backlog_reliable
+            return self.shed_backlog_best_effort
+        return self.shed_backlog_best_effort
+
+
+class BreakerState(enum.Enum):
+    """Classic three-state circuit breaker."""
+
+    CLOSED = "closed"          # normal: full Algorithm 1 admission
+    OPEN = "open"              # degraded: pass-through admission only
+    HALF_OPEN = "half-open"    # cooldown elapsed: one trial register
+
+    @property
+    def gauge_value(self) -> float:
+        """Numeric encoding for the ``resilience.breaker_state`` gauge."""
+        return {BreakerState.CLOSED: 0.0,
+                BreakerState.HALF_OPEN: 1.0,
+                BreakerState.OPEN: 2.0}[self]
+
+
+class CircuitBreaker:
+    """Failure-count circuit breaker on the service clock.
+
+    Deliberately driven by *counts and caller timestamps* rather than
+    wall-clock measurements: the same WAL replayed through the same
+    breaker makes the same open/close decisions.
+    """
+
+    def __init__(self, failure_threshold: int, cooldown_ms: float) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms: Optional[float] = None
+        self.opens_total = 0
+
+    def allow_full(self, now_ms: float) -> bool:
+        """May this admission run the full optimizer path right now?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at_ms is not None
+            if now_ms - self.opened_at_ms >= self.cooldown_ms:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True  # HALF_OPEN: the trial admission
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms = None
+
+    def record_failure(self, now_ms: float) -> None:
+        self.consecutive_failures += 1
+        if (self.state is BreakerState.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            self.state = BreakerState.OPEN
+            self.opened_at_ms = now_ms
+            self.opens_total += 1
+            self.consecutive_failures = 0

@@ -30,20 +30,38 @@ fans new rows/aggregates out to per-subscriber queues.
 from __future__ import annotations
 
 import enum
+import math
 import queue
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from ..core.basestation import BaseStationOptimizer, ResultMapper
 from ..core.qos import QoSClass
 from ..obs import Histogram, get_registry
-from ..queries.ast import Query, next_qid
+from ..queries.ast import (
+    Query,
+    next_qid,
+    peek_qid,
+    query_from_dict,
+    query_to_dict,
+    set_next_qid,
+)
 from ..queries.canonical import CanonicalKey, canonical_key, canonicalize
 from ..queries.parser import parse_query
 from .admission import AdmissionBatcher, PendingAdmission
 from .cache import CanonicalQueryCache
+from .durability import (
+    FORMAT_VERSION,
+    DurabilityConfig,
+    RecoveryReport,
+    SnapshotStore,
+    WriteAheadLog,
+)
+from .overload import BreakerState, CircuitBreaker, OverloadConfig
 from .session import DEFAULT_TTL_MS, SessionError, SessionManager
 
 #: Keep at most this many admission-latency samples (most recent).
@@ -58,6 +76,13 @@ def _wall_clock_ms() -> Callable[[], float]:
     """
     t0 = time.monotonic()
     return lambda: (time.monotonic() - t0) * 1000.0
+
+
+def _coerce_durability(
+        durability: Union[DurabilityConfig, str, Path]) -> DurabilityConfig:
+    if isinstance(durability, DurabilityConfig):
+        return durability
+    return DurabilityConfig(directory=str(durability))
 
 
 class OptimizerBackend:
@@ -79,9 +104,18 @@ class OptimizerBackend:
         """Run Algorithm 1 for ``query`` on the wrapped optimizer."""
         self.optimizer.register(query, qos=qos)
 
+    def register_passthrough(self, query: Query,
+                             qos: QoSClass = QoSClass.BEST_EFFORT) -> None:
+        """Admit ``query`` unmerged (circuit-breaker degraded mode)."""
+        self.optimizer.register_passthrough(query, qos=qos)
+
     def terminate(self, qid: int) -> None:
         """Run Algorithm 2 for user query ``qid``."""
         self.optimizer.terminate(qid)
+
+
+class ServiceClosed(RuntimeError):
+    """Raised for admission calls after :meth:`QueryService.shutdown`."""
 
 
 class TicketStatus(enum.Enum):
@@ -90,6 +124,7 @@ class TicketStatus(enum.Enum):
     TERMINATED = "terminated"  # user terminated
     EXPIRED = "expired"        # lease lapsed; service terminated it
     FAILED = "failed"          # optimizer rejected the anchor registration
+    SHED = "shed"              # dropped by overload protection
 
 
 @dataclass
@@ -118,6 +153,39 @@ class Ticket:
         if self.admitted_ms is None:
             return None
         return self.admitted_ms - self.submitted_ms
+
+
+def _ticket_to_dict(ticket: Ticket) -> dict:
+    """JSON-safe ticket encoding for the durability snapshot."""
+    return {
+        "ticket_id": ticket.ticket_id,
+        "session_id": ticket.session_id,
+        "query": query_to_dict(ticket.query),
+        "submitted_ms": ticket.submitted_ms,
+        "status": ticket.status.value,
+        "anchor": (query_to_dict(ticket.anchor)
+                   if ticket.anchor is not None else None),
+        "admitted_ms": ticket.admitted_ms,
+        "cache_hit": ticket.cache_hit,
+        "error": ticket.error,
+    }
+
+
+def _ticket_from_dict(payload: dict) -> Ticket:
+    query = query_from_dict(payload["query"])
+    return Ticket(
+        ticket_id=int(payload["ticket_id"]),
+        session_id=payload["session_id"],
+        query=query,
+        key=canonical_key(query),
+        submitted_ms=float(payload["submitted_ms"]),
+        status=TicketStatus(payload["status"]),
+        anchor=(query_from_dict(payload["anchor"])
+                if payload["anchor"] is not None else None),
+        admitted_ms=payload["admitted_ms"],
+        cache_hit=bool(payload["cache_hit"]),
+        error=payload["error"],
+    )
 
 
 @dataclass(frozen=True)
@@ -170,6 +238,37 @@ class ServiceStats:
         return self.admissions_without_inject / self.admitted_total
 
 
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Durability/overload counters (``resilience.*`` metric families).
+
+    Deliberately separate from :class:`ServiceStats`: these describe what
+    the *infrastructure* did (WAL appends, sheds, breaker trips, recovery
+    work), while ``stats()`` describes the workload — so a crashed-and-
+    recovered service reaches exact ``stats()`` parity with an uncrashed
+    run even though its resilience counters necessarily differ.
+    """
+
+    wal_records: int
+    wal_torn_records: int
+    snapshots: int
+    recoveries: int
+    replayed_ops: int
+    shed_best_effort: int
+    shed_reliable: int
+    deadline_shed: int
+    subscriber_drops: int
+    breaker_state: str
+    breaker_opens: int
+    passthrough_registrations: int
+    reinjected: int
+    zombie_aborts: int
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_best_effort + self.shed_reliable
+
+
 class QueryService:
     """Thread-safe, multi-tenant admission front-end over tier-1.
 
@@ -186,7 +285,9 @@ class QueryService:
 
     def __init__(self, backend, *, batch_window_ms: float = 0.0,
                  default_ttl_ms: float = DEFAULT_TTL_MS,
-                 clock: Optional[Callable[[], float]] = None) -> None:
+                 clock: Optional[Callable[[], float]] = None,
+                 durability: Optional[Union[DurabilityConfig, str, Path]] = None,
+                 overload: Optional[OverloadConfig] = None) -> None:
         if getattr(backend, "optimizer", None) is None:
             raise ValueError(
                 "QueryService needs a tier-1 backend (backend.optimizer is "
@@ -202,7 +303,22 @@ class QueryService:
         self._ticket_qos: Dict[int, QoSClass] = {}
         self._subs: Dict[int, List["queue.Queue"]] = {}
         self._delivered: Dict[int, set] = {}
+        self._overload = overload or OverloadConfig()
+        self._breaker = CircuitBreaker(
+            self._overload.breaker_failure_threshold,
+            self._overload.breaker_cooldown_ms)
+        self._closed = False
+        self._dur: Optional[DurabilityConfig] = None
+        self._wal: Optional[WriteAheadLog] = None
+        self._op_depth = 0
+        self._ops_since_snapshot = 0
+        self._replaying = False
+        #: Set by :meth:`recover` on the recovered instance.
+        self.last_recovery: Optional[RecoveryReport] = None
         self._init_metrics(get_registry())
+        if durability is not None:
+            self._attach_durability(_coerce_durability(durability),
+                                    fresh=True)
 
     def _init_metrics(self, registry) -> None:
         """Register the ``service.*`` metric families (telemetry contract).
@@ -262,6 +378,54 @@ class QueryService:
                                  help="base-station query re-floods "
                                       "triggered by subtree silence")],
         }
+        # Durability/overload counters (``resilience.*`` families); the
+        # ResilienceStats snapshot reports instance deltas like stats().
+        self._m_res = {
+            "wal_records": registry.counter(
+                "resilience.wal_records_total",
+                help="operations appended to the write-ahead log"),
+            "wal_torn_records": registry.counter(
+                "resilience.wal_torn_records_total",
+                help="torn/corrupt WAL tail records discarded by recovery"),
+            "snapshots": registry.counter(
+                "resilience.snapshots_total",
+                help="service state snapshots written"),
+            "recoveries": registry.counter(
+                "resilience.recoveries_total",
+                help="successful recover() calls"),
+            "replayed_ops": registry.counter(
+                "resilience.replayed_ops_total",
+                help="WAL operations replayed during recovery"),
+            "shed_best_effort": registry.counter(
+                "resilience.shed_total",
+                help="submissions shed by overload protection",
+                qos="best-effort"),
+            "shed_reliable": registry.counter(
+                "resilience.shed_total",
+                help="submissions shed by overload protection",
+                qos="reliable"),
+            "deadline_shed": registry.counter(
+                "resilience.deadline_shed_total",
+                help="pending submissions shed past their submit deadline"),
+            "subscriber_drops": registry.counter(
+                "resilience.subscriber_dropped_total",
+                help="result items dropped on full subscriber queues"),
+            "breaker_opens": registry.counter(
+                "resilience.breaker_opens_total",
+                help="circuit-breaker open transitions"),
+            "passthrough_registrations": registry.counter(
+                "resilience.passthrough_registrations_total",
+                help="degraded-mode registrations (breaker open)"),
+            "reinjected": registry.counter(
+                "resilience.reinjected_total",
+                help="synthetic queries re-disseminated by recovery"),
+            "zombie_aborts": registry.counter(
+                "resilience.zombie_aborts_total",
+                help="zombie network queries aborted by recovery"),
+        }
+        registry.gauge("resilience.breaker_state",
+                       help="0 closed / 1 half-open / 2 open"
+                       ).set_fn(lambda: self._breaker.state.gauge_value)
         #: Instance-scoped latency view behind the shared registry series.
         self._lat_local = Histogram(sample_cap=LATENCY_SAMPLE_CAP)
         self._baseline = {
@@ -276,6 +440,9 @@ class QueryService:
         self._baseline.update({
             f"recovery_{key}": sum(c.value for c in counters)
             for key, counters in self._m_recovery.items()})
+        self._baseline.update({
+            f"res_{key}": counter.value
+            for key, counter in self._m_res.items()})
         registry.gauge("service.sessions_open",
                        help="sessions with an unexpired lease"
                        ).set_fn(lambda: float(len(self._sessions)))
@@ -301,6 +468,287 @@ class QueryService:
     def _now(self, now_ms: Optional[float]) -> float:
         return self._clock() if now_ms is None else now_ms
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("service is shut down (admission stopped)")
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead logging
+    # ------------------------------------------------------------------
+    def _attach_durability(self, config: DurabilityConfig,
+                           fresh: bool) -> None:
+        """Open the WAL.  ``fresh`` is a first boot: the state directory
+        must not already hold recoverable state (use :meth:`recover`)."""
+        if fresh and (config.snapshot_path.exists()
+                      or (config.wal_path.exists()
+                          and config.wal_path.stat().st_size > 0)):
+            raise ValueError(
+                f"durability directory {config.directory!r} already holds "
+                f"service state; use QueryService.recover() to reopen it")
+        self._dur = config
+        self._wal = WriteAheadLog(config.wal_path, fsync=config.fsync)
+        if fresh:
+            self._wal.append({
+                "op": "boot", "format": FORMAT_VERSION,
+                "next_qid": peek_qid(),
+                "config": {
+                    "batch_window_ms": self._batcher.window_ms,
+                    "default_ttl_ms": self._sessions.default_ttl_ms,
+                },
+            })
+            self._m_res["wal_records"].inc()
+
+    @contextmanager
+    def _op(self, record: Optional[dict]):
+        """Write-ahead-log one *outermost* public operation.
+
+        Public methods nest (``submit`` sweeps leases, ``tick`` flushes),
+        so only the depth-1 record is logged — replaying it re-runs the
+        nested effects.  ``record=None`` marks a no-op call (nothing to
+        log, nothing to replay).  Assumes the service lock is held.
+        """
+        self._op_depth += 1
+        try:
+            if (self._op_depth == 1 and record is not None
+                    and self._wal is not None and not self._replaying):
+                self._wal.append(record)
+                self._m_res["wal_records"].inc()
+                self._ops_since_snapshot += 1
+            yield
+        finally:
+            self._op_depth -= 1
+            if (self._op_depth == 0 and self._wal is not None
+                    and not self._replaying and not self._closed
+                    and self._dur.snapshot_every_ops > 0
+                    and self._ops_since_snapshot
+                    >= self._dur.snapshot_every_ops):
+                self._snapshot_locked(self._clock())
+
+    # ------------------------------------------------------------------
+    # Durability: snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, now_ms: Optional[float] = None) -> None:
+        """Write a full-state snapshot and truncate the WAL."""
+        with self._lock:
+            if self._wal is None:
+                raise ValueError("service was built without durability")
+            self._snapshot_locked(self._now(now_ms))
+
+    def _snapshot_locked(self, now: float) -> None:
+        SnapshotStore.save(self._dur.snapshot_path, self._snapshot_state(now))
+        self._wal.rotate()
+        self._ops_since_snapshot = 0
+        self._m_res["snapshots"].inc()
+
+    def _snapshot_state(self, now: float) -> dict:
+        base = self._baseline
+        return {
+            "format": FORMAT_VERSION,
+            "saved_ms": now,
+            "next_qid": peek_qid(),
+            "config": {
+                "batch_window_ms": self._batcher.window_ms,
+                "default_ttl_ms": self._sessions.default_ttl_ms,
+            },
+            "sessions": self._sessions.to_dict(),
+            "next_ticket": self._next_ticket,
+            "tickets": [_ticket_to_dict(self._tickets[tid])
+                        for tid in sorted(self._tickets)],
+            "ticket_qos": {str(tid): qos.value
+                           for tid, qos in sorted(self._ticket_qos.items())},
+            "cache": {
+                "hits": self._cache.hits,
+                "misses": self._cache.misses,
+                "peak_entries": self._cache.peak_entries,
+                "entries": [
+                    {"anchor": query_to_dict(entry.anchor),
+                     "refcount": entry.refcount, "hits": entry.hits}
+                    for entry in sorted(self._cache.entries().values(),
+                                        key=lambda e: e.anchor_qid)],
+            },
+            "batcher": {
+                "pending": [
+                    {"ticket_id": p.ticket_id, "session_id": p.session_id,
+                     "query": query_to_dict(p.query),
+                     "submitted_ms": p.submitted_ms}
+                    for p in self._batcher.pending()],
+                "window_opened_ms": self._batcher.window_opened_ms,
+                "batches_flushed": self._batcher.batches_flushed,
+                "max_batch_size": self._batcher.max_batch_size,
+            },
+            "counters": {
+                key: int(counter.value - base[key])
+                for key, counter in (
+                    ("submissions", self._m_submissions),
+                    ("admitted", self._m_admitted),
+                    ("registrations", self._m_registrations),
+                    ("injected", self._m_injected),
+                    ("absorbed", self._m_absorbed),
+                    ("terminations", self._m_terminations),
+                    ("delivered", self._m_delivered))},
+            "latency": self._lat_local.state_dict(),
+            "breaker": {
+                "state": self._breaker.state.value,
+                "consecutive_failures": self._breaker.consecutive_failures,
+                "opened_at_ms": self._breaker.opened_at_ms,
+                "opens_total": self._breaker.opens_total,
+            },
+            "optimizer": self.optimizer.snapshot_state(),
+        }
+
+    def _restore_snapshot(self, snap: dict) -> None:
+        if snap.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot format {snap.get('format')!r} "
+                f"(this build reads {FORMAT_VERSION})")
+        set_next_qid(int(snap["next_qid"]))
+        self._sessions.restore(snap["sessions"])
+        self._next_ticket = int(snap["next_ticket"])
+        self._tickets = {entry["ticket_id"]: _ticket_from_dict(entry)
+                         for entry in snap["tickets"]}
+        self._ticket_qos = {int(tid): QoSClass(value)
+                            for tid, value in snap["ticket_qos"].items()}
+        cache = snap["cache"]
+        self._cache = CanonicalQueryCache()
+        for entry in cache["entries"]:
+            anchor = query_from_dict(entry["anchor"])
+            restored = self._cache.insert(canonical_key(anchor), anchor)
+            restored.refcount = int(entry["refcount"])
+            restored.hits = int(entry["hits"])
+        self._cache.hits = int(cache["hits"])
+        self._cache.misses = int(cache["misses"])
+        self._cache.peak_entries = int(cache["peak_entries"])
+        batcher = snap["batcher"]
+        for entry in batcher["pending"]:
+            query = query_from_dict(entry["query"])
+            self._batcher.add(
+                PendingAdmission(entry["ticket_id"], entry["session_id"],
+                                 query, canonical_key(query),
+                                 float(entry["submitted_ms"])),
+                float(entry["submitted_ms"]))
+        self._batcher.restore_window(
+            batcher["window_opened_ms"],
+            int(batcher["batches_flushed"]), int(batcher["max_batch_size"]))
+        # Counters are shared registry series; shifting the baseline down
+        # by the snapshot delta makes stats() report the restored totals
+        # without perturbing the exported aggregates.
+        for key, value in snap["counters"].items():
+            self._baseline[key] -= int(value)
+        self._lat_local.load_state(snap["latency"])
+        breaker = snap["breaker"]
+        self._breaker.state = BreakerState(breaker["state"])
+        self._breaker.consecutive_failures = int(
+            breaker["consecutive_failures"])
+        self._breaker.opened_at_ms = breaker["opened_at_ms"]
+        self._breaker.opens_total = int(breaker["opens_total"])
+        self.optimizer.restore_state(snap["optimizer"])
+
+    # ------------------------------------------------------------------
+    # Durability: recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, backend,
+                durability: Union[DurabilityConfig, str, Path], *,
+                clock: Optional[Callable[[], float]] = None,
+                overload: Optional[OverloadConfig] = None,
+                batch_window_ms: Optional[float] = None,
+                default_ttl_ms: Optional[float] = None) -> "QueryService":
+        """Rebuild a service from its durability directory.
+
+        Loads the snapshot (if any), replays the WAL suffix through the
+        ordinary public methods — pinning the qid allocator per recorded
+        submission so the optimizer re-derives identical synthetic qids —
+        then writes a fresh snapshot (a clean recovery point for the
+        *next* crash) and reconciles the network: RUNNING synthetic
+        queries missing from the network are re-disseminated, zombies the
+        recovered table no longer knows are aborted.  The report is left
+        on :attr:`last_recovery`.
+        """
+        config = _coerce_durability(durability)
+        snap = SnapshotStore.load(config.snapshot_path)
+        records, torn = WriteAheadLog.load(config.wal_path)
+        boot = next((r for r in records if r.get("op") == "boot"), None)
+        stored = (snap or {}).get("config") or (boot or {}).get("config") or {}
+        service = cls(
+            backend,
+            batch_window_ms=(batch_window_ms if batch_window_ms is not None
+                             else stored.get("batch_window_ms", 0.0)),
+            default_ttl_ms=(default_ttl_ms if default_ttl_ms is not None
+                            else stored.get("default_ttl_ms",
+                                            DEFAULT_TTL_MS)),
+            clock=clock, overload=overload)
+        report = RecoveryReport(snapshot_loaded=snap is not None,
+                                wal_records=len(records), torn_records=torn)
+        service._replaying = True
+        try:
+            if snap is not None:
+                service._restore_snapshot(snap)
+            else:
+                # WAL-only recovery replays against a blank tier-1.  A
+                # reused in-memory backend (in-process chaos crash) still
+                # holds the pre-crash table; clear it or replay would
+                # double-register every surviving query.
+                if service.optimizer is not None:
+                    service.optimizer.reset()
+                if boot is not None and boot.get("next_qid") is not None:
+                    set_next_qid(int(boot["next_qid"]))
+            for record in records:
+                if record.get("op") == "boot":
+                    continue
+                report.replayed_ops += 1
+                try:
+                    service._replay(record)
+                except Exception:  # noqa: BLE001 - the original raised too
+                    report.replay_errors += 1
+        finally:
+            service._replaying = False
+        # "Closed" is a process-lifetime property, not durable state: a
+        # restart after a clean shutdown resumes an open (ticketless)
+        # service, and a replayed shutdown record likewise applies its
+        # terminations but leaves the new process admitting.
+        service._closed = False
+        service._attach_durability(config, fresh=False)
+        service._snapshot_locked(service._clock())
+        reconcile = getattr(backend, "reconcile_queries", None)
+        if callable(reconcile) and backend.optimizer is not None:
+            report.reinjected, report.zombies_aborted = reconcile()
+        service._m_res["recoveries"].inc()
+        service._m_res["wal_torn_records"].inc(torn)
+        service._m_res["replayed_ops"].inc(report.replayed_ops)
+        service._m_res["reinjected"].inc(report.reinjected)
+        service._m_res["zombie_aborts"].inc(report.zombies_aborted)
+        service.last_recovery = report
+        return service
+
+    def _replay(self, record: dict) -> None:
+        """Re-run one WAL record through the ordinary public methods."""
+        op = record["op"]
+        if op == "open":
+            self.open_session(record["client"], ttl_ms=record["ttl"],
+                              now_ms=record["now"])
+        elif op == "renew":
+            self.renew_session(record["sid"], ttl_ms=record["ttl"],
+                               now_ms=record["now"])
+        elif op == "close":
+            self.close_session(record["sid"])
+        elif op == "submit":
+            set_next_qid(int(record["qid"]))
+            self.submit(record["sid"], query_from_dict(record["query"]),
+                        now_ms=record["now"], qos=QoSClass(record["qos"]))
+        elif op == "terminate":
+            self.terminate(record["sid"], record["ticket"],
+                           now_ms=record["now"])
+        elif op == "flush":
+            self.flush(now_ms=record["now"])
+        elif op == "tick":
+            self.tick(now_ms=record["now"])
+        elif op == "expire":
+            self.expire_leases(now_ms=record["now"])
+        elif op == "shutdown":
+            self.shutdown(now_ms=record["now"])
+        else:
+            raise ValueError(f"unknown WAL op {op!r}")
+
     # ------------------------------------------------------------------
     # Sessions
     # ------------------------------------------------------------------
@@ -309,9 +757,12 @@ class QueryService:
                      now_ms: Optional[float] = None) -> str:
         """Open a TTL-leased session and return its id."""
         with self._lock:
+            self._ensure_open()
             now = self._now(now_ms)
-            self.expire_leases(now)
-            return self._sessions.open(client_id, now, ttl_ms).session_id
+            with self._op({"op": "open", "client": client_id, "ttl": ttl_ms,
+                           "now": now}):
+                self._expire(now)
+                return self._sessions.open(client_id, now, ttl_ms).session_id
 
     def renew_session(self, session_id: str,
                       ttl_ms: Optional[float] = None,
@@ -319,34 +770,48 @@ class QueryService:
         """Extend a lease.  A lapsed lease cannot be renewed."""
         with self._lock:
             now = self._now(now_ms)
-            self.expire_leases(now)
-            self._sessions.renew(session_id, now, ttl_ms)
+            with self._op({"op": "renew", "sid": session_id, "ttl": ttl_ms,
+                           "now": now}):
+                self._expire(now)
+                self._sessions.renew(session_id, now, ttl_ms)
 
     def close_session(self, session_id: str,
                       now_ms: Optional[float] = None) -> None:
         """Terminate every query the session owns and drop it."""
         with self._lock:
-            session = self._sessions.get(session_id)
-            for ticket_id in sorted(session.tickets):
-                self._terminate_ticket(self._tickets[ticket_id],
-                                       TicketStatus.TERMINATED)
-            session.tickets.clear()
-            self._sessions.close(session_id)
-
-    def expire_leases(self, now_ms: Optional[float] = None) -> List[str]:
-        """Auto-terminate the queries of every session whose lease lapsed."""
-        with self._lock:
-            now = self._now(now_ms)
-            expired_ids: List[str] = []
-            for session in self._sessions.expired(now):
+            with self._op({"op": "close", "sid": session_id}):
+                session = self._sessions.get(session_id)
                 for ticket_id in sorted(session.tickets):
                     self._terminate_ticket(self._tickets[ticket_id],
-                                           TicketStatus.EXPIRED)
+                                           TicketStatus.TERMINATED)
                 session.tickets.clear()
-                self._sessions.close(session.session_id)
-                self._sessions.expired_total += 1
-                expired_ids.append(session.session_id)
-            return expired_ids
+                self._sessions.close(session_id)
+
+    def expire_leases(self, now_ms: Optional[float] = None) -> List[str]:
+        """Auto-terminate the queries of every session whose lease lapsed.
+
+        Also swept automatically from :meth:`submit`, :meth:`tick` and
+        :meth:`pump`, so TTL enforcement does not depend on clients
+        calling this; the explicit call stays idempotent.
+        """
+        with self._lock:
+            now = self._now(now_ms)
+            record = ({"op": "expire", "now": now}
+                      if self._sessions.expired(now) else None)
+            with self._op(record):
+                return self._expire(now)
+
+    def _expire(self, now: float) -> List[str]:
+        expired_ids: List[str] = []
+        for session in self._sessions.expired(now):
+            for ticket_id in sorted(session.tickets):
+                self._terminate_ticket(self._tickets[ticket_id],
+                                       TicketStatus.EXPIRED)
+            session.tickets.clear()
+            self._sessions.close(session.session_id)
+            self._sessions.expired_total += 1
+            expired_ids.append(session.session_id)
+        return expired_ids
 
     # ------------------------------------------------------------------
     # Query admission
@@ -360,36 +825,79 @@ class QueryService:
         flushes (immediately when ``batch_window_ms == 0``).
         """
         with self._lock:
+            self._ensure_open()
             now = self._now(now_ms)
-            self.expire_leases(now)
-            session = self._sessions.get(session_id)
             if isinstance(query, str):
                 query = parse_query(query)
             canonical = canonicalize(query, qid=next_qid())
-            self._next_ticket += 1
-            ticket = Ticket(
-                ticket_id=self._next_ticket,
-                session_id=session_id,
-                query=canonical,
-                key=canonical_key(canonical),
-                submitted_ms=now,
-            )
-            self._tickets[ticket.ticket_id] = ticket
-            session.tickets.add(ticket.ticket_id)
-            self._m_submissions.inc()
-            self._ticket_qos[ticket.ticket_id] = qos
-            self._batcher.add(
-                PendingAdmission(ticket.ticket_id, session_id, canonical,
-                                 ticket.key, now),
-                now)
-            if self._batcher.due(now):
-                self._flush(now)
-            return ticket
+            with self._op({"op": "submit", "sid": session_id,
+                           "qid": canonical.qid,
+                           "query": query_to_dict(canonical),
+                           "qos": qos.value, "now": now}):
+                self._expire(now)
+                session = self._sessions.get(session_id)
+                self._next_ticket += 1
+                ticket = Ticket(
+                    ticket_id=self._next_ticket,
+                    session_id=session_id,
+                    query=canonical,
+                    key=canonical_key(canonical),
+                    submitted_ms=now,
+                )
+                self._tickets[ticket.ticket_id] = ticket
+                session.tickets.add(ticket.ticket_id)
+                self._m_submissions.inc()
+                shed_reason = self._shed_reason(qos)
+                if shed_reason is not None:
+                    ticket.status = TicketStatus.SHED
+                    ticket.error = shed_reason
+                    self._count_shed(qos)
+                    return ticket
+                self._ticket_qos[ticket.ticket_id] = qos
+                self._batcher.add(
+                    PendingAdmission(ticket.ticket_id, session_id, canonical,
+                                     ticket.key, now),
+                    now)
+                if self._batcher.due(now):
+                    self._flush(now)
+                return ticket
+
+    def _shed_reason(self, qos: QoSClass) -> Optional[str]:
+        """Why this submission must be shed right now (None = admit).
+
+        Deterministic in service state and the caller clock — identical
+        decisions under WAL replay.  BEST_EFFORT sheds first (lower
+        backlog threshold, plus the p95 latency brake); RELIABLE rides to
+        its own, higher threshold.
+        """
+        threshold = self._overload.backlog_threshold(qos)
+        backlog = len(self._batcher)
+        if threshold is not None and backlog >= threshold:
+            return (f"shed: admission backlog {backlog} at the "
+                    f"{qos.value} threshold {threshold}")
+        p95_limit = self._overload.shed_latency_p95_ms
+        if (qos is QoSClass.BEST_EFFORT and not math.isinf(p95_limit)
+                and self._lat_local.count > 0
+                and self._lat_local.quantile(95.0) > p95_limit):
+            return (f"shed: p95 admission latency "
+                    f"{self._lat_local.quantile(95.0):.1f} ms over the "
+                    f"{p95_limit:.1f} ms budget")
+        return None
+
+    def _count_shed(self, qos: QoSClass) -> None:
+        if qos is QoSClass.RELIABLE:
+            self._m_res["shed_reliable"].inc()
+        else:
+            self._m_res["shed_best_effort"].inc()
 
     def flush(self, now_ms: Optional[float] = None) -> int:
         """Admit every pending submission now; returns the batch size."""
         with self._lock:
-            return self._flush(self._now(now_ms))
+            now = self._now(now_ms)
+            record = ({"op": "flush", "now": now}
+                      if len(self._batcher) else None)
+            with self._op(record):
+                return self._flush(now)
 
     def tick(self, now_ms: Optional[float] = None) -> None:
         """Housekeeping: expire lapsed leases, flush a due batch window.
@@ -398,23 +906,45 @@ class QueryService:
         """
         with self._lock:
             now = self._now(now_ms)
-            self.expire_leases(now)
-            if self._batcher.due(now):
-                self._flush(now)
+            record = ({"op": "tick", "now": now}
+                      if self._sessions.expired(now) or self._batcher.due(now)
+                      else None)
+            with self._op(record):
+                self._expire(now)
+                if self._batcher.due(now):
+                    self._flush(now)
 
     def _flush(self, now: float) -> int:
         batch = self._batcher.drain()
         for pending in batch:
             ticket = self._tickets[pending.ticket_id]
+            if now - pending.submitted_ms > self._overload.submit_deadline_ms:
+                qos = self._ticket_qos.get(pending.ticket_id,
+                                           QoSClass.BEST_EFFORT)
+                ticket.status = TicketStatus.SHED
+                ticket.error = (
+                    f"shed: waited {now - pending.submitted_ms:.1f} ms in "
+                    f"the batch window, over the "
+                    f"{self._overload.submit_deadline_ms:.1f} ms deadline")
+                self._m_res["deadline_shed"].inc()
+                self._count_shed(qos)
+                self._session_drop(ticket)
+                continue
             entry = self._cache.lookup(pending.key)
             if entry is None:
                 anchor = pending.query
                 ops_before = self.optimizer.network_operations
+                qos = self._ticket_qos.get(pending.ticket_id,
+                                           QoSClass.BEST_EFFORT)
+                full_path = self._breaker.allow_full(now)
                 try:
-                    qos = self._ticket_qos.get(pending.ticket_id,
-                                               QoSClass.BEST_EFFORT)
-                    self._backend.register(anchor, qos=qos)
+                    if full_path:
+                        self._register_full(anchor, qos, now)
+                    else:
+                        self._register_passthrough(anchor, qos)
                 except Exception as exc:  # noqa: BLE001 - isolate bad query
+                    if full_path:
+                        self._breaker_failure(now)
                     ticket.status = TicketStatus.FAILED
                     ticket.error = str(exc)
                     self._session_drop(ticket)
@@ -436,6 +966,39 @@ class QueryService:
             self._lat_local.observe(now - pending.submitted_ms)
         return len(batch)
 
+    def _register_full(self, anchor: Query, qos: QoSClass,
+                       now: float) -> None:
+        """Full Algorithm 1 admission, metered for the circuit breaker."""
+        budget = self._overload.register_latency_budget_ms
+        if math.isinf(budget):
+            self._backend.register(anchor, qos=qos)
+            self._breaker.record_success()
+            return
+        t0 = time.perf_counter()
+        self._backend.register(anchor, qos=qos)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        if elapsed_ms > budget:
+            # Admission succeeded but blew its latency budget: counts
+            # toward opening the breaker, never fails the ticket.
+            self._breaker_failure(now)
+        else:
+            self._breaker.record_success()
+
+    def _register_passthrough(self, anchor: Query, qos: QoSClass) -> None:
+        """Degraded-mode admission while the breaker is open."""
+        fallback = getattr(self._backend, "register_passthrough", None)
+        if fallback is None:
+            self._backend.register(anchor, qos=qos)
+            return
+        fallback(anchor, qos=qos)
+        self._m_res["passthrough_registrations"].inc()
+
+    def _breaker_failure(self, now: float) -> None:
+        opens_before = self._breaker.opens_total
+        self._breaker.record_failure(now)
+        if self._breaker.opens_total > opens_before:
+            self._m_res["breaker_opens"].inc()
+
     # ------------------------------------------------------------------
     # Query termination
     # ------------------------------------------------------------------
@@ -443,14 +1006,17 @@ class QueryService:
                   now_ms: Optional[float] = None) -> None:
         """Terminate one of the session's queries."""
         with self._lock:
-            self.expire_leases(self._now(now_ms))
-            session = self._sessions.get(session_id)
-            ticket = self._tickets.get(ticket_id)
-            if ticket is None or ticket.ticket_id not in session.tickets:
-                raise KeyError(
-                    f"session {session_id!r} owns no ticket {ticket_id}")
-            self._terminate_ticket(ticket, TicketStatus.TERMINATED)
-            session.tickets.discard(ticket_id)
+            now = self._now(now_ms)
+            with self._op({"op": "terminate", "sid": session_id,
+                           "ticket": ticket_id, "now": now}):
+                self._expire(now)
+                session = self._sessions.get(session_id)
+                ticket = self._tickets.get(ticket_id)
+                if ticket is None or ticket.ticket_id not in session.tickets:
+                    raise KeyError(
+                        f"session {session_id!r} owns no ticket {ticket_id}")
+                self._terminate_ticket(ticket, TicketStatus.TERMINATED)
+                session.tickets.discard(ticket_id)
 
     def _terminate_ticket(self, ticket: Ticket, status: TicketStatus) -> None:
         if ticket.status is TicketStatus.PENDING:
@@ -473,12 +1039,19 @@ class QueryService:
     # ------------------------------------------------------------------
     # Result subscriptions
     # ------------------------------------------------------------------
-    def subscribe(self, session_id: str, ticket_id: int) -> "queue.Queue":
-        """A thread-safe queue receiving this ticket's mapped results.
+    def subscribe(self, session_id: str, ticket_id: int,
+                  maxsize: Optional[int] = None) -> "queue.Queue":
+        """A thread-safe *bounded* queue receiving this ticket's results.
 
         Acquisition tickets receive :class:`MappedRow`s; aggregation
         tickets receive :class:`MappedAggregates`.  Requires a backend
         with a result log (a simulated deployment).
+
+        The bound defaults to ``OverloadConfig.subscriber_queue_maxsize``;
+        a slow consumer loses the *newest* items once full (:meth:`pump`
+        counts them in ``resilience.subscriber_dropped_total``) instead of
+        growing service memory without limit.  Pass ``maxsize=0`` to
+        explicitly opt back into an unbounded queue.
         """
         if self._backend.results is None:
             raise ValueError(
@@ -489,7 +1062,9 @@ class QueryService:
             if ticket_id not in session.tickets:
                 raise KeyError(
                     f"session {session_id!r} owns no ticket {ticket_id}")
-            subscriber: "queue.Queue" = queue.Queue()
+            bound = (self._overload.subscriber_queue_maxsize
+                     if maxsize is None else maxsize)
+            subscriber: "queue.Queue" = queue.Queue(maxsize=bound)
             self._subs.setdefault(ticket_id, []).append(subscriber)
             self._delivered.setdefault(ticket_id, set())
             return subscriber
@@ -500,13 +1075,20 @@ class QueryService:
         Maps across the anchor's whole synthetic-query history, so results
         survive re-optimization remaps mid-flight.  Schedule this against
         the sim runtime (e.g. once per smallest epoch) or call it after a
-        run to drain everything at once.
+        run to drain everything at once.  Also sweeps expired leases, so a
+        deployment that only ever pumps still enforces TTLs.
         """
-        if self._backend.results is None:
-            return 0
         with self._lock:
+            now = self._now(now_ms)
+            record = ({"op": "expire", "now": now}
+                      if self._sessions.expired(now) else None)
+            with self._op(record):
+                self._expire(now)
+            if self._backend.results is None:
+                return 0
             mapper = ResultMapper(self._backend.results)
             pushed = 0
+            dropped = 0
             for ticket_id, subscribers in list(self._subs.items()):
                 ticket = self._tickets[ticket_id]
                 if ticket.status is not TicketStatus.LIVE or not subscribers:
@@ -527,10 +1109,65 @@ class QueryService:
                             continue
                         seen.add(key)
                         for subscriber in subscribers:
-                            subscriber.put(item)
-                            pushed += 1
+                            try:
+                                subscriber.put_nowait(item)
+                                pushed += 1
+                            except queue.Full:
+                                dropped += 1
             self._m_delivered.inc(pushed)
+            if dropped:
+                self._m_res["subscriber_drops"].inc(dropped)
             return pushed
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, now_ms: Optional[float] = None) -> List[int]:
+        """Drain and stop: no zombie queries survive a clean exit.
+
+        Stops admitting (``submit``/``open_session`` raise
+        :class:`ServiceClosed`), flushes the open batch window, terminates
+        every remaining PENDING/LIVE ticket through the ordinary
+        :meth:`_terminate_ticket` path (running Algorithm 2, releasing
+        cache refcounts, aborting network queries), then writes a final
+        snapshot.  Returns the terminated ticket ids.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return []
+            now = self._now(now_ms)
+            terminated: List[int] = []
+            with self._op({"op": "shutdown", "now": now}):
+                self._expire(now)
+                self._flush(now)
+                for ticket_id in sorted(self._tickets):
+                    ticket = self._tickets[ticket_id]
+                    if ticket.status in (TicketStatus.PENDING,
+                                         TicketStatus.LIVE):
+                        self._terminate_ticket(ticket,
+                                               TicketStatus.TERMINATED)
+                        terminated.append(ticket_id)
+                self._closed = True
+            if self._wal is not None and not self._replaying:
+                self._snapshot_locked(now)
+                self._wal.close()
+                self._wal = None
+            return terminated
+
+    def simulate_crash(self) -> None:
+        """Die the way a SIGKILLed process does (chaos-harness hook).
+
+        No batch flush, no ticket termination, no final snapshot — the
+        WAL handle is simply released (every append already flushed, so
+        the on-disk state is exactly what an OS would keep of a killed
+        process).  The instance is dead afterwards; a new one must be
+        built with :meth:`recover` over the same durability directory.
+        """
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+            self._closed = True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -598,6 +1235,36 @@ class QueryService:
                     "redisseminations"),
                 row_completeness=self._backend_completeness(),
             )
+
+    def resilience_stats(self) -> ResilienceStats:
+        """Instance-scoped snapshot of the ``resilience.*`` counters.
+
+        Kept out of :meth:`stats` on purpose: recovery and shedding are
+        infrastructure events, and folding them into the workload snapshot
+        would break the crash/recover ``stats()`` parity the chaos harness
+        asserts.
+        """
+        with self._lock:
+            d = self._res_delta
+            return ResilienceStats(
+                wal_records=d("wal_records"),
+                wal_torn_records=d("wal_torn_records"),
+                snapshots=d("snapshots"),
+                recoveries=d("recoveries"),
+                replayed_ops=d("replayed_ops"),
+                shed_best_effort=d("shed_best_effort"),
+                shed_reliable=d("shed_reliable"),
+                deadline_shed=d("deadline_shed"),
+                subscriber_drops=d("subscriber_drops"),
+                breaker_state=self._breaker.state.value,
+                breaker_opens=d("breaker_opens"),
+                passthrough_registrations=d("passthrough_registrations"),
+                reinjected=d("reinjected"),
+                zombie_aborts=d("zombie_aborts"),
+            )
+
+    def _res_delta(self, key: str) -> int:
+        return int(self._m_res[key].value - self._baseline[f"res_{key}"])
 
     def _recovery_delta(self, key: str) -> int:
         total = sum(c.value for c in self._m_recovery[key])

@@ -47,6 +47,28 @@ class Session:
             self.ttl_ms = ttl_ms
         self.expires_at_ms = now_ms + self.ttl_ms
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the durability snapshot."""
+        return {
+            "session_id": self.session_id,
+            "client_id": self.client_id,
+            "ttl_ms": self.ttl_ms,
+            "expires_at_ms": self.expires_at_ms,
+            "opened_at_ms": self.opened_at_ms,
+            "tickets": sorted(self.tickets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Session":
+        return cls(
+            session_id=payload["session_id"],
+            client_id=payload["client_id"],
+            ttl_ms=float(payload["ttl_ms"]),
+            expires_at_ms=float(payload["expires_at_ms"]),
+            opened_at_ms=float(payload["opened_at_ms"]),
+            tickets=set(payload["tickets"]),
+        )
+
 
 class SessionManager:
     """Open/renew/close sessions and find the ones whose lease lapsed."""
@@ -118,3 +140,29 @@ class SessionManager:
     def sessions(self) -> List[Session]:
         """Every registered session (open or lapsed-but-uncollected)."""
         return list(self._sessions.values())
+
+    # ------------------------------------------------------------------
+    # Durability (repro.service.durability snapshots)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding of every session plus the id/total counters."""
+        return {
+            "opened_total": self.opened_total,
+            "expired_total": self.expired_total,
+            "sessions": [self._sessions[sid].to_dict()
+                         for sid in sorted(self._sessions)],
+        }
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        """Load a :meth:`to_dict` snapshot, replacing current sessions.
+
+        Session ids are ``s-<n>`` with ``n`` drawn once per open, so the
+        id counter resumes at ``opened_total + 1`` — the next id the
+        crashed process would have handed out.
+        """
+        self.opened_total = int(payload["opened_total"])
+        self.expired_total = int(payload["expired_total"])
+        self._sessions = {
+            entry["session_id"]: Session.from_dict(entry)
+            for entry in payload["sessions"]}
+        self._ids = itertools.count(self.opened_total + 1)

@@ -1,0 +1,304 @@
+"""WAL + snapshot durability: framing, recovery parity, graceful shutdown."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.core.basestation import BaseStationOptimizer
+from repro.core.qos import QoSClass
+from repro.harness.tier1_sim import default_cost_model
+from repro.service import (
+    DurabilityConfig,
+    OptimizerBackend,
+    QueryService,
+    ServiceClosed,
+    SnapshotStore,
+    TicketStatus,
+    WriteAheadLog,
+)
+from repro.service.durability import _frame, _unframe
+
+Q_LIGHT = "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096"
+Q_LIGHT_VARIANT = "select LIGHT from sensors where light > 300 " \
+                  "SAMPLE PERIOD 4096"
+Q_TEMP = "SELECT temp FROM sensors WHERE temp > 10 EPOCH DURATION 8192"
+Q_MAX = "SELECT MAX(light) FROM sensors EPOCH DURATION 8192"
+
+
+def make_service(tmp_path=None, **kwargs):
+    optimizer = BaseStationOptimizer(default_cost_model(16, 3))
+    if tmp_path is not None:
+        kwargs.setdefault("durability",
+                          DurabilityConfig(directory=str(tmp_path)))
+    return QueryService(OptimizerBackend(optimizer), **kwargs)
+
+
+def recover(tmp_path, **kwargs):
+    optimizer = BaseStationOptimizer(default_cost_model(16, 3))
+    return QueryService.recover(
+        OptimizerBackend(optimizer),
+        DurabilityConfig(directory=str(tmp_path)), **kwargs)
+
+
+def durable_state(service):
+    """Comparable full state (capture instant and delivered excluded)."""
+    state = service._snapshot_state(0.0)
+    state.pop("saved_ms")
+    state["counters"].pop("delivered")
+    return state
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip(self):
+        record = {"op": "open", "client": "alice", "now": 12.5}
+        assert _unframe(_frame(record)) == record
+
+    def test_crc_mismatch_is_torn(self):
+        line = _frame({"op": "open"})
+        corrupted = line[:12] + ("x" if line[12] != "x" else "y") + line[13:]
+        assert _unframe(corrupted) is None
+
+    def test_truncated_line_is_torn(self):
+        line = _frame({"op": "submit", "qid": 3})
+        for cut in (0, 4, 9, len(line) - 3):
+            assert _unframe(line[:cut]) is None
+
+    def test_bad_hex_and_bad_json_are_torn(self):
+        assert _unframe("zzzzzzzz {}") is None
+        payload = '{"op": "x"'
+        crc = f"{zlib.crc32(payload.encode()) & 0xFFFFFFFF:08x}"
+        assert _unframe(f"{crc} {payload}") is None
+
+    def test_non_dict_payload_is_torn(self):
+        payload = json.dumps([1, 2, 3])
+        crc = f"{zlib.crc32(payload.encode()) & 0xFFFFFFFF:08x}"
+        assert _unframe(f"{crc} {payload}") is None
+
+
+class TestWalLoad:
+    def test_stops_at_first_torn_record(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        for index in range(3):
+            wal.append({"op": "open", "i": index})
+        wal.close()
+        # Tear the middle record: everything from it on is discarded.
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][:-10] + "\n"
+        path.write_text("".join(lines))
+        records, torn = WriteAheadLog.load(path)
+        assert [r["i"] for r in records] == [0]
+        assert torn == 2
+
+    def test_truncated_tail_ignored(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"op": "open"})
+        wal.append({"op": "close"})
+        wal.close()
+        text = path.read_text()
+        path.write_text(text[:-7])  # crash mid-append of the final record
+        records, torn = WriteAheadLog.load(path)
+        assert [r["op"] for r in records] == ["open"]
+        assert torn == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, torn = WriteAheadLog.load(tmp_path / "absent.jsonl")
+        assert records == [] and torn == 0
+
+
+class TestSnapshotStore:
+    def test_roundtrip_and_missing(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        assert SnapshotStore.load(path) is None
+        SnapshotStore.save(path, {"format": 1, "x": [1, 2]})
+        assert SnapshotStore.load(path) == {"format": 1, "x": [1, 2]}
+
+    def test_corrupt_snapshot_refuses_to_load(self, tmp_path):
+        # Snapshot writes are atomic, so a parse failure means external
+        # damage — recovery must fail loudly, not resurrect partial state.
+        path = tmp_path / "snapshot.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            SnapshotStore.load(path)
+
+
+# ----------------------------------------------------------------------
+# Service-level recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def _workload(self, service):
+        sid_a = service.open_session("alice", now_ms=0.0)
+        sid_b = service.open_session("bob", ttl_ms=50_000.0, now_ms=5.0)
+        t1 = service.submit(sid_a, Q_LIGHT, now_ms=10.0)
+        t2 = service.submit(sid_b, Q_LIGHT_VARIANT, now_ms=20.0)
+        t3 = service.submit(sid_a, Q_TEMP, now_ms=30.0,
+                            qos=QoSClass.RELIABLE)
+        service.submit(sid_b, Q_MAX, now_ms=40.0)
+        service.terminate(sid_b, t2.ticket_id, now_ms=50.0)
+        return sid_a, sid_b, (t1, t2, t3)
+
+    def test_wal_replay_restores_exact_state(self, tmp_path):
+        service = make_service(tmp_path)
+        self._workload(service)
+        before = durable_state(service)
+        stats_before = service.stats()
+        service.simulate_crash()
+
+        recovered = recover(tmp_path)
+        assert durable_state(recovered) == before
+        stats_after = recovered.stats()
+        assert stats_after == stats_before
+        recovered.validate()
+        report = recovered.last_recovery
+        assert report.replayed_ops == 7
+        assert report.torn_records == 0
+        assert not report.snapshot_loaded
+
+    def test_snapshot_plus_wal_suffix(self, tmp_path):
+        service = make_service(tmp_path)
+        sid_a, _, _ = self._workload(service)
+        service.snapshot(now_ms=60.0)
+        # More traffic after the snapshot lands only in the WAL.
+        service.submit(sid_a, Q_LIGHT, now_ms=70.0)
+        before = durable_state(service)
+        service.simulate_crash()
+
+        recovered = recover(tmp_path)
+        assert recovered.last_recovery.snapshot_loaded
+        assert recovered.last_recovery.replayed_ops == 1
+        assert durable_state(recovered) == before
+        recovered.validate()
+
+    def test_recovered_service_keeps_working(self, tmp_path):
+        service = make_service(tmp_path)
+        sid_a, _, _ = self._workload(service)
+        service.simulate_crash()
+        recovered = recover(tmp_path)
+        ticket = recovered.submit(sid_a, Q_LIGHT_VARIANT, now_ms=100.0)
+        assert ticket.status is TicketStatus.LIVE
+        assert ticket.cache_hit
+        recovered.validate()
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        service = make_service(tmp_path)
+        self._workload(service)
+        service.simulate_crash()
+        wal_path = tmp_path / "wal.jsonl"
+        text = wal_path.read_text()
+        wal_path.write_text(text[:-9])  # crash mid-append
+        recovered = recover(tmp_path)
+        assert recovered.last_recovery.torn_records == 1
+        # The torn terminate never happened: t2 is still LIVE.
+        assert recovered.ticket(2).status is TicketStatus.LIVE
+        recovered.validate()
+
+    def test_replayed_errors_match_original(self, tmp_path):
+        service = make_service(tmp_path)
+        sid = service.open_session("alice", now_ms=0.0)
+        with pytest.raises(KeyError):
+            service.terminate(sid, 999, now_ms=1.0)
+        before = durable_state(service)
+        service.simulate_crash()
+        recovered = recover(tmp_path)
+        assert durable_state(recovered) == before
+        assert recovered.last_recovery.replay_errors == 1
+
+    def test_fresh_boot_on_used_directory_rejected(self, tmp_path):
+        service = make_service(tmp_path)
+        service.open_session("alice", now_ms=0.0)
+        service.simulate_crash()
+        with pytest.raises(ValueError, match="recover"):
+            make_service(tmp_path)
+
+    def test_auto_snapshot_after_n_ops(self, tmp_path):
+        service = make_service(
+            durability=DurabilityConfig(directory=str(tmp_path),
+                                        snapshot_every_ops=3))
+        sid = service.open_session("alice", now_ms=0.0)
+        service.submit(sid, Q_LIGHT, now_ms=1.0)
+        assert not (tmp_path / "snapshot.json").exists()
+        service.submit(sid, Q_TEMP, now_ms=2.0)
+        assert (tmp_path / "snapshot.json").exists()
+        assert service.resilience_stats().snapshots == 1
+        # The snapshot rotated the WAL: only post-snapshot records remain.
+        records, torn = WriteAheadLog.load(tmp_path / "wal.jsonl")
+        assert records == [] and torn == 0
+
+    def test_qid_allocation_resumes_without_collisions(self, tmp_path):
+        service = make_service(tmp_path)
+        sid = service.open_session("alice", now_ms=0.0)
+        service.submit(sid, Q_LIGHT, now_ms=1.0)
+        qids_before = set(service.optimizer.table.user) \
+            | set(service.optimizer.table.synthetic)
+        service.simulate_crash()
+        recovered = recover(tmp_path)
+        ticket = recovered.submit(sid, Q_TEMP, now_ms=2.0)
+        new_qids = (set(recovered.optimizer.table.user)
+                    | set(recovered.optimizer.table.synthetic)) - qids_before
+        assert ticket.query.qid in new_qids
+        assert min(new_qids) > max(qids_before)
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+class TestShutdown:
+    def test_shutdown_terminates_everything(self, tmp_path):
+        service = make_service(tmp_path)
+        sid = service.open_session("alice", now_ms=0.0)
+        t1 = service.submit(sid, Q_LIGHT, now_ms=1.0)
+        terminated = service.shutdown(now_ms=10.0)
+        assert terminated == [t1.ticket_id]
+        assert service.optimizer.user_count() == 0
+        assert service.optimizer.synthetic_count() == 0
+
+    def test_shutdown_flushes_open_batch_window(self, tmp_path):
+        service = make_service(tmp_path, batch_window_ms=500.0)
+        sid = service.open_session("alice", now_ms=0.0)
+        ticket = service.submit(sid, Q_LIGHT, now_ms=1.0)
+        assert ticket.status is TicketStatus.PENDING
+        service.shutdown(now_ms=10.0)
+        # Admitted on the way down, then cleanly terminated.
+        assert ticket.status is TicketStatus.TERMINATED
+        assert service.stats().admitted_total == 1
+
+    def test_closed_service_rejects_admission(self, tmp_path):
+        service = make_service(tmp_path)
+        sid = service.open_session("alice", now_ms=0.0)
+        service.shutdown(now_ms=1.0)
+        with pytest.raises(ServiceClosed):
+            service.open_session("bob", now_ms=2.0)
+        with pytest.raises(ServiceClosed):
+            service.submit(sid, Q_LIGHT, now_ms=2.0)
+
+    def test_shutdown_idempotent(self, tmp_path):
+        service = make_service(tmp_path)
+        service.open_session("alice", now_ms=0.0)
+        assert service.shutdown(now_ms=1.0) == []
+        assert service.shutdown(now_ms=2.0) == []
+
+    def test_restart_after_shutdown_resumes_open(self, tmp_path):
+        # "Closed" is process-lifetime state: restarting a cleanly shut
+        # down directory resumes an open service with no live queries.
+        service = make_service(tmp_path)
+        sid = service.open_session("alice", now_ms=0.0)
+        service.submit(sid, Q_LIGHT, now_ms=1.0)
+        service.shutdown(now_ms=10.0)
+        recovered = recover(tmp_path)
+        assert recovered.optimizer.user_count() == 0
+        assert recovered.live_tickets() == []
+        sid2 = recovered.open_session("bob", now_ms=20.0)
+        assert recovered.submit(sid2, Q_TEMP,
+                                now_ms=21.0).status is TicketStatus.LIVE
+
+    def test_shutdown_without_durability(self):
+        service = make_service()
+        sid = service.open_session("alice", now_ms=0.0)
+        service.submit(sid, Q_LIGHT, now_ms=1.0)
+        assert service.shutdown(now_ms=2.0) == [1]
+        assert service.optimizer.user_count() == 0
