@@ -1,0 +1,292 @@
+"""Extension: sharded admission throughput through the tier-0 coordinator.
+
+Algorithm 1's admission cost is dominated by the scan over the synthetic
+query table, so a single base station serializes every tenant behind one
+O(live synthetics) critical section.  The cluster coordinator divides
+that table across K shard services and ring-routes each tenant to a home
+shard; this benchmark replays the same Section 4.3 adaptive workload
+(high target concurrency, so the table is large) through a bare
+single-station service and through coordinators at increasing shard
+counts, and reports the admission speedup.  Pure tier-1 backends keep the
+measurement about the admission path — no radio simulation in the loop.
+
+A second, simulated section proves the merge is *correct*, not just
+fast: a region-spanning acquisition query fanned out over a 2-shard
+:class:`~repro.cluster.ClusterDeployment` must return exactly the
+single-station row set (epoch-aligned, deduplicated) over the
+steady-state window.
+
+Emits ``BENCH_cluster.json`` next to this file.  Set
+``REPRO_CLUSTER_SMOKE=1`` for the CI-sized variant.
+"""
+
+import json
+import os
+import queue
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterCoordinator, ClusterDeployment, FieldPartition
+from repro.core.basestation import BaseStationOptimizer
+from repro.core.basestation.result_mapper import MappedRow
+from repro.harness import Deployment, DeploymentConfig, Strategy, print_table
+from repro.harness.tier1_sim import default_cost_model
+from repro.queries import fresh_qids
+from repro.service import OptimizerBackend, QueryService
+from repro.workloads import dynamic_workload, fig4_query_model
+from repro.workloads.spec import EventKind
+
+from _util import run_once
+
+SMOKE = os.environ.get("REPRO_CLUSTER_SMOKE", "") == "1"
+
+N_NODES = 64
+SEED = 23
+if SMOKE:
+    # Concurrency must stay high enough that the synthetic table — the
+    # O(table) admission cost sharding divides — dominates the replay,
+    # or the measured speedup is all noise.
+    N_QUERIES, CONCURRENCY, SHARD_COUNTS, N_TENANTS = 400, 240, (1, 2, 4), 256
+    MIN_SPEEDUP_AT_4 = 1.2
+else:
+    N_QUERIES, CONCURRENCY, SHARD_COUNTS, N_TENANTS = 800, 400, (1, 2, 4, 8), 512
+    MIN_SPEEDUP_AT_4 = 2.0
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_cluster.json"
+
+# Merge-parity section (simulated, intentionally small).
+PARITY_SIDE = 4
+PARITY_SEED = 7
+PARITY_EPOCH = 4096.0
+PARITY_DURATION = 24_000.0
+PARITY_QUERY = "SELECT temp FROM sensors EPOCH DURATION 4096"
+PARITY_WINDOW = (2 * PARITY_EPOCH, PARITY_DURATION - 2 * PARITY_EPOCH)
+
+
+def _workload():
+    return dynamic_workload(fig4_query_model(), n_nodes=N_NODES,
+                            n_queries=N_QUERIES, concurrency=CONCURRENCY,
+                            seed=SEED)
+
+
+def _tenant_for(arrival_seq: int) -> str:
+    return f"tenant-{arrival_seq % N_TENANTS:04d}"
+
+
+def _replay_single(workload):
+    """Baseline: every tenant admitted through one bare service."""
+    optimizer = BaseStationOptimizer(default_cost_model(N_NODES, 5))
+    service = QueryService(OptimizerBackend(optimizer))
+    ttl = 2.0 * workload.duration_ms
+    sessions = {}
+    tickets = {}
+    admissions = 0
+    submit_s = 0.0
+    arrivals = 0
+    wall_start = time.perf_counter()
+    for event in workload.events:
+        now = event.time_ms
+        service.tick(now_ms=now)
+        if event.kind is EventKind.ARRIVE:
+            tenant = _tenant_for(arrivals)
+            arrivals += 1
+            sid = sessions.get(tenant)
+            if sid is None:
+                sid = sessions[tenant] = service.open_session(
+                    tenant, ttl_ms=ttl, now_ms=now)
+            t0 = time.perf_counter()
+            ticket = service.submit(sid, str(event.query), now_ms=now)
+            submit_s += time.perf_counter() - t0
+            tickets[event.query.qid] = (sid, ticket)
+            admissions += 1
+        else:
+            sid, ticket = tickets.pop(event.query.qid)
+            if ticket.status.value in ("pending", "live"):
+                service.terminate(sid, ticket.ticket_id, now_ms=now)
+    wall_s = time.perf_counter() - wall_start
+    service.validate()
+    return {
+        "shards": 1,
+        "admissions": admissions,
+        "wall_seconds": wall_s,
+        "throughput_per_s": admissions / wall_s if wall_s else 0.0,
+        "mean_submit_ms": 1000.0 * submit_s / admissions,
+        "per_shard_admitted": [service.stats().admitted_total],
+    }
+
+
+def _replay_cluster(workload, n_shards: int):
+    """The same replay through a tier-0 coordinator over K shards."""
+    backends = [
+        OptimizerBackend(BaseStationOptimizer(default_cost_model(N_NODES, 5)))
+        for _ in range(n_shards)]
+    coordinator = ClusterCoordinator(backends)
+    ttl = 2.0 * workload.duration_ms
+    sessions = {}
+    tickets = {}
+    admissions = 0
+    submit_s = 0.0
+    arrivals = 0
+    wall_start = time.perf_counter()
+    for event in workload.events:
+        now = event.time_ms
+        coordinator.tick(now_ms=now)
+        if event.kind is EventKind.ARRIVE:
+            tenant = _tenant_for(arrivals)
+            arrivals += 1
+            sid = sessions.get(tenant)
+            if sid is None:
+                sid = sessions[tenant] = coordinator.open_session(
+                    tenant, ttl_ms=ttl, now_ms=now)
+            t0 = time.perf_counter()
+            ticket = coordinator.submit(sid, str(event.query), now_ms=now)
+            submit_s += time.perf_counter() - t0
+            tickets[event.query.qid] = (sid, ticket)
+            admissions += 1
+        else:
+            sid, ticket = tickets.pop(event.query.qid)
+            if ticket.status.value in ("pending", "live"):
+                coordinator.terminate(sid, ticket.ticket_id, now_ms=now)
+    wall_s = time.perf_counter() - wall_start
+    coordinator.validate()
+    stats = coordinator.stats()
+    return {
+        "shards": n_shards,
+        "admissions": admissions,
+        "wall_seconds": wall_s,
+        "throughput_per_s": admissions / wall_s if wall_s else 0.0,
+        "mean_submit_ms": 1000.0 * submit_s / admissions,
+        "per_shard_admitted": [s.admitted_total for s in stats.per_shard],
+    }
+
+
+# ----------------------------------------------------------------------
+# Merge differential: fan-out answers == single-station answers
+# ----------------------------------------------------------------------
+def _drain_rows(q):
+    rows = []
+    while True:
+        try:
+            item = q.get_nowait()
+        except queue.Empty:
+            break
+        if isinstance(item, MappedRow) and \
+                PARITY_WINDOW[0] <= item.epoch_time <= PARITY_WINDOW[1]:
+            rows.append((item.epoch_time, item.origin,
+                         tuple(sorted(item.values.items()))))
+    return sorted(rows)
+
+
+def _parity_single():
+    with fresh_qids():
+        deployment = Deployment(
+            Strategy.TTMQO,
+            DeploymentConfig(side=PARITY_SIDE, seed=PARITY_SEED))
+        sim = deployment.sim
+        service = QueryService(deployment, clock=lambda: sim.now)
+        session = service.open_session("parity")
+        holder = {}
+
+        def connect():
+            ticket = service.submit(session, PARITY_QUERY)
+            holder["q"] = service.subscribe(session, ticket.ticket_id,
+                                            maxsize=0)
+
+        sim.engine.schedule_at(500.0, connect)
+        sim.start()
+        sim.run_until(PARITY_DURATION + 4000.0)
+        service.pump()
+        return _drain_rows(holder["q"])
+
+
+def _parity_cluster():
+    with fresh_qids():
+        partition = FieldPartition(PARITY_SIDE, 2, quality_seed=PARITY_SEED)
+        cluster = ClusterDeployment(partition, seed=PARITY_SEED)
+        coordinator = cluster.coordinator
+        session = coordinator.open_session("parity")
+        cluster.run_until(500.0)
+        ticket = coordinator.submit(session, PARITY_QUERY)
+        sink = coordinator.subscribe(session, ticket.ticket_id)
+        t = 500.0
+        while t < PARITY_DURATION + 4000.0:
+            t = min(t + PARITY_EPOCH, PARITY_DURATION + 4000.0)
+            cluster.run_until(t)
+            cluster.pump()
+        cluster.pump(final=True)
+        cluster.validate()
+        return _drain_rows(sink), len(ticket.targets)
+
+
+def _experiment():
+    workload = _workload()
+    grid = [_replay_single(workload)]
+    for n_shards in SHARD_COUNTS[1:]:
+        grid.append(_replay_cluster(workload, n_shards))
+    base = grid[0]["throughput_per_s"]
+    for entry in grid:
+        entry["speedup_vs_single"] = (entry["throughput_per_s"] / base
+                                      if base else 0.0)
+
+    single_rows = _parity_single()
+    cluster_rows, fan_targets = _parity_cluster()
+    return {
+        "mode": "smoke" if SMOKE else "full",
+        "workload": {
+            "n_queries": N_QUERIES,
+            "target_concurrency": CONCURRENCY,
+            "tenants": N_TENANTS,
+            "seed": SEED,
+        },
+        "grid": grid,
+        "merge_parity": {
+            "query": PARITY_QUERY,
+            "fanout_targets": fan_targets,
+            "window_ms": list(PARITY_WINDOW),
+            "rows_single": len(single_rows),
+            "rows_cluster": len(cluster_rows),
+            "identical": cluster_rows == single_rows,
+        },
+    }
+
+
+def test_ext_cluster(benchmark):
+    result = run_once(benchmark, _experiment)
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2, sort_keys=True))
+
+    print_table(
+        ["shards", "throughput (adm/s)", "speedup", "mean submit (ms)",
+         "per-shard admitted"],
+        [[entry["shards"], f"{entry['throughput_per_s']:.0f}",
+          f"{entry['speedup_vs_single']:.2f}x",
+          f"{entry['mean_submit_ms']:.2f}",
+          "/".join(str(n) for n in entry["per_shard_admitted"])]
+         for entry in result["grid"]],
+        title=f"sharded admission, fig4 dynamic workload "
+              f"(concurrency {CONCURRENCY}) -> {BENCH_PATH.name}",
+    )
+    parity = result["merge_parity"]
+    print_table(
+        ["metric", "value"],
+        [["fan-out targets", parity["fanout_targets"]],
+         ["rows (single)", parity["rows_single"]],
+         ["rows (cluster)", parity["rows_cluster"]],
+         ["identical", parity["identical"]]],
+        title="cross-shard merge differential (2 shards vs single station)",
+    )
+
+    by_shards = {entry["shards"]: entry for entry in result["grid"]}
+    # Sharding must actually divide the synthetic table: every shard
+    # admits some of the load, and 4 shards beat one by the target factor.
+    for entry in result["grid"][1:]:
+        assert all(n > 0 for n in entry["per_shard_admitted"]), (
+            f"{entry['shards']} shards: ring left a shard idle")
+        assert sum(entry["per_shard_admitted"]) == entry["admissions"]
+    assert by_shards[4]["speedup_vs_single"] >= MIN_SPEEDUP_AT_4, (
+        f"4-shard speedup {by_shards[4]['speedup_vs_single']:.2f}x below "
+        f"{MIN_SPEEDUP_AT_4}x")
+    # The merge differential: faster must not mean different answers.
+    assert parity["fanout_targets"] == 2
+    assert parity["rows_single"] > 0
+    assert parity["identical"]

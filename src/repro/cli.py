@@ -16,6 +16,9 @@ Commands:
   grid;
 * ``sweep``   — fan the Figure 3 (workload x size x strategy) grid across
   worker processes with deterministic result caching;
+* ``cluster`` — partition the field into K shards behind the tier-0 root
+  coordinator and drive a scripted multi-tenant load (region-local
+  queries route to one shard; global queries fan out and merge);
 * ``obs``     — run one experiment cell in an isolated metrics registry
   and export every metric (text, JSON, or Prometheus exposition format;
   the names are the telemetry contract of ``docs/observability.md``);
@@ -31,6 +34,7 @@ Examples::
     python -m repro serve --clients 60 --unique 6 --state-dir .repro-state
     python -m repro chaos --loss 0.0 0.1 --crash 0.45 --duration 20
     python -m repro sweep --workers 4 --sides 4 8
+    python -m repro cluster --shards 4 --side 8 --clients 48
     python -m repro obs --workload A --strategy ttmqo --format json
 """
 
@@ -171,14 +175,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated seconds per cell")
     sweep_p.add_argument("--seed", type=int, default=11)
     sweep_p.add_argument("--workers", type=int, default=None,
-                         help="worker processes (default: CPU count; "
-                              "0 = serial in-process)")
+                         help="worker processes (default: auto-size to "
+                              "min(cells, usable cores); 0 = serial "
+                              "in-process)")
     sweep_p.add_argument("--cache-dir", default=".repro-sweep-cache",
                          help="on-disk result cache directory")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="always re-simulate, never read/write cache")
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
+
+    cluster_p = sub.add_parser(
+        "cluster",
+        help="run a sharded multi-base-station cluster under a scripted "
+             "multi-tenant load")
+    cluster_p.add_argument("--shards", type=int, default=4,
+                           help="clusters/base stations (row bands)")
+    cluster_p.add_argument("--side", type=int, default=8,
+                           help="grid side (nodes = side^2)")
+    cluster_p.add_argument("--clients", type=int, default=48,
+                           help="number of simulated tenants")
+    cluster_p.add_argument("--unique", type=int, default=6,
+                           help="distinct queries in the tenant pool")
+    cluster_p.add_argument("--duration", type=float, default=30.0,
+                           help="simulated seconds")
+    cluster_p.add_argument("--seed", type=int, default=0)
+    cluster_p.add_argument("--batch-window", type=float, default=0.25,
+                           help="per-shard admission batching window in "
+                                "seconds (0 = admit synchronously)")
+    cluster_p.add_argument("--json", default=None, metavar="PATH",
+                           help="also write the cluster report as JSON")
 
     obs_p = sub.add_parser(
         "obs",
@@ -463,14 +489,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    import os
-
     from .harness import Strategy, run_sweep, savings_table
 
     cells = fig3_grid(tuple(args.workloads), tuple(args.sides),
                       duration_ms=args.duration * 1000.0, seed=args.seed)
-    workers = args.workers if args.workers is not None \
-        else (os.cpu_count() or 1)
     cache_dir = None if args.no_cache else args.cache_dir
 
     def _progress(cell, telemetry):
@@ -482,7 +504,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{cell.spec.workload.description:<16} "
               f"{cell.spec.strategy.value:<18} {source}")
 
-    report = run_sweep(cells, workers=workers, cache_dir=cache_dir,
+    report = run_sweep(cells, workers=args.workers, cache_dir=cache_dir,
                        progress=_progress)
 
     # One Figure 3 table per (workload, side) group, in grid order.
@@ -508,6 +530,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"cache               : {cache_dir} "
               f"(delete to force re-simulation)")
     return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import run_cluster_load
+
+    try:
+        report = run_cluster_load(
+            n_shards=args.shards,
+            n_clients=args.clients,
+            n_unique=args.unique,
+            side=args.side,
+            duration_s=args.duration,
+            seed=args.seed,
+            batch_window_ms=args.batch_window * 1000.0,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = report.stats
+
+    print(f"cluster run         : {args.shards} shards over "
+          f"{args.side * args.side} nodes, {args.clients} tenants, "
+          f"{args.unique} distinct queries, {args.duration:.0f}s simulated "
+          f"(seed {args.seed})")
+    print(f"sessions            : {stats.sessions_opened_total} opened, "
+          f"{stats.sessions_open} open at end, "
+          f"{stats.sessions_expired_total} lease-expired")
+    print(f"routing             : {stats.local_submissions} local, "
+          f"{stats.fanout_submissions} fanned out "
+          f"({stats.fanout_subqueries} shard subqueries, "
+          f"{stats.root_dedup_hits} root dedup hits, "
+          f"{stats.live_anchors} anchors live at end)")
+    print(f"admissions          : {stats.admitted_total} admitted across "
+          f"shards ({stats.registrations} optimizer passes, "
+          f"{stats.live_synthetic_queries} synthetic queries live)")
+    print(f"root merge          : {stats.merged_rows} rows, "
+          f"{stats.merged_aggregates} aggregate epochs, "
+          f"{stats.merge_duplicates_dropped} duplicates dropped")
+    print(f"clients served      : {report.clients_served}/"
+          f"{len(report.clients)} received data")
+
+    per_shard_rows = [
+        [f"shard-{index:02d}", s.admitted_total, s.cache_hits,
+         s.live_tickets, s.live_synthetic_queries]
+        for index, s in enumerate(stats.per_shard)]
+    print_table(
+        ["shard", "admitted", "cache hits", "live tickets", "synthetic"],
+        per_shard_rows,
+        title="per-shard admission",
+    )
+    sample = sorted(report.clients, key=lambda c: c.client_id)[:8]
+    print_table(
+        ["client", "ticket", "scope", "cache", "results", "query"],
+        [[c.client_id, c.ticket_id, c.scope, "hit" if c.cache_hit else "miss",
+          c.results_received,
+          c.query_text[:40] + ("..." if len(c.query_text) > 40 else "")]
+         for c in sample],
+        title="first tenants (alphabetical)",
+    )
+    if args.json is not None:
+        payload = {
+            "shards": report.shards,
+            "clients": len(report.clients),
+            "unique_queries": report.unique_queries,
+            "duration_ms": report.duration_ms,
+            "clients_served": report.clients_served,
+            "routing": {
+                "local": stats.local_submissions,
+                "fanout": stats.fanout_submissions,
+                "fanout_subqueries": stats.fanout_subqueries,
+                "root_dedup_hits": stats.root_dedup_hits,
+            },
+            "merge": {
+                "rows": stats.merged_rows,
+                "aggregates": stats.merged_aggregates,
+                "duplicates_dropped": stats.merge_duplicates_dropped,
+            },
+            "admitted_total": stats.admitted_total,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0 if report.all_clients_served else 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -571,6 +678,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "topo":

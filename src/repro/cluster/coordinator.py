@@ -1,0 +1,832 @@
+"""The root coordinator: tier 0 over K tier-1/tier-2 shards.
+
+:class:`ClusterCoordinator` fronts K WAL-capable
+:class:`~repro.service.QueryService` shards (one per cluster of the
+partitioned field, each with its own base-station optimizer) behind one
+session/ticket API shaped like the single-station service:
+
+* **routing** — a consistent-hash ring homes each tenant on a shard; a
+  query whose region predicates (``nodeid``/``x``/``y``) pin it to a
+  single cluster is routed to that cluster's shard directly;
+* **fan-out** — a region-spanning query is planned by the
+  :class:`~repro.core.basestation.RootRewriter` (tier 0's rewrite pass:
+  region pruning + AVG decomposition) and submitted to every target
+  shard under a coordinator-owned *root session*;
+* **root dedup** — fanned-out queries are deduplicated by canonical key
+  in a root-level :class:`~repro.service.CanonicalQueryCache`, so N
+  tenants asking the same cross-cluster question cost one subquery per
+  target shard, refcounted like the shard-level anchors of PR 1;
+* **merging** — per-shard result streams are merged epoch-aligned
+  (``repro.cluster.merge``) into the answer stream a single station
+  would have produced;
+* **durability** — each shard keeps its own WAL + snapshots under
+  ``<durability_dir>/shard-NN``; :meth:`recover` rebuilds every shard
+  and re-adopts the fan-out anchors the crashed coordinator owned.
+
+Cluster ticket ids are namespaced strings: ``shard-01:17`` for a query
+routed to one shard (shard name + shard ticket id), ``root:3`` for a
+fanned-out query owned by the root.  All counters live under the
+``cluster.*`` metric families (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.basestation import MappedAggregates, MappedRow, RootRewriter
+from ..core.qos import QoSClass
+from ..obs import get_registry
+from ..queries.ast import Query
+from ..queries.canonical import CanonicalKey, canonical_key, canonicalize
+from ..queries.parser import parse_query
+from ..service import (
+    DEFAULT_TTL_MS,
+    CanonicalQueryCache,
+    OverloadConfig,
+    QueryService,
+    ServiceStats,
+    SessionManager,
+    Ticket,
+    TicketStatus,
+)
+from ..service.service import _wall_clock_ms
+from .merge import combine_shard_aggregates, user_aggregates_view
+from .partition import FieldPartition
+from .ring import DEFAULT_VNODES, HashRing
+
+#: Client id of the coordinator's per-shard fan-out sessions.
+ROOT_CLIENT = "cluster-root"
+#: Lease for coordinator-owned shard sessions: tenancy is enforced at the
+#: root, so shard-level leases held by the root must never lapse on
+#: their own.  Finite so it stays strict-JSON safe in shard snapshots.
+ROOT_TTL_MS = 1e15
+
+
+class ClusterScope:
+    """Where a cluster ticket's query runs."""
+
+    LOCAL = "local"    # one shard, under the tenant's shard session
+    FANOUT = "fanout"  # several shards, under root sessions + root dedup
+
+
+@dataclass
+class ClusterTicket:
+    """One tenant's handle on one query submitted to the cluster."""
+
+    ticket_id: str
+    session_id: str
+    #: Canonical form of what the tenant submitted.
+    query: Query
+    key: CanonicalKey
+    scope: str
+    #: Target shard ids, ascending (one entry for LOCAL scope).
+    targets: Tuple[int, ...]
+    #: Shards ruled out by the root rewriter's region pruning.
+    pruned: Tuple[int, ...]
+    #: Live shard-level tickets serving this cluster ticket (shared with
+    #: the root anchor for FANOUT scope; statuses update in place).
+    shard_tickets: Tuple[Ticket, ...]
+    submitted_ms: float
+    #: Shard-level cache hit (LOCAL) or root-level dedup hit (FANOUT).
+    cache_hit: bool = False
+    #: Root-cache key of the fanned-out query (FANOUT only).
+    fan_key: Optional[CanonicalKey] = None
+    terminated: bool = False
+
+    @property
+    def status(self) -> TicketStatus:
+        """Worst-of shard ticket statuses, TERMINATED once released."""
+        if self.terminated:
+            return TicketStatus.TERMINATED
+        statuses = {t.status for t in self.shard_tickets}
+        for worst in (TicketStatus.FAILED, TicketStatus.SHED,
+                      TicketStatus.EXPIRED, TicketStatus.PENDING):
+            if worst in statuses:
+                return worst
+        return TicketStatus.LIVE
+
+
+@dataclass
+class _Watcher:
+    """One subscriber queue attached to a fan-out anchor."""
+
+    ticket_id: str
+    user_query: Query
+    sink: "queue.Queue"
+
+
+@dataclass
+class _RootAnchor:
+    """One live fanned-out query and its per-shard machinery."""
+
+    key: CanonicalKey
+    fan_query: Query
+    targets: Tuple[int, ...]
+    #: shard id -> the shard-level Ticket of the subquery.
+    subtickets: Dict[int, Ticket] = field(default_factory=dict)
+    #: shard id -> root subscription queue (results-capable shards only).
+    queues: Dict[int, "queue.Queue"] = field(default_factory=dict)
+    #: Dedup of merged acquisition rows, keyed by (epoch_time, origin).
+    seen_rows: set = field(default_factory=set)
+    #: (epoch_time, group_key) -> shard id -> partial aggregate values.
+    partials: Dict[tuple, Dict[int, dict]] = field(default_factory=dict)
+    #: Aggregate epochs already finalised and emitted.
+    emitted: set = field(default_factory=set)
+    #: Merged history (fan-level items), replayed to late subscribers.
+    merged: list = field(default_factory=list)
+    watchers: List[_Watcher] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """One consistent snapshot of the coordinator plus its shards."""
+
+    shards: int
+    sessions_open: int
+    sessions_opened_total: int
+    sessions_expired_total: int
+    submissions_total: int
+    local_submissions: int
+    fanout_submissions: int
+    #: Shard subqueries actually submitted on behalf of fan-outs.
+    fanout_subqueries: int
+    root_dedup_hits: int
+    live_anchors: int
+    merged_rows: int
+    merged_aggregates: int
+    merge_duplicates_dropped: int
+    per_shard: Tuple[ServiceStats, ...]
+
+    @property
+    def admitted_total(self) -> int:
+        return sum(s.admitted_total for s in self.per_shard)
+
+    @property
+    def registrations(self) -> int:
+        return sum(s.registrations for s in self.per_shard)
+
+    @property
+    def terminations(self) -> int:
+        return sum(s.terminations for s in self.per_shard)
+
+    @property
+    def live_tickets(self) -> int:
+        return sum(s.live_tickets for s in self.per_shard)
+
+    @property
+    def live_synthetic_queries(self) -> int:
+        return sum(s.live_synthetic_queries for s in self.per_shard)
+
+
+@dataclass
+class _Shard:
+    shard_id: int
+    name: str
+    backend: object
+    service: QueryService
+
+    @property
+    def has_results(self) -> bool:
+        return getattr(self.backend, "results", None) is not None
+
+
+class ClusterCoordinator:
+    """Multi-tenant front-end over K sharded query services (tier 0).
+
+    ``backends`` is one tier-1-capable backend per shard (a harness
+    :class:`~repro.harness.strategies.Deployment` per cluster region for
+    simulated runs, or :class:`~repro.service.OptimizerBackend` for pure
+    admission serving).  ``partition`` enables region planning: without
+    it every query is tenant-routed to the ring's home shard (the pure
+    admission-scaling mode the throughput benchmark measures).
+    """
+
+    def __init__(self, backends: Sequence, *,
+                 partition: Optional[FieldPartition] = None,
+                 batch_window_ms: float = 0.0,
+                 default_ttl_ms: float = DEFAULT_TTL_MS,
+                 clock: Optional[Callable[[], float]] = None,
+                 durability_dir: Optional[Union[str, Path]] = None,
+                 overload: Optional[OverloadConfig] = None,
+                 vnodes: int = DEFAULT_VNODES,
+                 services: Optional[Sequence[QueryService]] = None) -> None:
+        if not backends:
+            raise ValueError("cluster needs at least one shard backend")
+        if partition is not None and partition.n_shards != len(backends):
+            raise ValueError(
+                f"partition has {partition.n_shards} regions but "
+                f"{len(backends)} backends were supplied")
+        if services is not None and len(services) != len(backends):
+            raise ValueError("services/backends length mismatch")
+        self._clock = clock or _wall_clock_ms()
+        self._lock = threading.RLock()
+        self.partition = partition
+        self._shards: List[_Shard] = []
+        for shard_id, backend in enumerate(backends):
+            name = f"shard-{shard_id:02d}"
+            if services is not None:
+                service = services[shard_id]
+                service.name = name
+            else:
+                durability = (str(Path(durability_dir) / name)
+                              if durability_dir is not None else None)
+                service = QueryService(
+                    backend, batch_window_ms=batch_window_ms,
+                    default_ttl_ms=default_ttl_ms, clock=self._clock,
+                    durability=durability, overload=overload, name=name)
+            self._shards.append(_Shard(shard_id, name, backend, service))
+        self._by_name = {shard.name: shard for shard in self._shards}
+        self.ring = HashRing((s.name for s in self._shards), vnodes=vnodes)
+        self._rewriter = (RootRewriter(partition.extents())
+                          if partition is not None else None)
+        self._sessions = SessionManager(default_ttl_ms)
+        self._tickets: Dict[str, ClusterTicket] = {}
+        #: session id -> shard id -> the tenant's session on that shard.
+        self._shard_sessions: Dict[str, Dict[int, str]] = {}
+        #: shard id -> the coordinator's fan-out session on that shard.
+        self._root_sessions: Dict[int, str] = {}
+        self._root_cache = CanonicalQueryCache()
+        self._anchors: Dict[CanonicalKey, _RootAnchor] = {}
+        self._fan_seq = 0
+        self._init_metrics(get_registry())
+
+    # ------------------------------------------------------------------
+    # Metrics (cluster.* families; see docs/observability.md)
+    # ------------------------------------------------------------------
+    def _init_metrics(self, registry) -> None:
+        self._m_local = registry.counter(
+            "cluster.submissions_total",
+            help="queries submitted through the coordinator", scope="local")
+        self._m_fanout = registry.counter(
+            "cluster.submissions_total",
+            help="queries submitted through the coordinator", scope="fanout")
+        self._m_subqueries = registry.counter(
+            "cluster.fanout_subqueries_total",
+            help="shard subqueries submitted on behalf of fan-outs")
+        self._m_dedup = registry.counter(
+            "cluster.root_dedup_hits_total",
+            help="fan-outs served from the root canonical-query cache")
+        self._m_merged_rows = registry.counter(
+            "cluster.merged_results_total",
+            help="items merged at the root across shard streams",
+            kind="rows")
+        self._m_merged_aggs = registry.counter(
+            "cluster.merged_results_total",
+            help="items merged at the root across shard streams",
+            kind="aggregates")
+        self._m_dup_dropped = registry.counter(
+            "cluster.merge_duplicates_dropped_total",
+            help="duplicate/late shard result items dropped by the merge")
+        registry.gauge("cluster.shards",
+                       help="shards behind the coordinator"
+                       ).set_fn(lambda: float(len(self._shards)))
+        registry.gauge("cluster.sessions_open",
+                       help="tenant sessions with an unexpired root lease"
+                       ).set_fn(lambda: float(len(self._sessions)))
+        registry.gauge("cluster.live_anchors",
+                       help="distinct live fanned-out queries at the root"
+                       ).set_fn(lambda: float(len(self._anchors)))
+        self._baseline = {
+            "local": self._m_local.value,
+            "fanout": self._m_fanout.value,
+            "subqueries": self._m_subqueries.value,
+            "dedup": self._m_dedup.value,
+            "merged_rows": self._m_merged_rows.value,
+            "merged_aggs": self._m_merged_aggs.value,
+            "dup_dropped": self._m_dup_dropped.value,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _now(self, now_ms: Optional[float]) -> float:
+        return self._clock() if now_ms is None else now_ms
+
+    def _shard(self, shard_id: int) -> _Shard:
+        return self._shards[shard_id]
+
+    def home_shard(self, client_id: str) -> int:
+        """The ring's home shard for a tenant."""
+        return self._by_name[self.ring.shard_for(client_id)].shard_id
+
+    def _tenant_shard_session(self, session_id: str, client_id: str,
+                              shard: _Shard, now: float) -> str:
+        """The tenant's session on ``shard``, opened on first use.
+
+        Shard-level leases are effectively infinite: the *root* enforces
+        the tenant's TTL and cascades close/expiry down to the shards.
+        """
+        per_shard = self._shard_sessions.setdefault(session_id, {})
+        shard_sid = per_shard.get(shard.shard_id)
+        if shard_sid is None:
+            shard_sid = shard.service.open_session(
+                client_id, ttl_ms=ROOT_TTL_MS, now_ms=now)
+            per_shard[shard.shard_id] = shard_sid
+        return shard_sid
+
+    def _root_session(self, shard: _Shard, now: float) -> str:
+        root_sid = self._root_sessions.get(shard.shard_id)
+        if root_sid is None:
+            root_sid = shard.service.open_session(
+                ROOT_CLIENT, ttl_ms=ROOT_TTL_MS, now_ms=now)
+            self._root_sessions[shard.shard_id] = root_sid
+        return root_sid
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(self, client_id: str = "anonymous",
+                     ttl_ms: Optional[float] = None,
+                     now_ms: Optional[float] = None) -> str:
+        """Open a TTL-leased tenant session at the root."""
+        with self._lock:
+            now = self._now(now_ms)
+            self._expire(now)
+            return self._sessions.open(client_id, now, ttl_ms).session_id
+
+    def renew_session(self, session_id: str,
+                      ttl_ms: Optional[float] = None,
+                      now_ms: Optional[float] = None) -> None:
+        """Extend a tenant lease; a lapsed lease cannot be renewed."""
+        with self._lock:
+            now = self._now(now_ms)
+            self._expire(now)
+            self._sessions.renew(session_id, now, ttl_ms)
+
+    def close_session(self, session_id: str,
+                      now_ms: Optional[float] = None) -> None:
+        """Release every ticket the tenant owns and drop the session."""
+        with self._lock:
+            now = self._now(now_ms)
+            session = self._sessions.get(session_id)
+            self._release_session(session.session_id, session.tickets, now)
+            self._sessions.close(session_id)
+
+    def expire_leases(self, now_ms: Optional[float] = None) -> List[str]:
+        """Cascade root-lease expiry down to the shards; idempotent."""
+        with self._lock:
+            return self._expire(self._now(now_ms))
+
+    def _expire(self, now: float) -> List[str]:
+        expired_ids = []
+        for session in self._sessions.expired(now):
+            self._release_session(session.session_id, session.tickets, now)
+            self._sessions.close(session.session_id)
+            self._sessions.expired_total += 1
+            expired_ids.append(session.session_id)
+        return expired_ids
+
+    def _release_session(self, session_id: str, ticket_ids, now: float) -> None:
+        for ticket_id in sorted(ticket_ids):
+            self._terminate_ticket(self._tickets[ticket_id], now)
+        ticket_ids.clear()
+        for shard_id, shard_sid in sorted(
+                self._shard_sessions.pop(session_id, {}).items()):
+            self._shard(shard_id).service.close_session(shard_sid,
+                                                        now_ms=now)
+
+    # ------------------------------------------------------------------
+    # Query admission
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, query: Union[str, Query],
+               now_ms: Optional[float] = None,
+               qos: QoSClass = QoSClass.BEST_EFFORT) -> ClusterTicket:
+        """Plan, route, and submit one query on behalf of a tenant."""
+        with self._lock:
+            now = self._now(now_ms)
+            self._expire(now)
+            session = self._sessions.get(session_id)
+            if isinstance(query, str):
+                query = parse_query(query)
+            if self._rewriter is None:
+                canonical = canonicalize(query)
+                targets: Tuple[int, ...] = (
+                    self.home_shard(session.client_id),)
+                pruned: Tuple[int, ...] = ()
+                fan_query = canonical
+            else:
+                plan = self._rewriter.plan(query)
+                canonical, fan_query = plan.canonical, plan.fan_query
+                targets, pruned = plan.targets, plan.pruned
+            if len(targets) == 1:
+                ticket = self._submit_local(session_id, session.client_id,
+                                            canonical, targets, pruned,
+                                            now, qos)
+                self._m_local.inc()
+            else:
+                ticket = self._submit_fanout(session_id, canonical,
+                                             fan_query, targets, pruned,
+                                             now, qos)
+                self._m_fanout.inc()
+            self._tickets[ticket.ticket_id] = ticket
+            session.tickets.add(ticket.ticket_id)
+            return ticket
+
+    def _submit_local(self, session_id: str, client_id: str,
+                      canonical: Query, targets: Tuple[int, ...],
+                      pruned: Tuple[int, ...], now: float,
+                      qos: QoSClass) -> ClusterTicket:
+        shard = self._shard(targets[0])
+        shard_sid = self._tenant_shard_session(session_id, client_id,
+                                               shard, now)
+        local = shard.service.submit(shard_sid, canonical, now_ms=now,
+                                     qos=qos)
+        return ClusterTicket(
+            ticket_id=f"{shard.name}:{local.ticket_id}",
+            session_id=session_id,
+            query=canonical,
+            key=canonical_key(canonical),
+            scope=ClusterScope.LOCAL,
+            targets=targets,
+            pruned=pruned,
+            shard_tickets=(local,),
+            submitted_ms=now,
+            cache_hit=local.cache_hit,
+        )
+
+    def _submit_fanout(self, session_id: str, canonical: Query,
+                       fan_query: Query, targets: Tuple[int, ...],
+                       pruned: Tuple[int, ...], now: float,
+                       qos: QoSClass) -> ClusterTicket:
+        fan_key = canonical_key(fan_query)
+        entry = self._root_cache.lookup(fan_key)
+        dedup_hit = entry is not None
+        if entry is None:
+            anchor = _RootAnchor(key=fan_key, fan_query=fan_query,
+                                 targets=targets)
+            for shard_id in targets:
+                shard = self._shard(shard_id)
+                root_sid = self._root_session(shard, now)
+                sub = shard.service.submit(root_sid, fan_query,
+                                           now_ms=now, qos=qos)
+                anchor.subtickets[shard_id] = sub
+                self._m_subqueries.inc()
+                if shard.has_results:
+                    anchor.queues[shard_id] = shard.service.subscribe(
+                        root_sid, sub.ticket_id, maxsize=0)
+            entry = self._root_cache.insert(fan_key, fan_query)
+            self._anchors[fan_key] = anchor
+        else:
+            anchor = self._anchors[fan_key]
+            self._m_dedup.inc()
+        self._root_cache.acquire(entry)
+        self._fan_seq += 1
+        return ClusterTicket(
+            ticket_id=f"root:{self._fan_seq}",
+            session_id=session_id,
+            query=canonical,
+            key=canonical_key(canonical),
+            scope=ClusterScope.FANOUT,
+            targets=targets,
+            pruned=pruned,
+            shard_tickets=tuple(anchor.subtickets[s] for s in targets),
+            submitted_ms=now,
+            cache_hit=dedup_hit,
+            fan_key=fan_key,
+        )
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def terminate(self, session_id: str, ticket_id: str,
+                  now_ms: Optional[float] = None) -> None:
+        """Release one of the tenant's cluster tickets."""
+        with self._lock:
+            now = self._now(now_ms)
+            self._expire(now)
+            session = self._sessions.get(session_id)
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None or ticket_id not in session.tickets:
+                raise KeyError(
+                    f"session {session_id!r} owns no ticket {ticket_id!r}")
+            self._terminate_ticket(ticket, now)
+            session.tickets.discard(ticket_id)
+
+    def _terminate_ticket(self, ticket: ClusterTicket, now: float) -> None:
+        if ticket.terminated:
+            return
+        if ticket.scope == ClusterScope.LOCAL:
+            shard = self._shard(ticket.targets[0])
+            shard_sid = self._shard_sessions[ticket.session_id][
+                shard.shard_id]
+            shard.service.terminate(shard_sid,
+                                    ticket.shard_tickets[0].ticket_id,
+                                    now_ms=now)
+        else:
+            dead = self._root_cache.release(ticket.fan_key)
+            anchor = self._anchors.get(ticket.fan_key)
+            if anchor is not None:
+                anchor.watchers = [w for w in anchor.watchers
+                                   if w.ticket_id != ticket.ticket_id]
+            if dead is not None and anchor is not None:
+                del self._anchors[ticket.fan_key]
+                for shard_id in sorted(anchor.subtickets):
+                    self._shard(shard_id).service.terminate(
+                        self._root_sessions[shard_id],
+                        anchor.subtickets[shard_id].ticket_id, now_ms=now)
+                anchor.queues.clear()
+        ticket.terminated = True
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def tick(self, now_ms: Optional[float] = None) -> None:
+        """Expire root leases; tick every shard (flush due batches)."""
+        with self._lock:
+            now = self._now(now_ms)
+            self._expire(now)
+            for shard in self._shards:
+                shard.service.tick(now_ms=now)
+
+    def flush(self, now_ms: Optional[float] = None) -> int:
+        """Flush every shard's admission window; returns total admitted."""
+        with self._lock:
+            now = self._now(now_ms)
+            return sum(shard.service.flush(now_ms=now)
+                       for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Results: pump + merge
+    # ------------------------------------------------------------------
+    def subscribe(self, session_id: str, ticket_id: str,
+                  maxsize: int = 0) -> "queue.Queue":
+        """A queue receiving this cluster ticket's merged results.
+
+        LOCAL tickets delegate to the owning shard's subscription queue;
+        FANOUT tickets get a root-side queue fed by the epoch-aligned
+        merge, replaying the anchor's already-merged history first (a
+        late subscriber to a deduplicated fan-out misses nothing).
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if ticket_id not in session.tickets:
+                raise KeyError(
+                    f"session {session_id!r} owns no ticket {ticket_id!r}")
+            ticket = self._tickets[ticket_id]
+            if ticket.scope == ClusterScope.LOCAL:
+                shard = self._shard(ticket.targets[0])
+                shard_sid = self._shard_sessions[session_id][shard.shard_id]
+                return shard.service.subscribe(
+                    shard_sid, ticket.shard_tickets[0].ticket_id,
+                    maxsize=maxsize)
+            anchor = self._anchors[ticket.fan_key]
+            sink: "queue.Queue" = queue.Queue(maxsize=maxsize)
+            watcher = _Watcher(ticket_id, ticket.query, sink)
+            for item in anchor.merged:
+                sink.put(self._view(watcher, item))
+            anchor.watchers.append(watcher)
+            return sink
+
+    @staticmethod
+    def _view(watcher: _Watcher, item):
+        if isinstance(item, MappedRow):
+            return item
+        return user_aggregates_view(watcher.user_query, item)
+
+    def pump(self, now_ms: Optional[float] = None, *,
+             final: bool = False) -> int:
+        """Pump every shard, then merge shard streams at the root.
+
+        Returns items pushed to root subscribers.  Aggregate epochs are
+        finalised once every target shard has reported them, or once two
+        epoch durations have elapsed (late partials past that point are
+        dropped and counted).  ``final=True`` finalises everything —
+        call it once after a run's drain.
+        """
+        with self._lock:
+            now = self._now(now_ms)
+            self._expire(now)
+            for shard in self._shards:
+                if shard.has_results:
+                    shard.service.pump(now_ms=now)
+            return self._merge(float("inf") if final else now)
+
+    def _merge(self, cutoff: float) -> int:
+        pushed = 0
+        for anchor in self._anchors.values():
+            for shard_id in sorted(anchor.queues):
+                pushed += self._drain_shard(anchor, shard_id)
+            pushed += self._finalize_aggregates(anchor, cutoff)
+        return pushed
+
+    def _drain_shard(self, anchor: _RootAnchor, shard_id: int) -> int:
+        pushed = 0
+        shard_queue = anchor.queues[shard_id]
+        while True:
+            try:
+                item = shard_queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, MappedRow):
+                row_key = (item.epoch_time, item.origin)
+                if row_key in anchor.seen_rows:
+                    self._m_dup_dropped.inc()
+                    continue
+                anchor.seen_rows.add(row_key)
+                anchor.merged.append(item)
+                self._m_merged_rows.inc()
+                pushed += self._deliver(anchor, item)
+            else:
+                agg_key = (item.epoch_time, item.group_key)
+                if agg_key in anchor.emitted:
+                    self._m_dup_dropped.inc()
+                    continue
+                anchor.partials.setdefault(agg_key, {})[shard_id] = \
+                    item.values
+        return pushed
+
+    def _finalize_aggregates(self, anchor: _RootAnchor,
+                             cutoff: float) -> int:
+        if not anchor.fan_query.is_aggregation:
+            return 0
+        pushed = 0
+        for agg_key in sorted(anchor.partials):
+            epoch_time, group_key = agg_key
+            complete = len(anchor.partials[agg_key]) >= len(anchor.subtickets)
+            if not complete and \
+                    epoch_time + 2 * anchor.fan_query.epoch_ms > cutoff:
+                continue
+            values = combine_shard_aggregates(
+                anchor.fan_query, anchor.partials.pop(agg_key).values())
+            merged = MappedAggregates(epoch_time, values, group_key)
+            anchor.emitted.add(agg_key)
+            anchor.merged.append(merged)
+            self._m_merged_aggs.inc()
+            pushed += self._deliver(anchor, merged)
+        return pushed
+
+    def _deliver(self, anchor: _RootAnchor, item) -> int:
+        pushed = 0
+        for watcher in anchor.watchers:
+            try:
+                watcher.sink.put_nowait(self._view(watcher, item))
+                pushed += 1
+            except queue.Full:
+                self._m_dup_dropped.inc()
+        return pushed
+
+    # ------------------------------------------------------------------
+    # Shutdown / durability
+    # ------------------------------------------------------------------
+    def shutdown(self, now_ms: Optional[float] = None) -> List[str]:
+        """Release every cluster ticket, then shut every shard down."""
+        with self._lock:
+            now = self._now(now_ms)
+            terminated = []
+            for ticket_id in sorted(self._tickets):
+                ticket = self._tickets[ticket_id]
+                if not ticket.terminated:
+                    self._terminate_ticket(ticket, now)
+                    terminated.append(ticket_id)
+            for shard in self._shards:
+                shard.service.shutdown(now_ms=now)
+            return terminated
+
+    @classmethod
+    def recover(cls, backends: Sequence,
+                durability_dir: Union[str, Path], *,
+                partition: Optional[FieldPartition] = None,
+                batch_window_ms: float = 0.0,
+                default_ttl_ms: float = DEFAULT_TTL_MS,
+                clock: Optional[Callable[[], float]] = None,
+                overload: Optional[OverloadConfig] = None,
+                vnodes: int = DEFAULT_VNODES) -> "ClusterCoordinator":
+        """Rebuild a coordinator from the shards' durability directories.
+
+        Every shard recovers independently (snapshot + WAL replay, PR 5
+        machinery); the root then re-discovers its fan-out sessions on
+        each shard and re-adopts their live subqueries as anchors.
+        Tenant *root* sessions are not durable — tenants reopen sessions
+        and resubmit, hitting the root dedup cache for still-running
+        fan-outs.  Until then recovered anchors are unreferenced: list
+        them with :meth:`orphan_anchors`, reap with :meth:`abort_orphans`.
+        """
+        root = Path(durability_dir)
+        services = [
+            QueryService.recover(backend, root / f"shard-{shard_id:02d}",
+                                 clock=clock, overload=overload)
+            for shard_id, backend in enumerate(backends)]
+        coordinator = cls(backends, partition=partition,
+                          batch_window_ms=batch_window_ms,
+                          default_ttl_ms=default_ttl_ms, clock=clock,
+                          overload=overload, vnodes=vnodes,
+                          services=services)
+        coordinator._adopt_recovered_anchors()
+        return coordinator
+
+    def _adopt_recovered_anchors(self) -> None:
+        for shard in self._shards:
+            root_sids = shard.service.find_sessions(ROOT_CLIENT)
+            if not root_sids:
+                continue
+            self._root_sessions[shard.shard_id] = root_sids[0]
+            for root_sid in root_sids:
+                for sub in shard.service.live_tickets():
+                    if sub.session_id != root_sid:
+                        continue
+                    anchor = self._anchors.get(sub.key)
+                    if anchor is None:
+                        anchor = _RootAnchor(key=sub.key, fan_query=sub.query,
+                                             targets=())
+                        self._anchors[sub.key] = anchor
+                        self._root_cache.insert(sub.key, sub.query)
+                    anchor.subtickets[shard.shard_id] = sub
+                    anchor.targets = tuple(sorted(anchor.subtickets))
+                    if shard.has_results:
+                        anchor.queues[shard.shard_id] = \
+                            shard.service.subscribe(root_sid, sub.ticket_id,
+                                                    maxsize=0)
+
+    def orphan_anchors(self) -> List[CanonicalKey]:
+        """Fan-out anchors no live tenant references (post-recovery)."""
+        with self._lock:
+            return [key for key, entry in self._root_cache.entries().items()
+                    if entry.refcount == 0]
+
+    def abort_orphans(self, now_ms: Optional[float] = None) -> int:
+        """Terminate unreferenced fan-out anchors; returns the count."""
+        with self._lock:
+            now = self._now(now_ms)
+            aborted = 0
+            for key in self.orphan_anchors():
+                anchor = self._anchors.pop(key)
+                entry = self._root_cache.entries()[key]
+                # insert() left refcount 0; bump to 1 so release() drops
+                # the entry through the ordinary path.
+                self._root_cache.acquire(entry)
+                self._root_cache.release(key)
+                for shard_id in sorted(anchor.subtickets):
+                    self._shard(shard_id).service.terminate(
+                        self._root_sessions[shard_id],
+                        anchor.subtickets[shard_id].ticket_id, now_ms=now)
+                aborted += 1
+            return aborted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_services(self) -> List[QueryService]:
+        """The per-shard services, by shard id (tests, load scripts)."""
+        return [shard.service for shard in self._shards]
+
+    def ticket(self, ticket_id: str) -> ClusterTicket:
+        """Look up a cluster ticket; raises ``KeyError`` if unknown."""
+        with self._lock:
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None:
+                raise KeyError(f"unknown cluster ticket {ticket_id!r}")
+            return ticket
+
+    def stats(self) -> ClusterStats:
+        """Coordinator counters plus one ``ServiceStats`` per shard."""
+        with self._lock:
+            base = self._baseline
+            local = int(self._m_local.value - base["local"])
+            fanout = int(self._m_fanout.value - base["fanout"])
+            return ClusterStats(
+                shards=len(self._shards),
+                sessions_open=len(self._sessions),
+                sessions_opened_total=self._sessions.opened_total,
+                sessions_expired_total=self._sessions.expired_total,
+                submissions_total=local + fanout,
+                local_submissions=local,
+                fanout_submissions=fanout,
+                fanout_subqueries=int(self._m_subqueries.value
+                                      - base["subqueries"]),
+                root_dedup_hits=int(self._m_dedup.value - base["dedup"]),
+                live_anchors=len(self._anchors),
+                merged_rows=int(self._m_merged_rows.value
+                                - base["merged_rows"]),
+                merged_aggregates=int(self._m_merged_aggs.value
+                                      - base["merged_aggs"]),
+                merge_duplicates_dropped=int(self._m_dup_dropped.value
+                                             - base["dup_dropped"]),
+                per_shard=tuple(shard.service.stats()
+                                for shard in self._shards),
+            )
+
+    def validate(self) -> None:
+        """Cross-tier invariants (stress/chaos hooks)."""
+        with self._lock:
+            for shard in self._shards:
+                shard.service.validate()
+            live_by_key: Dict[CanonicalKey, int] = {}
+            for ticket in self._tickets.values():
+                if (ticket.scope == ClusterScope.FANOUT
+                        and not ticket.terminated):
+                    live_by_key[ticket.fan_key] = \
+                        live_by_key.get(ticket.fan_key, 0) + 1
+            for key, entry in self._root_cache.entries().items():
+                expected = live_by_key.get(key, 0)
+                assert entry.refcount == expected, (
+                    f"root refcount {entry.refcount} != live fan-out "
+                    f"tickets {expected} for {key}")
+                assert key in self._anchors, f"cache entry without anchor"

@@ -1,0 +1,93 @@
+"""Epoch-aligned merging of per-shard result streams at the root.
+
+Each target shard of a fanned-out query answers independently through its
+own :class:`~repro.core.basestation.ResultMapper` pipeline; the root
+combines those streams into the single answer stream a tenant would have
+seen from an unpartitioned deployment:
+
+* **acquisition rows** pass through, deduplicated by ``(epoch_time,
+  origin)`` — shard sensor sets are disjoint by construction, so dedup
+  only matters across re-deliveries;
+* **aggregates** are combined per ``(epoch_time, group_key)`` with the
+  standard decomposable-merge rules (MAX of MAXes, SUM of SUMs, ...), and
+  AVG — which the root rewriter fanned out as SUM+COUNT — is finalised as
+  ``sum(SUM) / sum(COUNT)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..core.basestation import MappedAggregates
+from ..queries.ast import Aggregate, AggregateOp, Query
+
+#: How each decomposable operator merges across shard partials.
+_COMBINE = {
+    AggregateOp.MAX: max,
+    AggregateOp.MIN: min,
+    AggregateOp.SUM: sum,
+    AggregateOp.COUNT: sum,
+}
+
+
+def combine_shard_aggregates(
+    fan_query: Query,
+    shard_values: Iterable[Mapping[Aggregate, Optional[float]]],
+) -> Dict[Aggregate, Optional[float]]:
+    """Merge one epoch's per-shard partials into fan-query totals.
+
+    A shard that observed no matching rows reports ``None`` (or is absent
+    entirely); ``None`` partials are skipped, and an aggregate with no
+    non-``None`` partial merges to ``None`` — matching what
+    ``compute_aggregates`` reports for an empty row set.
+    """
+    merged: Dict[Aggregate, Optional[float]] = {}
+    collected = list(shard_values)
+    for aggregate in fan_query.aggregates:
+        present = [values[aggregate] for values in collected
+                   if values.get(aggregate) is not None]
+        if not present:
+            merged[aggregate] = None
+        elif aggregate.op is AggregateOp.AVG:
+            # Only reachable for single-target plans, which never merge;
+            # kept total so a direct caller cannot silently mis-merge.
+            raise ValueError(
+                "AVG cannot be merged from shard AVGs; fan out the query "
+                "with decompose_for_fan_out first")
+        else:
+            merged[aggregate] = float(_COMBINE[aggregate.op](present))
+    return merged
+
+
+def user_view(
+    user_query: Query,
+    fan_values: Mapping[Aggregate, Optional[float]],
+) -> Dict[Aggregate, Optional[float]]:
+    """Project merged fan-query totals onto the user's aggregate list.
+
+    Undoes the root rewriter's AVG decomposition: ``AVG(a)`` is read back
+    as ``SUM(a) / COUNT(a)`` from the merged totals; every other operator
+    is looked up directly.
+    """
+    values: Dict[Aggregate, Optional[float]] = {}
+    for aggregate in user_query.aggregates:
+        if aggregate.op is AggregateOp.AVG:
+            total = fan_values.get(
+                Aggregate(AggregateOp.SUM, aggregate.attribute))
+            count = fan_values.get(
+                Aggregate(AggregateOp.COUNT, aggregate.attribute))
+            values[aggregate] = (total / count
+                                 if total is not None and count else None)
+        else:
+            values[aggregate] = fan_values.get(aggregate)
+    return values
+
+
+def user_aggregates_view(user_query: Query,
+                         merged: MappedAggregates) -> MappedAggregates:
+    """One merged fan-query epoch, re-expressed in the user's aggregates."""
+    return MappedAggregates(
+        epoch_time=merged.epoch_time,
+        values=user_view(user_query, merged.values),
+        group_key=merged.group_key,
+    )

@@ -1,0 +1,155 @@
+"""Partitioning the paper's grid field into per-shard regions.
+
+The single-station deployment is a ``side x side`` grid with node 0 (the
+sink) at the upper-left corner (Section 4.1).  A :class:`FieldPartition`
+cuts that grid into ``n_shards`` contiguous row bands, each served by its
+own base station and routing tree — the multi-sink deployment the
+cluster tier runs over.
+
+Two invariants make cross-shard results exactly comparable with a
+single-station run (the merge-parity differential test):
+
+* **Global node identity** — every sensor keeps its single-grid node id
+  and position.  Readings in the uniform world are a pure function of
+  ``(seed, attribute, node id, time)``, and ``x``/``y`` read the stored
+  position, so a partitioned field senses bit-identical values.
+* **Exact sensor cover** — the union of the shards' sensor sets equals
+  the single grid's sensor set ``{1 .. side^2 - 1}``.  Band 0 keeps node
+  0 as its sink; every other band gets a *dedicated* sink node (id
+  ``side^2 + k``, placed one grid spacing left of the band's first row,
+  within radio range of the band) so no sensor is consumed as a sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.basestation.root import RegionExtent
+from ..queries.predicates import Interval
+from ..sim.network import GRID_SPACING_FT, Topology
+
+
+@dataclass(frozen=True)
+class ClusterRegion:
+    """One shard's slice of the field."""
+
+    shard_id: int
+    name: str
+    #: This region's base-station node id (0 for band 0, side^2+k else).
+    sink_id: int
+    #: Sensing nodes, by *global* grid id, ascending.
+    sensor_ids: Tuple[int, ...]
+    #: Inclusive grid-row span ``(first_row, last_row)``.
+    row_span: Tuple[int, int]
+    #: Bounding box of the sensor positions in feet.
+    x_range: Tuple[float, float]
+    y_range: Tuple[float, float]
+
+    def extent(self) -> RegionExtent:
+        """The root rewriter's pruning view of this region."""
+        return RegionExtent(
+            shard_id=self.shard_id,
+            node_ids=Interval(float(self.sensor_ids[0]),
+                              float(self.sensor_ids[-1])),
+            x=Interval(*self.x_range),
+            y=Interval(*self.y_range),
+        )
+
+
+class FieldPartition:
+    """A ``side x side`` grid split into ``n_shards`` row bands."""
+
+    def __init__(self, side: int, n_shards: int, *,
+                 spacing: float = GRID_SPACING_FT,
+                 quality_seed: int = 0) -> None:
+        if side < 2:
+            raise ValueError(f"side must be >= 2 (got {side})")
+        if not 1 <= n_shards <= side:
+            raise ValueError(
+                f"n_shards must be in 1..side={side} (got {n_shards}); "
+                f"every shard needs at least one grid row")
+        self.side = side
+        self.n_shards = n_shards
+        self.spacing = spacing
+        self.quality_seed = quality_seed
+        self.regions: Tuple[ClusterRegion, ...] = tuple(self._build_regions())
+        self.topologies: Dict[int, Topology] = {
+            region.shard_id: self._build_topology(region)
+            for region in self.regions}
+        self._shard_by_node = {
+            node: region.shard_id
+            for region in self.regions for node in region.sensor_ids}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _row_bands(self) -> List[Tuple[int, int]]:
+        """Inclusive row spans, as equal as ``side % n_shards`` allows."""
+        base, extra = divmod(self.side, self.n_shards)
+        bands = []
+        first = 0
+        for shard_id in range(self.n_shards):
+            rows = base + (1 if shard_id < extra else 0)
+            bands.append((first, first + rows - 1))
+            first += rows
+        return bands
+
+    def _build_regions(self) -> List[ClusterRegion]:
+        regions = []
+        for shard_id, (first_row, last_row) in enumerate(self._row_bands()):
+            band_ids = [row * self.side + col
+                        for row in range(first_row, last_row + 1)
+                        for col in range(self.side)]
+            if shard_id == 0:
+                sink = 0  # the paper's base station keeps its corner
+                sensors = tuple(i for i in band_ids if i != 0)
+            else:
+                sink = self.side * self.side + shard_id
+                sensors = tuple(band_ids)
+            regions.append(ClusterRegion(
+                shard_id=shard_id,
+                name=f"shard-{shard_id:02d}",
+                sink_id=sink,
+                sensor_ids=sensors,
+                row_span=(first_row, last_row),
+                x_range=(0.0, (self.side - 1) * self.spacing),
+                y_range=(first_row * self.spacing,
+                         last_row * self.spacing),
+            ))
+        return regions
+
+    def _build_topology(self, region: ClusterRegion) -> Topology:
+        positions = {
+            node: ((node % self.side) * self.spacing,
+                   (node // self.side) * self.spacing)
+            for node in region.sensor_ids}
+        if region.sink_id == 0:
+            positions[0] = (0.0, 0.0)
+        else:
+            # One spacing left of the band's first row: 20 ft from the
+            # row's corner node, inside the 50 ft radio range, and never
+            # colliding with a grid position.
+            positions[region.sink_id] = (-self.spacing, region.y_range[0])
+        return Topology.from_positions(positions,
+                                       base_station=region.sink_id,
+                                       quality_seed=self.quality_seed)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def extents(self) -> List[RegionExtent]:
+        """Per-region pruning extents for the root rewriter."""
+        return [region.extent() for region in self.regions]
+
+    def shard_of_node(self, node_id: int) -> int:
+        """The shard sensing ``node_id``; raises for sinks/unknown ids."""
+        return self._shard_by_node[node_id]
+
+    def all_sensor_ids(self) -> List[int]:
+        """Union of the shards' sensor sets, ascending."""
+        return sorted(self._shard_by_node)
+
+    def __repr__(self) -> str:
+        return (f"FieldPartition(side={self.side}, "
+                f"n_shards={self.n_shards})")

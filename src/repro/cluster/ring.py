@@ -1,0 +1,102 @@
+"""Consistent-hash ring: stable tenant -> shard routing for tier 0.
+
+The cluster coordinator must send a tenant's queries to the same shard
+every time (so the shard's canonical-query cache and tier-1 table see the
+tenant's whole workload), while adding or removing a shard should move as
+little of the keyspace as possible — rehoming a tenant invalidates the
+warm anchors its old shard holds.  ``hash(key) % K`` moves ~all keys when
+K changes; a consistent-hash ring moves ~1/K of them.
+
+Implementation is the textbook construction: each shard owns ``vnodes``
+points on a 64-bit ring (SHA-256 of ``"{shard}#{i}"``), a key routes to
+the first point clockwise from its own hash.  SHA-256 keeps placement
+independent of ``PYTHONHASHSEED`` and identical across processes, which
+the cross-process determinism contract of the harness requires.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+#: Virtual nodes per shard.  64 keeps the max/mean keyspace share of a
+#: shard within ~2x for small K (the balance property test pins this).
+DEFAULT_VNODES = 64
+
+
+def _hash64(data: str) -> int:
+    """First 8 bytes of SHA-256 as an unsigned 64-bit ring position."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named shards.
+
+    Shards are identified by opaque strings (the coordinator uses
+    ``shard-00`` style names).  The ring is deterministic in the shard
+    set alone — insertion order never affects routing.
+    """
+
+    def __init__(self, shards: Iterable[str] = (), *,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1 (got {vnodes})")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (position, shard)
+        self._hashes: List[int] = []              # parallel, for bisect
+        self._shards: Dict[str, List[int]] = {}
+        for shard in shards:
+            self.add(shard)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, shard: str) -> None:
+        """Place ``shard``'s virtual nodes on the ring."""
+        if shard in self._shards:
+            raise ValueError(f"shard already on the ring: {shard!r}")
+        positions = []
+        for i in range(self.vnodes):
+            position = _hash64(f"{shard}#{i}")
+            index = bisect.bisect_left(self._points, (position, shard))
+            self._points.insert(index, (position, shard))
+            self._hashes.insert(index, position)
+            positions.append(position)
+        self._shards[shard] = positions
+
+    def remove(self, shard: str) -> None:
+        """Take ``shard`` off the ring; its keyspace falls to successors."""
+        if shard not in self._shards:
+            raise KeyError(f"shard not on the ring: {shard!r}")
+        del self._shards[shard]
+        kept = [(h, s) for h, s in self._points if s != shard]
+        self._points = kept
+        self._hashes = [h for h, _ in kept]
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shards(self) -> List[str]:
+        """Member shard names, sorted."""
+        return sorted(self._shards)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key: str) -> str:
+        """The shard owning ``key``: first ring point clockwise of it."""
+        if not self._points:
+            raise ValueError("ring has no shards")
+        index = bisect.bisect_right(self._hashes, _hash64(key))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._points[index][1]
+
+    def assignment(self, keys: Iterable[str]) -> Dict[str, str]:
+        """Route every key; convenience for the remapping property tests."""
+        return {key: self.shard_for(key) for key in keys}

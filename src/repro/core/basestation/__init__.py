@@ -11,6 +11,12 @@ from .query_table import (
 )
 from .result_mapper import MappedAggregates, MappedRow, ResultMapper
 from .rewriter import BenefitAssessment, beneficial, integrate, update_count
+from .root import (
+    RegionExtent,
+    RootPlan,
+    RootRewriter,
+    decompose_for_fan_out,
+)
 from .termination import synthetic_benefit, terminate_query
 
 __all__ = [
@@ -23,11 +29,15 @@ __all__ = [
     "NetworkActions",
     "NetworkProfile",
     "QueryTable",
+    "RegionExtent",
     "ResultMapper",
+    "RootPlan",
+    "RootRewriter",
     "SyntheticQueryRecord",
     "SyntheticStatus",
     "UserQueryRecord",
     "beneficial",
+    "decompose_for_fan_out",
     "insert_query",
     "integrate",
     "synthetic_benefit",

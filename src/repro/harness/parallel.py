@@ -146,6 +146,41 @@ def _result_from_payload(payload: dict) -> AnyResult:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
+def usable_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    ``os.cpu_count()`` over-reports under CPU affinity masks and
+    container quotas, which is how the executor previously ended up
+    spawning more workers than cores and *losing* to the serial path
+    (pool setup + pickling with zero real parallelism).  Prefer the
+    scheduler's own answer when the platform exposes it.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        count = getter()
+        if count:
+            return count
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int], n_cells: int) -> int:
+    """The effective worker count for a sweep of ``n_cells`` misses.
+
+    ``None`` auto-sizes to ``min(n_cells, usable_cores())``; an explicit
+    count is clamped to ``n_cells`` (extra workers would sit idle).  The
+    result is what the pool would use — the caller runs serially when it
+    comes out <= 1.
+    """
+    if n_cells <= 0:
+        return 1
+    if workers is None:
+        return max(1, min(n_cells, usable_cores()))
+    return max(1, min(workers, n_cells))
+
+
 def _execute_cell(spec: AnyCell):
     """Worker entry point: run one cell, time it.  Must stay picklable."""
     started = time.perf_counter()
@@ -192,7 +227,7 @@ ProgressCallback = Callable[[CellResult, SweepTelemetry], None]
 
 def run_sweep(
     specs: Sequence[AnyCell],
-    workers: int = 0,
+    workers: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
     mp_context: str = "spawn",
     progress: Optional[ProgressCallback] = None,
@@ -205,8 +240,13 @@ def run_sweep(
         The cells to run.  Order is preserved in the report; it never
         affects any cell's seed or result.
     workers:
-        ``0`` or ``1`` runs serially in-process (no pool, no pickling);
-        ``n > 1`` fans misses across ``n`` worker processes.
+        ``None`` (the default) auto-sizes to ``min(cells, usable
+        cores)`` — see :func:`resolve_workers`.  ``0`` or ``1`` forces
+        the serial in-process path (no pool, no pickling); ``n > 1``
+        fans misses across at most ``n`` worker processes.  Whenever the
+        effective count is 1 (single core, single pending cell) the pool
+        is bypassed entirely — a one-worker pool only adds spawn and
+        pickling overhead over running in-process.
     cache_dir:
         Enable the on-disk cache rooted here; ``None`` disables caching.
     mp_context:
@@ -219,8 +259,7 @@ def run_sweep(
     started = time.perf_counter()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     fingerprint = code_fingerprint()
-    telemetry = SweepTelemetry(total_cells=len(specs),
-                               workers=max(workers, 1))
+    telemetry = SweepTelemetry(total_cells=len(specs), workers=1)
     slots: List[Optional[CellResult]] = [None] * len(specs)
     pending: List[int] = []  # indices that missed the cache
 
@@ -263,13 +302,17 @@ def run_sweep(
                                   result=result, duration_s=duration,
                                   cached=False, worker_pid=pid))
 
-    if pending and workers <= 1:
+    effective = (resolve_workers(workers, len(pending))
+                 if workers is None else max(workers, 1))
+    telemetry.workers = effective if pending else 1
+    if pending and min(effective, len(pending)) <= 1:
+        telemetry.workers = 1
         for index in pending:
             result, duration, pid = _execute_cell(specs[index])
             _record_fresh(index, result, duration, pid)
     elif pending:
         context = multiprocessing.get_context(mp_context)
-        max_workers = min(workers, len(pending))
+        max_workers = min(effective, len(pending))
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers, mp_context=context) as pool:
             futures = {pool.submit(_execute_cell, specs[index]): index

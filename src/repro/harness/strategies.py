@@ -83,10 +83,15 @@ class DeploymentConfig:
 class Deployment:
     """One assembled simulation with a strategy-specific control plane."""
 
-    def __init__(self, strategy: Strategy, config: DeploymentConfig) -> None:
+    def __init__(self, strategy: Strategy, config: DeploymentConfig,
+                 topology: Optional[Topology] = None) -> None:
         self.strategy = strategy
         self.config = config
-        self.topology = Topology.grid(config.side, quality_seed=config.seed)
+        #: An explicit topology overrides the default grid — the cluster
+        #: harness deploys one sub-topology (with its own sink) per shard.
+        self.topology = (topology if topology is not None
+                         else Topology.grid(config.side,
+                                            quality_seed=config.seed))
         self.world = config.build_world(self.topology)
         self.tree = RoutingTree.build(self.topology)
         self.sim = Simulation(self.topology, world=self.world,

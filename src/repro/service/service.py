@@ -287,11 +287,16 @@ class QueryService:
                  default_ttl_ms: float = DEFAULT_TTL_MS,
                  clock: Optional[Callable[[], float]] = None,
                  durability: Optional[Union[DurabilityConfig, str, Path]] = None,
-                 overload: Optional[OverloadConfig] = None) -> None:
+                 overload: Optional[OverloadConfig] = None,
+                 name: str = "") -> None:
         if getattr(backend, "optimizer", None) is None:
             raise ValueError(
                 "QueryService needs a tier-1 backend (backend.optimizer is "
                 "None; use Strategy.TTMQO or BS_ONLY, or OptimizerBackend)")
+        #: Optional instance name.  The cluster coordinator names each
+        #: shard service (``shard-00``...) and prefixes it onto ticket
+        #: ids, so a cluster ticket is traceable to the shard that owns it.
+        self.name = name
         self._backend = backend
         self._clock = clock or _wall_clock_ms()
         self._lock = threading.RLock()
@@ -324,31 +329,42 @@ class QueryService:
         """Register the ``service.*`` metric families (telemetry contract).
 
         Counters are incremented inline under the service lock; gauges are
-        lazy callbacks evaluated at snapshot time.  With several services
-        sharing one registry the exported counters aggregate and the last
-        constructed instance owns the gauges; :meth:`stats` stays
-        instance-scoped by snapshotting each counter's value at
-        construction and reporting the delta.
+        lazy callbacks evaluated at snapshot time.  Named instances (the
+        cluster coordinator names each shard ``shard-NN``) get their own
+        ``instance``-labelled series, so concurrently-live shards never
+        bleed into each other's :meth:`stats` deltas; unnamed services
+        share the ``instance="default"`` series and stay instance-scoped
+        the old way — by snapshotting each counter's value at construction
+        and reporting the delta.  The last constructed instance owns the
+        gauges.
         """
+        instance = self.name or "default"
         self._m_submissions = registry.counter(
-            "service.submissions_total", help="queries submitted by clients")
+            "service.submissions_total", help="queries submitted by clients",
+            instance=instance)
         self._m_admitted = registry.counter(
-            "service.admitted_total", help="tickets that went live")
+            "service.admitted_total", help="tickets that went live",
+            instance=instance)
         self._m_registrations = registry.counter(
             "service.registrations_total",
-            help="tier-1 optimizer passes (cache misses)")
+            help="tier-1 optimizer passes (cache misses)",
+            instance=instance)
         self._m_injected = registry.counter(
             "service.registrations_injected_total",
-            help="registrations that caused network operations")
+            help="registrations that caused network operations",
+            instance=instance)
         self._m_absorbed = registry.counter(
             "service.registrations_absorbed_total",
-            help="registrations absorbed at the base station")
+            help="registrations absorbed at the base station",
+            instance=instance)
         self._m_terminations = registry.counter(
             "service.terminations_total",
-            help="live tickets terminated (user, close, or lease expiry)")
+            help="live tickets terminated (user, close, or lease expiry)",
+            instance=instance)
         self._m_delivered = registry.counter(
             "service.results_delivered_total",
-            help="mapped result items fanned out to subscribers")
+            help="mapped result items fanned out to subscribers",
+            instance=instance)
         self._m_latency = registry.histogram(
             "service.admission_latency_ms",
             help="submit-to-live latency per admitted ticket", unit="ms",
@@ -1102,6 +1118,15 @@ class QueryService:
                         keyed = [((r.epoch_time, r.origin), r) for r in items]
                     else:
                         items = mapper.aggregation_results(anchor, synthetic)
+                        if synthetic.is_acquisition:
+                            # Derived aggregates are recomputed from raw
+                            # rows that pipeline in for up to a full epoch
+                            # after sampling.  Emitting an epoch on first
+                            # sight would freeze a partial answer (the
+                            # delivered-set below never re-emits a key), so
+                            # hold each epoch until the watermark passes it.
+                            items = [a for a in items
+                                     if a.epoch_time + anchor.epoch_ms <= now]
                         keyed = [((a.epoch_time, a.group_key), a)
                                  for a in items]
                     for key, item in keyed:
@@ -1185,6 +1210,17 @@ class QueryService:
         with self._lock:
             return [t for t in self._tickets.values()
                     if t.status is TicketStatus.LIVE]
+
+    def find_sessions(self, client_id: str) -> List[str]:
+        """Ids of registered sessions opened by ``client_id``, sorted.
+
+        Sessions are restored by :meth:`recover`, so a shard-aware caller
+        (the cluster coordinator) can re-discover the sessions it owned
+        on a shard — e.g. its fan-out root session — after a crash.
+        """
+        with self._lock:
+            return sorted(s.session_id for s in self._sessions.sessions()
+                          if s.client_id == client_id)
 
     def stats(self) -> ServiceStats:
         """A consistent snapshot of the registry-backed counters.

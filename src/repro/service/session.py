@@ -81,6 +81,10 @@ class SessionManager:
         self._ids = itertools.count(1)
         self.opened_total = 0
         self.expired_total = 0
+        #: Lower bound on the earliest lease expiry across all sessions.
+        #: Lets :meth:`expired` — which every service operation calls —
+        #: skip the full scan while no lease can possibly have lapsed.
+        self._earliest_ms = float("inf")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -100,6 +104,7 @@ class SessionManager:
         )
         self._sessions[session.session_id] = session
         self.opened_total += 1
+        self._earliest_ms = min(self._earliest_ms, session.expires_at_ms)
         return session
 
     def get(self, session_id: str) -> Session:
@@ -114,6 +119,9 @@ class SessionManager:
         """Renew a session's lease; raises if it is unknown or closed."""
         session = self.get(session_id)
         session.renew(now_ms, ttl_ms)
+        # A renewal with a shorter TTL can pull the expiry *earlier*, so
+        # the watermark must track it down as well as up.
+        self._earliest_ms = min(self._earliest_ms, session.expires_at_ms)
         return session
 
     def close(self, session_id: str) -> Session:
@@ -129,7 +137,21 @@ class SessionManager:
     def expired(self, now_ms: float) -> List[Session]:
         """Sessions whose lease has lapsed (still registered; the caller
         terminates their queries and then :meth:`close`\\ s them)."""
-        return [s for s in self._sessions.values() if not s.alive_at(now_ms)]
+        if now_ms < self._earliest_ms:
+            return []
+        lapsed = []
+        earliest = float("inf")
+        for session in self._sessions.values():
+            if session.alive_at(now_ms):
+                earliest = min(earliest, session.expires_at_ms)
+            else:
+                lapsed.append(session)
+        if not lapsed:
+            # Refreshing the watermark is only sound when nothing lapsed:
+            # an uncollected lapsed session must keep forcing the scan
+            # until the caller closes it.
+            self._earliest_ms = earliest
+        return lapsed
 
     # ------------------------------------------------------------------
     # Introspection
@@ -166,3 +188,6 @@ class SessionManager:
             entry["session_id"]: Session.from_dict(entry)
             for entry in payload["sessions"]}
         self._ids = itertools.count(self.opened_total + 1)
+        self._earliest_ms = min(
+            (s.expires_at_ms for s in self._sessions.values()),
+            default=float("inf"))

@@ -1,0 +1,266 @@
+"""Root coordinator behaviour over pure tier-1 admission shards."""
+
+import pytest
+
+from repro.core.basestation import BaseStationOptimizer
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterScope,
+    FieldPartition,
+    ROOT_CLIENT,
+)
+from repro.harness.tier1_sim import default_cost_model
+from repro.queries.ast import AggregateOp, fresh_qids
+from repro.service import OptimizerBackend, SessionError, TicketStatus
+
+Q_GLOBAL = "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096"
+Q_GLOBAL_VARIANT = "select LIGHT from sensors where 300 < light " \
+                   "SAMPLE PERIOD 4096"
+Q_AVG = "SELECT AVG(temp) FROM sensors EPOCH DURATION 8192"
+# With side=8 and K=2 the row bands cover nodes 1..31 and 32..63.
+Q_BAND0 = ("SELECT temp FROM sensors WHERE nodeid BETWEEN 1 AND 31 "
+           "EPOCH DURATION 4096")
+Q_BAND1 = ("SELECT temp FROM sensors WHERE nodeid BETWEEN 32 AND 63 "
+           "EPOCH DURATION 4096")
+
+
+def make_backends(k, nodes=16, depth=3):
+    return [OptimizerBackend(BaseStationOptimizer(
+        default_cost_model(nodes, depth))) for _ in range(k)]
+
+
+def make_cluster(k=2, side=8, **kwargs):
+    partition = FieldPartition(side, k)
+    return ClusterCoordinator(make_backends(k), partition=partition,
+                              **kwargs)
+
+
+class TestRouting:
+    def test_no_partition_routes_by_tenant_ring(self):
+        coordinator = ClusterCoordinator(make_backends(4))
+        tickets = []
+        for index in range(16):
+            sid = coordinator.open_session(f"tenant-{index}", now_ms=0.0)
+            tickets.append((coordinator.submit(sid, Q_GLOBAL, now_ms=1.0),
+                            f"tenant-{index}"))
+        for ticket, client in tickets:
+            assert ticket.scope == ClusterScope.LOCAL
+            home = coordinator.home_shard(client)
+            assert ticket.targets == (home,)
+            assert ticket.ticket_id.startswith(f"shard-{home:02d}:")
+        used = {t.targets[0] for t, _ in tickets}
+        assert len(used) > 1, "16 tenants should spread across shards"
+
+    def test_region_local_query_routes_to_its_shard(self):
+        coordinator = make_cluster(k=2, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        band0 = coordinator.submit(sid, Q_BAND0, now_ms=1.0)
+        band1 = coordinator.submit(sid, Q_BAND1, now_ms=2.0)
+        assert band0.scope == ClusterScope.LOCAL
+        assert band0.targets == (0,) and band0.pruned == (1,)
+        assert band1.targets == (1,) and band1.pruned == (0,)
+        assert band0.ticket_id.startswith("shard-00:")
+        assert band1.ticket_id.startswith("shard-01:")
+        per_shard = coordinator.stats().per_shard
+        assert per_shard[0].admitted_total == 1
+        assert per_shard[1].admitted_total == 1
+
+    def test_spanning_query_fans_out_to_every_target(self):
+        coordinator = make_cluster(k=4, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        ticket = coordinator.submit(sid, Q_GLOBAL, now_ms=1.0)
+        assert ticket.scope == ClusterScope.FANOUT
+        assert ticket.targets == (0, 1, 2, 3)
+        assert ticket.ticket_id == "root:1"
+        assert ticket.status is TicketStatus.LIVE
+        stats = coordinator.stats()
+        assert stats.fanout_submissions == 1
+        assert stats.fanout_subqueries == 4
+        for shard_stats in stats.per_shard:
+            assert shard_stats.admitted_total == 1
+
+
+class TestRootDedup:
+    def test_duplicate_fanouts_share_one_anchor(self):
+        coordinator = make_cluster(k=2, side=8)
+        sids = [coordinator.open_session(f"t{i}", now_ms=0.0)
+                for i in range(3)]
+        first = coordinator.submit(sids[0], Q_GLOBAL, now_ms=1.0)
+        second = coordinator.submit(sids[1], Q_GLOBAL_VARIANT, now_ms=2.0)
+        third = coordinator.submit(sids[2], Q_GLOBAL, now_ms=3.0)
+        assert not first.cache_hit
+        assert second.cache_hit and third.cache_hit
+        assert first.fan_key == second.fan_key == third.fan_key
+        stats = coordinator.stats()
+        assert stats.root_dedup_hits == 2
+        assert stats.fanout_subqueries == 2  # one per shard, once
+        assert stats.live_anchors == 1
+        # Shard-side: exactly one live ticket per shard, owned by the root.
+        for service in coordinator.shard_services():
+            live = service.live_tickets()
+            assert len(live) == 1
+            assert service.find_sessions(ROOT_CLIENT) == [live[0].session_id]
+        coordinator.validate()
+
+    def test_terminate_releases_on_last_holder_only(self):
+        coordinator = make_cluster(k=2, side=8)
+        sids = [coordinator.open_session(f"t{i}", now_ms=0.0)
+                for i in range(2)]
+        first = coordinator.submit(sids[0], Q_GLOBAL, now_ms=1.0)
+        second = coordinator.submit(sids[1], Q_GLOBAL, now_ms=2.0)
+        coordinator.terminate(sids[0], first.ticket_id, now_ms=3.0)
+        assert first.status is TicketStatus.TERMINATED
+        assert second.status is TicketStatus.LIVE
+        assert coordinator.stats().live_anchors == 1
+        coordinator.terminate(sids[1], second.ticket_id, now_ms=4.0)
+        assert coordinator.stats().live_anchors == 0
+        for service in coordinator.shard_services():
+            assert service.live_tickets() == []
+        coordinator.validate()
+
+    def test_terminating_unknown_ticket_raises(self):
+        coordinator = make_cluster(k=2, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        with pytest.raises(KeyError):
+            coordinator.terminate(sid, "root:404", now_ms=1.0)
+
+
+class TestRootRewrite:
+    def test_avg_fans_out_as_sum_plus_count(self):
+        coordinator = make_cluster(k=2, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        ticket = coordinator.submit(sid, Q_AVG, now_ms=1.0)
+        assert ticket.scope == ClusterScope.FANOUT
+        # The user-facing canonical query still asks for AVG...
+        assert [a.op for a in ticket.query.aggregates] == [AggregateOp.AVG]
+        # ...but every shard runs the mergeable SUM+COUNT form.
+        for sub in ticket.shard_tickets:
+            ops = sorted((a.op for a in sub.query.aggregates),
+                         key=lambda op: op.name)
+            assert ops == [AggregateOp.COUNT, AggregateOp.SUM]
+
+    def test_single_target_avg_is_not_decomposed(self):
+        coordinator = make_cluster(k=2, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        ticket = coordinator.submit(
+            sid, "SELECT AVG(temp) FROM sensors WHERE nodeid < 10 "
+                 "EPOCH DURATION 8192", now_ms=1.0)
+        assert ticket.scope == ClusterScope.LOCAL
+        sub = ticket.shard_tickets[0]
+        assert [a.op for a in sub.query.aggregates] == [AggregateOp.AVG]
+
+
+class TestSessions:
+    def test_close_session_cascades_to_shards(self):
+        coordinator = make_cluster(k=2, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        coordinator.submit(sid, Q_BAND0, now_ms=1.0)
+        coordinator.submit(sid, Q_GLOBAL, now_ms=2.0)
+        coordinator.close_session(sid, now_ms=3.0)
+        with pytest.raises(SessionError):
+            coordinator.submit(sid, Q_BAND0, now_ms=4.0)
+        assert coordinator.stats().live_anchors == 0
+        for service in coordinator.shard_services():
+            assert service.live_tickets() == []
+            # The tenant's shard-side sessions are gone; only the root's
+            # fan-out session may remain.
+            open_clients = {service.stats().sessions_open}
+        coordinator.validate()
+
+    def test_lease_expiry_cascades(self):
+        coordinator = make_cluster(k=2, side=8, default_ttl_ms=1000.0)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        ticket = coordinator.submit(sid, Q_GLOBAL, now_ms=10.0)
+        assert coordinator.expire_leases(now_ms=2000.0) == [sid]
+        assert ticket.status is TicketStatus.TERMINATED
+        assert coordinator.stats().sessions_expired_total == 1
+        for service in coordinator.shard_services():
+            assert service.live_tickets() == []
+
+    def test_shutdown_terminates_everything(self):
+        coordinator = make_cluster(k=2, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        local = coordinator.submit(sid, Q_BAND0, now_ms=1.0)
+        fanout = coordinator.submit(sid, Q_GLOBAL, now_ms=2.0)
+        terminated = coordinator.shutdown(now_ms=3.0)
+        assert sorted(terminated) == sorted([local.ticket_id,
+                                             fanout.ticket_id])
+        for service in coordinator.shard_services():
+            assert service.live_tickets() == []
+
+
+class TestStats:
+    def test_submission_scopes_are_counted(self):
+        coordinator = make_cluster(k=2, side=8)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        coordinator.submit(sid, Q_BAND0, now_ms=1.0)
+        coordinator.submit(sid, Q_GLOBAL, now_ms=2.0)
+        coordinator.submit(sid, Q_AVG, now_ms=3.0)
+        stats = coordinator.stats()
+        assert stats.shards == 2
+        assert stats.submissions_total == 3
+        assert stats.local_submissions == 1
+        assert stats.fanout_submissions == 2
+        assert stats.sessions_open == 1
+
+    def test_instances_do_not_share_counters(self):
+        first = make_cluster(k=2, side=8)
+        sid = first.open_session("alice", now_ms=0.0)
+        first.submit(sid, Q_GLOBAL, now_ms=1.0)
+        second = make_cluster(k=2, side=8)
+        assert second.stats().submissions_total == 0
+        assert second.stats().fanout_subqueries == 0
+
+
+class TestRecovery:
+    def test_recover_adopts_fanout_anchors(self, tmp_path):
+        with fresh_qids():
+            partition = FieldPartition(8, 2)
+            coordinator = ClusterCoordinator(
+                make_backends(2), partition=partition,
+                durability_dir=tmp_path)
+            sid = coordinator.open_session("alice", now_ms=0.0)
+            fanout = coordinator.submit(sid, Q_GLOBAL, now_ms=1.0)
+            local = coordinator.submit(sid, Q_BAND0, now_ms=2.0)
+            fan_key = fanout.fan_key
+
+        # Crash: rebuild everything from the shards' WALs alone.
+        with fresh_qids():
+            recovered = ClusterCoordinator.recover(
+                make_backends(2), tmp_path, partition=FieldPartition(8, 2))
+        assert recovered.orphan_anchors() == [fan_key]
+        # Shard-side state survived: the fan-out subqueries and the
+        # tenant's local ticket are live again.
+        live_counts = [len(s.live_tickets())
+                       for s in recovered.shard_services()]
+        assert live_counts == [2, 1]  # shard 0: fan + local; shard 1: fan
+
+        # A tenant re-asking the same spanning question rides the adopted
+        # anchor instead of re-fanning it out.
+        sid2 = recovered.open_session("alice-again", now_ms=3000.0)
+        again = recovered.submit(sid2, Q_GLOBAL, now_ms=3001.0)
+        assert again.cache_hit
+        assert again.fan_key == fan_key
+        assert recovered.stats().fanout_subqueries == 0
+        assert recovered.orphan_anchors() == []
+        recovered.validate()
+
+    def test_abort_orphans_reaps_unclaimed_anchors(self, tmp_path):
+        with fresh_qids():
+            coordinator = ClusterCoordinator(
+                make_backends(2), partition=FieldPartition(8, 2),
+                durability_dir=tmp_path)
+            sid = coordinator.open_session("alice", now_ms=0.0)
+            coordinator.submit(sid, Q_GLOBAL, now_ms=1.0)
+
+        with fresh_qids():
+            recovered = ClusterCoordinator.recover(
+                make_backends(2), tmp_path, partition=FieldPartition(8, 2))
+        assert recovered.abort_orphans(now_ms=5000.0) == 1
+        assert recovered.orphan_anchors() == []
+        assert recovered.stats().live_anchors == 0
+        for service in recovered.shard_services():
+            assert [t for t in service.live_tickets()
+                    if service.find_sessions(ROOT_CLIENT)
+                    and t.session_id in
+                    service.find_sessions(ROOT_CLIENT)] == []

@@ -1,0 +1,154 @@
+"""Cross-shard merge correctness: a region-spanning query fanned out to a
+2-shard cluster must answer exactly like the equivalent single-station
+deployment.
+
+Both runs sense the *same* world (readings are a pure function of seed,
+attribute, node id, and time — see ``test_partition.py``), so any
+divergence is a merge bug: lost rows, duplicated rows, or mis-combined
+aggregates.  The comparison window trims one dissemination epoch at the
+start (query flood timing differs per topology) and two epochs at the end
+(in-flight results at cut-off), which is exactly the paper-faithful claim:
+steady-state answers are identical.
+"""
+
+import queue
+
+import pytest
+
+from repro.cluster import ClusterDeployment, FieldPartition
+from repro.core.basestation.result_mapper import MappedAggregates, MappedRow
+from repro.harness import Deployment, DeploymentConfig, Strategy
+from repro.service import QueryService
+
+SEED = 7
+SIDE = 4
+EPOCH = 4096.0
+DURATION = 36_000.0
+CONNECT_AT = 500.0
+# Steady-state comparison window (see module docstring).
+WINDOW = (2 * EPOCH, DURATION - 2 * EPOCH)
+
+ACQ_QUERY = ("SELECT temp FROM sensors WHERE temp > 0 "
+             "EPOCH DURATION 4096")
+AVG_QUERY = "SELECT AVG(temp) FROM sensors EPOCH DURATION 4096"
+
+
+def _drain(q: "queue.Queue"):
+    items = []
+    while True:
+        try:
+            items.append(q.get_nowait())
+        except queue.Empty:
+            return items
+
+
+def _in_window(item) -> bool:
+    return WINDOW[0] <= item.epoch_time <= WINDOW[1]
+
+
+def _run_single():
+    deployment = Deployment(Strategy.TTMQO,
+                            DeploymentConfig(side=SIDE, seed=SEED))
+    sim = deployment.sim
+    service = QueryService(deployment, clock=lambda: sim.now)
+    session = service.open_session("parity-single")
+    queues = {}
+
+    def connect():
+        for label, text in (("acq", ACQ_QUERY), ("avg", AVG_QUERY)):
+            ticket = service.submit(session, text)
+            queues[label] = service.subscribe(session, ticket.ticket_id,
+                                              maxsize=0)
+
+    sim.engine.schedule_at(CONNECT_AT, connect)
+    sim.start()
+    sim.run_until(DURATION + 4000.0)
+    service.pump()
+    return {label: _drain(q) for label, q in queues.items()}
+
+
+def _run_cluster(n_shards: int = 2):
+    partition = FieldPartition(SIDE, n_shards, quality_seed=SEED)
+    cluster = ClusterDeployment(partition, seed=SEED)
+    coord = cluster.coordinator
+    session = coord.open_session("parity-cluster")
+    cluster.run_until(CONNECT_AT)
+    queues, tickets = {}, {}
+    for label, text in (("acq", ACQ_QUERY), ("avg", AVG_QUERY)):
+        tickets[label] = coord.submit(session, text)
+        queues[label] = coord.subscribe(session,
+                                        tickets[label].ticket_id)
+    t = CONNECT_AT
+    while t < DURATION + 4000.0:
+        t = min(t + EPOCH, DURATION + 4000.0)
+        cluster.run_until(t)
+        cluster.pump()
+    cluster.pump(final=True)
+    cluster.validate()
+    return {label: _drain(q) for label, q in queues.items()}, tickets
+
+
+@pytest.fixture(scope="module")
+def parity_runs():
+    return _run_single(), _run_cluster()
+
+
+def test_spanning_query_actually_fans_out(parity_runs):
+    _, (_, tickets) = parity_runs
+    assert len(tickets["acq"].targets) == 2
+    assert len(tickets["avg"].targets) == 2
+
+
+def test_row_sets_are_identical(parity_runs):
+    """Same rows, each exactly once: epoch-aligned and deduplicated."""
+    single, (cluster, _) = parity_runs
+
+    def row_set(items):
+        rows = [i for i in items if isinstance(i, MappedRow)
+                and _in_window(i)]
+        keyed = {(r.epoch_time, r.origin): tuple(sorted(r.values.items()))
+                 for r in rows}
+        assert len(keyed) == len(rows), "duplicate (epoch, origin) rows"
+        return keyed
+
+    single_rows, cluster_rows = row_set(single["acq"]), row_set(
+        cluster["acq"])
+    assert single_rows, "single-station run produced no rows in the window"
+    assert cluster_rows == single_rows
+
+
+def test_avg_aggregate_matches_single_station(parity_runs):
+    """Root-side AVG = sum(SUM)/sum(COUNT) equals the global AVG."""
+    single, (cluster, _) = parity_runs
+
+    def by_epoch(items):
+        answers = {}
+        for item in items:
+            if not isinstance(item, MappedAggregates) or not _in_window(
+                    item):
+                continue
+            assert item.epoch_time not in answers, "duplicate epoch"
+            (value,) = item.values.values()
+            answers[item.epoch_time] = value
+        return answers
+
+    single_avg, cluster_avg = by_epoch(single["avg"]), by_epoch(
+        cluster["avg"])
+    assert single_avg, "single-station run produced no aggregates"
+    assert set(cluster_avg) == set(single_avg)
+    for epoch_time, value in single_avg.items():
+        assert cluster_avg[epoch_time] == pytest.approx(value, rel=1e-9), (
+            f"epoch {epoch_time}: cluster {cluster_avg[epoch_time]} != "
+            f"single {value}")
+
+
+def test_cluster_view_projects_user_avg(parity_runs):
+    """Subscribers see the *user* query's shape: one AVG value, not the
+    SUM+COUNT decomposition the root fans out."""
+    _, (cluster, _) = parity_runs
+    aggs = [i for i in cluster["avg"] if isinstance(i, MappedAggregates)]
+    assert aggs
+    for item in aggs:
+        assert len(item.values) == 1
+        (aggregate,) = item.values.keys()
+        assert aggregate.op.name == "AVG"

@@ -1,0 +1,126 @@
+"""Property tests for the consistent-hash ring.
+
+The two properties that make consistent hashing worth its complexity over
+``hash(key) % K``:
+
+* **balance** — with enough virtual nodes, no shard owns a wildly
+  disproportionate share of a large key population;
+* **minimal remapping** — adding a shard only moves keys *onto* the new
+  shard; removing one only moves the removed shard's keys; and the moved
+  fraction is in the ~1/K ballpark, not ~100%.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import HashRing
+
+_shard_sets = st.sets(
+    st.integers(min_value=0, max_value=30).map(lambda i: f"shard-{i:02d}"),
+    min_size=2, max_size=8)
+
+_keys = st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=60,
+                 unique=True)
+
+
+def _bulk_keys(n: int):
+    return [f"tenant-{i:05d}" for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Basics
+# ----------------------------------------------------------------------
+def test_empty_ring_refuses_routing():
+    with pytest.raises(ValueError):
+        HashRing().shard_for("k")
+
+
+def test_duplicate_add_and_unknown_remove_raise():
+    ring = HashRing(["a"])
+    with pytest.raises(ValueError):
+        ring.add("a")
+    with pytest.raises(KeyError):
+        ring.remove("b")
+
+
+def test_routing_is_insertion_order_independent():
+    names = [f"s{i}" for i in range(5)]
+    forward = HashRing(names)
+    backward = HashRing(reversed(names))
+    keys = _bulk_keys(200)
+    assert forward.assignment(keys) == backward.assignment(keys)
+
+
+# ----------------------------------------------------------------------
+# Minimal remapping
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(_shard_sets, _keys)
+def test_adding_a_shard_only_moves_keys_onto_it(shards, keys):
+    ring = HashRing(sorted(shards))
+    before = ring.assignment(keys)
+    new_shard = "shard-new"
+    ring.add(new_shard)
+    after = ring.assignment(keys)
+    for key in keys:
+        if after[key] != before[key]:
+            assert after[key] == new_shard
+
+
+@settings(max_examples=60, deadline=None)
+@given(_shard_sets, _keys)
+def test_removing_a_shard_only_moves_its_own_keys(shards, keys):
+    ring = HashRing(sorted(shards))
+    before = ring.assignment(keys)
+    removed = sorted(shards)[0]
+    ring.remove(removed)
+    after = ring.assignment(keys)
+    for key in keys:
+        if before[key] != removed:
+            assert after[key] == before[key]
+        else:
+            assert after[key] != removed
+
+
+def test_add_then_remove_restores_routing():
+    ring = HashRing([f"s{i}" for i in range(4)])
+    keys = _bulk_keys(300)
+    before = ring.assignment(keys)
+    ring.add("extra")
+    ring.remove("extra")
+    assert ring.assignment(keys) == before
+
+
+def test_moved_fraction_is_about_one_over_k():
+    """Growing K -> K+1 moves ~1/(K+1) of keys, nowhere near all of them."""
+    keys = _bulk_keys(4000)
+    for k in (2, 4, 8):
+        ring = HashRing([f"shard-{i:02d}" for i in range(k)])
+        before = ring.assignment(keys)
+        ring.add("shard-xx")
+        after = ring.assignment(keys)
+        moved = sum(1 for key in keys if before[key] != after[key])
+        fraction = moved / len(keys)
+        ideal = 1.0 / (k + 1)
+        # Generous envelope: vnode placement is random-ish, but modular
+        # hashing would move ~(1 - 1/(K+1)) — an order of magnitude more.
+        assert 0.2 * ideal <= fraction <= 3.0 * ideal, (
+            f"K={k}: moved {fraction:.3f}, ideal {ideal:.3f}")
+
+
+# ----------------------------------------------------------------------
+# Balance
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(0, 1000))
+def test_keyspace_share_is_bounded(k, salt):
+    """No shard owns more than ~3x its fair share of a large population."""
+    ring = HashRing([f"shard-{i:02d}" for i in range(k)])
+    keys = [f"tenant-{salt}-{i:05d}" for i in range(2000)]
+    counts = Counter(ring.assignment(keys).values())
+    assert len(counts) == k, "every shard should own some keys"
+    fair = len(keys) / k
+    assert max(counts.values()) <= 3.0 * fair
+    assert min(counts.values()) >= fair / 4.0

@@ -1,0 +1,81 @@
+"""Worker auto-sizing for the parallel sweep executor.
+
+The executor previously defaulted to ``os.cpu_count()`` workers, which on
+affinity-restricted or single-core machines spawned a pool with zero real
+parallelism and *lost* to serial execution (BENCH_parallel speedup 0.838).
+The contract pinned here: ``workers=None`` auto-sizes to ``min(cells,
+usable cores)``, and whenever the effective count is 1 the pool is
+bypassed entirely — the cells run in-process.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import (
+    CellSpec,
+    DeploymentConfig,
+    Strategy,
+    WorkloadSpec,
+    run_sweep,
+)
+from repro.harness.parallel import resolve_workers, usable_cores
+
+
+def _cells(n: int):
+    workload = WorkloadSpec.named("A", duration_ms=8_000.0)
+    return [CellSpec(strategy=Strategy.BASELINE, workload=workload,
+                     config=DeploymentConfig(side=3, seed=seed), seed=seed)
+            for seed in range(n)]
+
+
+class TestResolveWorkers:
+    def test_auto_sizes_to_min_of_cells_and_cores(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel.usable_cores",
+                            lambda: 8)
+        assert resolve_workers(None, 3) == 3
+        assert resolve_workers(None, 8) == 8
+        assert resolve_workers(None, 20) == 8
+
+    def test_auto_size_on_single_core_is_serial(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel.usable_cores",
+                            lambda: 1)
+        assert resolve_workers(None, 100) == 1
+
+    def test_explicit_count_is_clamped_to_cells(self):
+        assert resolve_workers(16, 4) == 4
+        assert resolve_workers(2, 4) == 2
+
+    @pytest.mark.parametrize("workers", [None, 0, 1, 7])
+    def test_no_cells_means_one_worker(self, workers):
+        assert resolve_workers(workers, 0) == 1
+
+    def test_zero_and_one_force_serial(self):
+        assert resolve_workers(0, 50) == 1
+        assert resolve_workers(1, 50) == 1
+
+    def test_usable_cores_is_positive(self):
+        assert usable_cores() >= 1
+
+
+class TestPoolBypass:
+    def test_single_pending_cell_runs_in_process(self):
+        """One cache miss never pays pool spawn + pickling overhead."""
+        report = run_sweep(_cells(1))
+        assert report.telemetry.workers == 1
+        assert [cell.worker_pid for cell in report.cells] == [os.getpid()]
+
+    def test_auto_sized_single_core_runs_in_process(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel.usable_cores",
+                            lambda: 1)
+        report = run_sweep(_cells(2))
+        assert report.telemetry.workers == 1
+        assert all(cell.worker_pid == os.getpid()
+                   for cell in report.cells)
+
+    def test_all_cache_hits_report_one_worker(self, tmp_path):
+        cells = _cells(1)
+        run_sweep(cells, cache_dir=tmp_path / "cache")
+        warm = run_sweep(cells, cache_dir=tmp_path / "cache")
+        assert warm.telemetry.cache_hits == 1
+        assert warm.telemetry.workers == 1

@@ -45,6 +45,23 @@ def _service_families():
         return registry.families()
 
 
+def _cluster_families():
+    with scoped() as registry:
+        from repro.cluster import ClusterCoordinator
+        backends = [
+            OptimizerBackend(BaseStationOptimizer(default_cost_model(16, 3)))
+            for _ in range(2)]
+        coordinator = ClusterCoordinator(backends)
+        sid = coordinator.open_session("alice", now_ms=0.0)
+        coordinator.submit(
+            sid,
+            "SELECT light FROM sensors WHERE light > 300 "
+            "EPOCH DURATION 4096",
+            now_ms=1.0,
+        )
+        return registry.families()
+
+
 def _sweep_families():
     with scoped() as registry:
         telemetry = SweepTelemetry(total_cells=2, workers=1,
@@ -60,6 +77,7 @@ def exported_families():
     for strategy in (Strategy.BASELINE, Strategy.TTMQO):
         families.update(_run_cell_families(strategy))
     families.update(_service_families())
+    families.update(_cluster_families())
     families.update(_sweep_families())
     return sorted(families)
 
@@ -67,8 +85,8 @@ def exported_families():
 def test_layers_actually_exported(exported_families):
     """Guard against the harness silently exporting nothing."""
     prefixes = {name.split(".")[0] for name in exported_families}
-    assert {"sim", "tinydb", "optimizer", "service", "sweep", "run",
-            "span"} <= prefixes
+    assert {"sim", "tinydb", "optimizer", "service", "cluster", "sweep",
+            "run", "span"} <= prefixes
 
 
 def test_every_exported_family_is_documented(exported_families):
