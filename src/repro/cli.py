@@ -206,6 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_p.add_argument("--json", default=None, metavar="PATH",
                            help="also write the cluster report as JSON")
 
+    explain_p = sub.add_parser(
+        "explain",
+        help="price queries in radio-seconds and joules before admission")
+    explain_p.add_argument("queries", nargs="+",
+                           help="TinyDB-dialect query strings, priced in "
+                                "order (each is admitted after its EXPLAIN "
+                                "so later ones see the sharing deltas)")
+    explain_p.add_argument("--side", type=int, default=4,
+                           help="grid side (nodes = side^2)")
+    explain_p.add_argument("--depth", type=int, default=3,
+                           help="routing-tree depth of the cost profile")
+    explain_p.add_argument("--shards", type=int, default=0,
+                           help="price across a row-banded cluster of this "
+                                "many shards (0 = one base station)")
+    explain_p.add_argument("--no-admit", action="store_true",
+                           help="only price; don't admit between EXPLAINs")
+    explain_p.add_argument("--format", choices=["text", "json"],
+                           default="text", help="output format")
+
     obs_p = sub.add_parser(
         "obs",
         help="run one experiment cell and export its metrics")
@@ -617,6 +636,82 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if report.all_clients_served else 1
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.basestation import BaseStationOptimizer
+    from .harness.tier1_sim import default_cost_model
+    from .obs import scoped
+    from .service import OptimizerBackend, QueryService
+
+    n_nodes = args.side * args.side
+    with scoped():
+        if args.shards > 0:
+            from .cluster import ClusterCoordinator, FieldPartition
+
+            partition = FieldPartition(args.side, args.shards)
+            backends = [
+                OptimizerBackend(BaseStationOptimizer(default_cost_model(
+                    len(region.sensor_ids), args.depth)))
+                for region in partition.regions]
+            front = ClusterCoordinator(backends, partition=partition)
+        else:
+            front = QueryService(OptimizerBackend(BaseStationOptimizer(
+                default_cost_model(n_nodes, args.depth))))
+        sid = front.open_session("cli", now_ms=0.0)
+        reports = []
+        for index, text in enumerate(args.queries):
+            try:
+                report = front.explain(text, session_id=sid,
+                                       now_ms=float(index))
+            except ParseError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            reports.append(report)
+            if not args.no_admit:
+                front.submit(sid, text, now_ms=float(index) + 0.5)
+        if args.format == "json":
+            print(json.dumps([r.to_dict() for r in reports], indent=1,
+                             sort_keys=True))
+            return 0
+        for report in reports:
+            print(f"EXPLAIN {report.text}")
+            if args.shards > 0:
+                print(f"  scope {report.scope} targets "
+                      f"{list(report.targets)} pruned {list(report.pruned)}"
+                      f"{' (root dedup hit)' if report.root_dedup_hit else ''}")
+                for shard in report.shards:
+                    r = shard.report
+                    print(f"  {shard.name}: {r.action} "
+                          f"{r.price.radio_s_per_epoch:.4f} radio-s/epoch "
+                          f"{r.price.joules_per_epoch * 1000:.3f} mJ/epoch")
+                print(f"  total {report.total_radio_s_per_epoch:.4f} "
+                      f"radio-s/epoch ({report.cheapest_shard} cheapest, "
+                      f"{report.priciest_shard} priciest)")
+            else:
+                print(f"  plan {report.action}"
+                      f"{' (cache hit)' if report.cache_hit else ''}: "
+                      f"synthetic {report.synthetic_before} -> "
+                      f"{report.synthetic_after}, aborts {report.aborts}")
+                print(f"  price {report.price.radio_s_per_epoch:.4f} "
+                      f"radio-s/epoch "
+                      f"{report.price.joules_per_epoch * 1000:.3f} mJ/epoch "
+                      f"(sel {report.price.selectivity:.3f}, "
+                      f"{report.price.transmissions_per_epoch:.1f} tx/epoch)")
+                print(f"  sharing: standalone "
+                      f"{report.standalone_radio_s_per_epoch:.4f} vs "
+                      f"marginal {report.marginal_radio_s_per_epoch:.4f} "
+                      f"radio-s/epoch (saves "
+                      f"{report.sharing_saving_radio_s_per_epoch:.4f})")
+                verdict = report.would_shed or "admit"
+                print(f"  admission: {verdict} (quota spent "
+                      f"{report.quota_spent_radio_s:.4f}"
+                      + (f" of {report.quota_budget:.4f}"
+                         if report.quota_budget is not None else "")
+                      + ")")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from .harness.experiments import fig3_cells
     from .obs import render_json, render_prometheus, render_text, scoped
@@ -680,6 +775,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "topo":

@@ -17,9 +17,11 @@ metric families in ``docs/observability.md``.
 from .coordinator import (
     ROOT_CLIENT,
     ClusterCoordinator,
+    ClusterExplainReport,
     ClusterScope,
     ClusterStats,
     ClusterTicket,
+    ShardExplain,
 )
 from .deployment import ClusterDeployment
 from .load import (
@@ -36,6 +38,7 @@ __all__ = [
     "ClusterClientOutcome",
     "ClusterCoordinator",
     "ClusterDeployment",
+    "ClusterExplainReport",
     "ClusterLoadReport",
     "ClusterRegion",
     "ClusterScope",
@@ -45,6 +48,7 @@ __all__ = [
     "FieldPartition",
     "HashRing",
     "ROOT_CLIENT",
+    "ShardExplain",
     "build_query_pool",
     "combine_shard_aggregates",
     "run_cluster_load",

@@ -46,6 +46,7 @@ from ..queries.parser import parse_query
 from ..service import (
     DEFAULT_TTL_MS,
     CanonicalQueryCache,
+    ExplainReport,
     OverloadConfig,
     QueryService,
     ServiceStats,
@@ -53,6 +54,7 @@ from ..service import (
     Ticket,
     TicketStatus,
 )
+from ..service.planner import EXPLAIN_PROBE_QID
 from ..service.service import _wall_clock_ms
 from .merge import combine_shard_aggregates, user_aggregates_view
 from .partition import FieldPartition
@@ -108,6 +110,58 @@ class ClusterTicket:
             if worst in statuses:
                 return worst
         return TicketStatus.LIVE
+
+
+@dataclass(frozen=True)
+class ShardExplain:
+    """One shard's priced EXPLAIN for its slice of a cluster query."""
+
+    shard_id: int
+    name: str
+    report: ExplainReport
+
+    def to_dict(self) -> dict:
+        return {"shard_id": self.shard_id, "name": self.name,
+                "report": self.report.to_dict()}
+
+
+@dataclass(frozen=True)
+class ClusterExplainReport:
+    """What cluster ``EXPLAIN`` returns: the root plan, priced per shard.
+
+    ``shards`` holds each *target* shard's own :class:`ExplainReport` for
+    the query it would actually run (the fan-out form for multi-shard
+    plans), so the root can compare what the same question costs in each
+    region — ``cheapest_shard``/``priciest_shard`` rank them by estimated
+    radio-seconds per epoch, and the totals sum the fan-out's whole
+    footprint.  Region-pruned shards appear in ``pruned`` and cost
+    nothing.
+    """
+
+    text: str
+    scope: str
+    targets: Tuple[int, ...]
+    pruned: Tuple[int, ...]
+    root_dedup_hit: bool
+    shards: Tuple[ShardExplain, ...]
+    total_radio_s_per_epoch: float
+    total_joules_per_epoch: float
+    cheapest_shard: str
+    priciest_shard: str
+
+    def to_dict(self) -> dict:
+        return {
+            "text": self.text,
+            "scope": self.scope,
+            "targets": list(self.targets),
+            "pruned": list(self.pruned),
+            "root_dedup_hit": self.root_dedup_hit,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "total_radio_s_per_epoch": self.total_radio_s_per_epoch,
+            "total_joules_per_epoch": self.total_joules_per_epoch,
+            "cheapest_shard": self.cheapest_shard,
+            "priciest_shard": self.priciest_shard,
+        }
 
 
 @dataclass
@@ -281,6 +335,9 @@ class ClusterCoordinator:
         self._m_dup_dropped = registry.counter(
             "cluster.merge_duplicates_dropped_total",
             help="duplicate/late shard result items dropped by the merge")
+        self._m_explains = registry.counter(
+            "cluster.explains_total",
+            help="cluster EXPLAIN requests served by the root")
         registry.gauge("cluster.shards",
                        help="shards behind the coordinator"
                        ).set_fn(lambda: float(len(self._shards)))
@@ -488,6 +545,75 @@ class ClusterCoordinator:
             cache_hit=dedup_hit,
             fan_key=fan_key,
         )
+
+    # ------------------------------------------------------------------
+    # EXPLAIN: shard-aware pricing
+    # ------------------------------------------------------------------
+    def explain(self, query: Union[str, Query],
+                session_id: Optional[str] = None,
+                now_ms: Optional[float] = None,
+                qos: QoSClass = QoSClass.BEST_EFFORT
+                ) -> ClusterExplainReport:
+        """Price a query across the cluster *without* admitting it.
+
+        Runs the root rewrite pass (region pruning + fan-out
+        decomposition) exactly as :meth:`submit` would, then asks every
+        target shard's service to EXPLAIN the query it would receive —
+        each against its own optimizer table, statistics, and tenant
+        ledger — so the report compares what the same question costs per
+        region before a single flood goes out.  Read-only at every tier:
+        the probe qid is pinned and no shard session is opened.
+        """
+        with self._lock:
+            now = self._now(now_ms)
+            client = "anonymous"
+            if session_id is not None:
+                client = self._sessions.get(session_id).client_id
+            if isinstance(query, str):
+                query = parse_query(query, qid=EXPLAIN_PROBE_QID)
+            if self._rewriter is None:
+                canonical = canonicalize(query, qid=EXPLAIN_PROBE_QID)
+                targets: Tuple[int, ...] = (self.home_shard(client),)
+                pruned: Tuple[int, ...] = ()
+                fan_query = canonical
+            else:
+                plan = self._rewriter.plan(query)
+                canonical = canonicalize(plan.canonical,
+                                         qid=EXPLAIN_PROBE_QID)
+                fan_query = canonicalize(plan.fan_query,
+                                         qid=EXPLAIN_PROBE_QID)
+                targets, pruned = plan.targets, plan.pruned
+            scope = (ClusterScope.LOCAL if len(targets) == 1
+                     else ClusterScope.FANOUT)
+            probe = canonical if scope == ClusterScope.LOCAL else fan_query
+            dedup_hit = (scope == ClusterScope.FANOUT
+                         and canonical_key(fan_query)
+                         in self._root_cache.entries())
+            shards = []
+            for shard_id in targets:
+                shard = self._shard(shard_id)
+                shards.append(ShardExplain(
+                    shard_id=shard_id, name=shard.name,
+                    report=shard.service.explain(probe, now_ms=now, qos=qos,
+                                                 client_id=client)))
+            by_price = sorted(
+                shards, key=lambda s: (s.report.price.radio_s_per_epoch,
+                                       s.shard_id))
+            self._m_explains.inc()
+            return ClusterExplainReport(
+                text=str(canonical),
+                scope=scope,
+                targets=targets,
+                pruned=pruned,
+                root_dedup_hit=dedup_hit,
+                shards=tuple(shards),
+                total_radio_s_per_epoch=sum(
+                    s.report.price.radio_s_per_epoch for s in shards),
+                total_joules_per_epoch=sum(
+                    s.report.price.joules_per_epoch for s in shards),
+                cheapest_shard=by_price[0].name,
+                priciest_shard=by_price[-1].name,
+            )
 
     # ------------------------------------------------------------------
     # Termination

@@ -83,6 +83,22 @@ class RadioAccountant:
                 unit="ms", node=node_id)
         node_tx.inc(airtime_ms)
 
+    def frames_by_kind(self) -> Dict[str, int]:
+        """Frames transmitted per wire kind (``query``/``result``/...).
+
+        Read-only view over the ``sim.radio.frames_total`` counters; the
+        planner's statistics collector samples it to measure the control
+        overhead riding on top of result traffic.
+        """
+        return {kind: int(counter.value)
+                for kind, counter in self._frame_counters.items()}
+
+    def airtime_by_kind(self) -> Dict[str, float]:
+        """Radio airtime (ms) per wire kind — companion to
+        :meth:`frames_by_kind`, backing ``sim.radio.airtime_ms_total``."""
+        return {kind: counter.value
+                for kind, counter in self._airtime_counters.items()}
+
     def record_collision(self, receivers: int) -> None:
         self._collisions.inc(receivers)
 

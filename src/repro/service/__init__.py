@@ -16,6 +16,18 @@ from .durability import (
 )
 from .load import ClientOutcome, LoadReport, run_scripted_load
 from .overload import BreakerState, CircuitBreaker, OverloadConfig
+from .planner import (
+    AttributeHistogram,
+    ExplainReport,
+    PlannerStats,
+    QueryPlanner,
+    QueryPrice,
+    StatisticsStore,
+    TenantQuotas,
+    WorkloadEstimate,
+    collect_statistics,
+    estimate_workload,
+)
 from .service import (
     OptimizerBackend,
     QueryService,
@@ -29,6 +41,7 @@ from .session import DEFAULT_TTL_MS, Session, SessionError, SessionManager
 
 __all__ = [
     "AdmissionBatcher",
+    "AttributeHistogram",
     "BreakerState",
     "CircuitBreaker",
     "CacheEntry",
@@ -36,10 +49,14 @@ __all__ = [
     "ClientOutcome",
     "DEFAULT_TTL_MS",
     "DurabilityConfig",
+    "ExplainReport",
     "LoadReport",
     "OptimizerBackend",
     "OverloadConfig",
     "PendingAdmission",
+    "PlannerStats",
+    "QueryPlanner",
+    "QueryPrice",
     "QueryService",
     "RecoveryReport",
     "ResilienceStats",
@@ -49,8 +66,13 @@ __all__ = [
     "SnapshotStore",
     "SessionError",
     "SessionManager",
+    "StatisticsStore",
+    "TenantQuotas",
     "Ticket",
     "TicketStatus",
+    "WorkloadEstimate",
     "WriteAheadLog",
+    "collect_statistics",
+    "estimate_workload",
     "run_scripted_load",
 ]

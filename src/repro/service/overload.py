@@ -11,6 +11,11 @@ keep coming).  This module keeps the service *degraded, never down*:
   threshold, BEST_EFFORT submissions are shed immediately (status
   ``SHED``); RELIABLE submissions ride to a higher threshold, so paying
   tenants survive bursts that drop free tiers;
+* **cost-weighted shedding** (opt-in) — with a planner attached, the
+  shedder prices each submission in radio-seconds and, at a tripped
+  backlog threshold, sheds the *most expensive* pending BEST_EFFORT
+  entry rather than blindly dropping the newcomer, so one monster query
+  cannot crowd out many cheap ones (``planner.cost_sheds_total``);
 * **per-ticket submit deadlines** — a submission that sat in the batch
   window longer than its deadline is shed at flush time instead of being
   admitted uselessly late;
@@ -69,6 +74,17 @@ class OverloadConfig:
     #: replay-deterministic, so enabling this weakens crash/recover
     #: parity from exact to approximate.
     register_latency_budget_ms: float = math.inf
+    #: Shed by *cost*, not just priority: when a backlog threshold trips,
+    #: evict the most expensive pending BEST_EFFORT submission (by planner
+    #: price) instead of the newcomer when the newcomer is cheaper or
+    #: RELIABLE.  Prices come from the service's planner and are pure
+    #: functions of the query, so decisions stay replay-deterministic.
+    cost_weighted_shedding: bool = False
+    #: Also shed any submission whose *priced* backlog (summed
+    #: radio-s/epoch of pending admissions) has reached this, regardless
+    #: of entry count — so one monster query can't hide behind a short
+    #: queue.  ``None`` disables the priced threshold.
+    shed_backlog_cost_radio_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.subscriber_queue_maxsize < 1:
@@ -92,6 +108,11 @@ class OverloadConfig:
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"{name} must be >= 0 (got {value})")
+        if (self.shed_backlog_cost_radio_s is not None
+                and not self.shed_backlog_cost_radio_s > 0):
+            raise ValueError(
+                f"shed_backlog_cost_radio_s must be > 0 "
+                f"(got {self.shed_backlog_cost_radio_s})")
 
     def backlog_threshold(self, qos: QoSClass) -> Optional[int]:
         """The shed threshold for one QoS class (``None`` = never shed)."""

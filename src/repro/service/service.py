@@ -41,7 +41,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from ..core.basestation import BaseStationOptimizer, ResultMapper
 from ..core.qos import QoSClass
-from ..obs import Histogram, get_registry
+from ..obs import Histogram, get_registry, scoped
 from ..queries.ast import (
     Query,
     next_qid,
@@ -62,6 +62,13 @@ from .durability import (
     WriteAheadLog,
 )
 from .overload import BreakerState, CircuitBreaker, OverloadConfig
+from .planner import (
+    EXPLAIN_PROBE_QID,
+    ExplainReport,
+    PlannerStats,
+    QueryPlanner,
+    TenantQuotas,
+)
 from .session import DEFAULT_TTL_MS, SessionError, SessionManager
 
 #: Keep at most this many admission-latency samples (most recent).
@@ -288,6 +295,8 @@ class QueryService:
                  clock: Optional[Callable[[], float]] = None,
                  durability: Optional[Union[DurabilityConfig, str, Path]] = None,
                  overload: Optional[OverloadConfig] = None,
+                 planner: Optional[QueryPlanner] = None,
+                 quotas: Optional[TenantQuotas] = None,
                  name: str = "") -> None:
         if getattr(backend, "optimizer", None) is None:
             raise ValueError(
@@ -308,6 +317,16 @@ class QueryService:
         self._ticket_qos: Dict[int, QoSClass] = {}
         self._subs: Dict[int, List["queue.Queue"]] = {}
         self._delivered: Dict[int, set] = {}
+        #: Planner pricing every submission (EXPLAIN, quotas, cost-aware
+        #: shedding).  Defaults to an uncalibrated planner over the
+        #: backend's own cost model, so prices are always available.
+        self._planner = planner or QueryPlanner(backend.optimizer.cost_model)
+        self._quotas = quotas or TenantQuotas()
+        #: Priced admission state: radio-s/epoch per PENDING/LIVE ticket,
+        #: the owning client, and summed spend per client (quota ledger).
+        self._ticket_price: Dict[int, float] = {}
+        self._ticket_client: Dict[int, str] = {}
+        self._quota_spend: Dict[str, float] = {}
         self._overload = overload or OverloadConfig()
         self._breaker = CircuitBreaker(
             self._overload.breaker_failure_threshold,
@@ -442,6 +461,28 @@ class QueryService:
         registry.gauge("resilience.breaker_state",
                        help="0 closed / 1 half-open / 2 open"
                        ).set_fn(lambda: self._breaker.state.gauge_value)
+        # Planner counters (``planner.*`` families); PlannerStats reports
+        # instance deltas like stats() and resilience_stats().
+        self._m_planner = {
+            "explains": registry.counter(
+                "planner.explains_total",
+                help="EXPLAIN requests served", instance=instance),
+            "quota_rejections": registry.counter(
+                "planner.quota_rejections_total",
+                help="submissions rejected by per-tenant cost quotas",
+                instance=instance),
+            "cost_sheds": registry.counter(
+                "planner.cost_sheds_total",
+                help="pending submissions evicted by cost-weighted "
+                     "shedding", instance=instance),
+        }
+        registry.gauge("planner.priced_backlog_radio_s",
+                       help="summed radio-s/epoch price of pending "
+                            "admissions"
+                       ).set_fn(self._pending_cost_radio_s)
+        registry.gauge("planner.live_cost_radio_s",
+                       help="summed radio-s/epoch price of LIVE tickets"
+                       ).set_fn(self._live_cost_radio_s)
         #: Instance-scoped latency view behind the shared registry series.
         self._lat_local = Histogram(sample_cap=LATENCY_SAMPLE_CAP)
         self._baseline = {
@@ -459,6 +500,9 @@ class QueryService:
         self._baseline.update({
             f"res_{key}": counter.value
             for key, counter in self._m_res.items()})
+        self._baseline.update({
+            f"planner_{key}": counter.value
+            for key, counter in self._m_planner.items()})
         registry.gauge("service.sessions_open",
                        help="sessions with an unexpired lease"
                        ).set_fn(lambda: float(len(self._sessions)))
@@ -480,6 +524,21 @@ class QueryService:
     @property
     def optimizer(self) -> BaseStationOptimizer:
         return self._backend.optimizer
+
+    @property
+    def planner(self) -> QueryPlanner:
+        return self._planner
+
+    def _pending_cost_radio_s(self) -> float:
+        """Summed price of the admission backlog (priced-backlog gauge)."""
+        return sum(self._ticket_price.get(p.ticket_id, 0.0)
+                   for p in self._batcher.pending())
+
+    def _live_cost_radio_s(self) -> float:
+        """Summed price of LIVE tickets (live-cost gauge)."""
+        return sum(self._ticket_price.get(t.ticket_id, 0.0)
+                   for t in self._tickets.values()
+                   if t.status is TicketStatus.LIVE)
 
     def _now(self, now_ms: Optional[float]) -> float:
         return self._clock() if now_ms is None else now_ms
@@ -557,7 +616,6 @@ class QueryService:
         self._m_res["snapshots"].inc()
 
     def _snapshot_state(self, now: float) -> dict:
-        base = self._baseline
         return {
             "format": FORMAT_VERSION,
             "saved_ms": now,
@@ -593,7 +651,7 @@ class QueryService:
                 "max_batch_size": self._batcher.max_batch_size,
             },
             "counters": {
-                key: int(counter.value - base[key])
+                key: self._delta(counter.value, key)
                 for key, counter in (
                     ("submissions", self._m_submissions),
                     ("admitted", self._m_admitted),
@@ -658,6 +716,25 @@ class QueryService:
         self._breaker.opened_at_ms = breaker["opened_at_ms"]
         self._breaker.opens_total = int(breaker["opens_total"])
         self.optimizer.restore_state(snap["optimizer"])
+        # The quota ledger is derived state: planner prices are pure
+        # functions of the query, so re-pricing the restored PENDING/LIVE
+        # tickets rebuilds spend exactly (nothing extra in the snapshot).
+        self._ticket_price = {}
+        self._ticket_client = {}
+        self._quota_spend = {}
+        for tid in sorted(self._tickets):
+            ticket = self._tickets[tid]
+            if ticket.status not in (TicketStatus.PENDING, TicketStatus.LIVE):
+                continue
+            price = self._planner.price(ticket.query).radio_s_per_epoch
+            try:
+                client = self._sessions.get(ticket.session_id).client_id
+            except SessionError:
+                client = ticket.session_id
+            self._ticket_price[tid] = price
+            self._ticket_client[tid] = client
+            self._quota_spend[client] = (
+                self._quota_spend.get(client, 0.0) + price)
 
     # ------------------------------------------------------------------
     # Durability: recovery
@@ -667,6 +744,8 @@ class QueryService:
                 durability: Union[DurabilityConfig, str, Path], *,
                 clock: Optional[Callable[[], float]] = None,
                 overload: Optional[OverloadConfig] = None,
+                planner: Optional[QueryPlanner] = None,
+                quotas: Optional[TenantQuotas] = None,
                 batch_window_ms: Optional[float] = None,
                 default_ttl_ms: Optional[float] = None) -> "QueryService":
         """Rebuild a service from its durability directory.
@@ -692,7 +771,7 @@ class QueryService:
             default_ttl_ms=(default_ttl_ms if default_ttl_ms is not None
                             else stored.get("default_ttl_ms",
                                             DEFAULT_TTL_MS)),
-            clock=clock, overload=overload)
+            clock=clock, overload=overload, planner=planner, quotas=quotas)
         report = RecoveryReport(snapshot_loaded=snap is not None,
                                 wal_records=len(records), torn_records=torn)
         service._replaying = True
@@ -863,13 +942,34 @@ class QueryService:
                 self._tickets[ticket.ticket_id] = ticket
                 session.tickets.add(ticket.ticket_id)
                 self._m_submissions.inc()
-                shed_reason = self._shed_reason(qos)
+                price = self._planner.price(canonical).radio_s_per_epoch
+                reason = self._backlog_reason(qos, price)
+                if reason is not None and self._overload.cost_weighted_shedding:
+                    # Fight for the slot: evict pricier pending BEST_EFFORT
+                    # entries until the backlog admits us or nothing
+                    # cheaper-to-keep remains.  Only backlog reasons are
+                    # fought — evicting can't lower a p95 latency brake.
+                    while reason is not None and self._evict_pricier_pending(
+                            price, qos):
+                        reason = self._backlog_reason(qos, price)
+                shed_reason = reason or self._latency_reason(qos)
+                quota_shed = False
+                if shed_reason is None:
+                    shed_reason = self._quota_reason(session.client_id, price)
+                    quota_shed = shed_reason is not None
                 if shed_reason is not None:
                     ticket.status = TicketStatus.SHED
                     ticket.error = shed_reason
-                    self._count_shed(qos)
+                    if quota_shed:
+                        self._m_planner["quota_rejections"].inc()
+                    else:
+                        self._count_shed(qos)
                     return ticket
                 self._ticket_qos[ticket.ticket_id] = qos
+                self._ticket_price[ticket.ticket_id] = price
+                self._ticket_client[ticket.ticket_id] = session.client_id
+                self._quota_spend[session.client_id] = (
+                    self._quota_spend.get(session.client_id, 0.0) + price)
                 self._batcher.add(
                     PendingAdmission(ticket.ticket_id, session_id, canonical,
                                      ticket.key, now),
@@ -878,19 +978,34 @@ class QueryService:
                     self._flush(now)
                 return ticket
 
-    def _shed_reason(self, qos: QoSClass) -> Optional[str]:
-        """Why this submission must be shed right now (None = admit).
+    def _backlog_reason(self, qos: QoSClass,
+                        price_radio_s: float) -> Optional[str]:
+        """Why the *backlog* rejects this submission (None = room).
 
         Deterministic in service state and the caller clock — identical
         decisions under WAL replay.  BEST_EFFORT sheds first (lower
-        backlog threshold, plus the p95 latency brake); RELIABLE rides to
-        its own, higher threshold.
+        backlog threshold); RELIABLE rides to its own, higher threshold.
+        With ``shed_backlog_cost_radio_s`` set, the *priced* backlog is
+        capped too, so one monster query can't hide behind a short queue.
+        Backlog reasons are the ones cost-weighted eviction can fight by
+        removing pending entries (unlike the p95 latency brake).
         """
         threshold = self._overload.backlog_threshold(qos)
         backlog = len(self._batcher)
         if threshold is not None and backlog >= threshold:
             return (f"shed: admission backlog {backlog} at the "
                     f"{qos.value} threshold {threshold}")
+        cost_cap = self._overload.shed_backlog_cost_radio_s
+        if cost_cap is not None:
+            priced = self._pending_cost_radio_s()
+            if priced + price_radio_s > cost_cap:
+                return (f"shed: priced backlog "
+                        f"{priced + price_radio_s:.3f} radio-s/epoch over "
+                        f"the {cost_cap:.3f} cap")
+        return None
+
+    def _latency_reason(self, qos: QoSClass) -> Optional[str]:
+        """The p95 admission-latency brake (BEST_EFFORT only)."""
         p95_limit = self._overload.shed_latency_p95_ms
         if (qos is QoSClass.BEST_EFFORT and not math.isinf(p95_limit)
                 and self._lat_local.count > 0
@@ -899,6 +1014,61 @@ class QueryService:
                     f"{self._lat_local.quantile(95.0):.1f} ms over the "
                     f"{p95_limit:.1f} ms budget")
         return None
+
+    def _quota_reason(self, client_id: str,
+                      price_radio_s: float) -> Optional[str]:
+        """Why the tenant's cost quota rejects this submission."""
+        budget = self._quotas.budget(client_id)
+        if budget is None:
+            return None
+        spent = self._quota_spend.get(client_id, 0.0)
+        if spent + price_radio_s > budget + 1e-9:
+            return (f"quota: {client_id!r} spend {spent:.3f} + price "
+                    f"{price_radio_s:.3f} radio-s/epoch over the "
+                    f"{budget:.3f} budget")
+        return None
+
+    def _evict_pricier_pending(self, price_radio_s: float,
+                               qos: QoSClass) -> bool:
+        """Evict the most expensive pending BEST_EFFORT submission.
+
+        Called when a backlog threshold rejected a newcomer under
+        cost-weighted shedding.  A RELIABLE newcomer displaces the
+        priciest pending BEST_EFFORT entry unconditionally (priority
+        dominance); a BEST_EFFORT newcomer only displaces a *strictly*
+        pricier one, so equal-price traffic can't churn the queue.
+        RELIABLE entries are never evicted.  Returns True if an entry was
+        evicted (the caller re-checks the backlog).
+        """
+        best: Optional[PendingAdmission] = None
+        best_price = -1.0
+        for pending in self._batcher.pending():
+            pqos = self._ticket_qos.get(pending.ticket_id,
+                                        QoSClass.BEST_EFFORT)
+            if pqos is QoSClass.RELIABLE:
+                continue
+            pprice = self._ticket_price.get(pending.ticket_id, 0.0)
+            # Ties evict the *newest* entry (highest ticket id): oldest
+            # equal-price work keeps its place in line.
+            if (best is None or pprice > best_price
+                    or (pprice == best_price
+                        and pending.ticket_id > best.ticket_id)):
+                best, best_price = pending, pprice
+        if best is None:
+            return False
+        if qos is not QoSClass.RELIABLE and best_price <= price_radio_s:
+            return False
+        ticket = self._tickets[best.ticket_id]
+        self._batcher.cancel(best.ticket_id)
+        ticket.status = TicketStatus.SHED
+        ticket.error = (
+            f"shed: evicted by cost-weighted backlog (price "
+            f"{best_price:.3f} radio-s/epoch vs newcomer "
+            f"{price_radio_s:.3f}, {qos.value})")
+        self._m_planner["cost_sheds"].inc()
+        self._count_shed(QoSClass.BEST_EFFORT)
+        self._session_drop(ticket)
+        return True
 
     def _count_shed(self, qos: QoSClass) -> None:
         if qos is QoSClass.RELIABLE:
@@ -1016,6 +1186,101 @@ class QueryService:
             self._m_res["breaker_opens"].inc()
 
     # ------------------------------------------------------------------
+    # EXPLAIN: priced what-if admission
+    # ------------------------------------------------------------------
+    def explain(self, query: Union[str, Query],
+                session_id: Optional[str] = None,
+                now_ms: Optional[float] = None,
+                qos: QoSClass = QoSClass.BEST_EFFORT,
+                client_id: Optional[str] = None) -> ExplainReport:
+        """Price a query against the live query set *without* admitting it.
+
+        Returns the plan the optimizer *would* choose (cache attach,
+        Algorithm 1 absorption, or a new injection), the query's price in
+        radio-seconds and joules per epoch, the sharing delta against the
+        running synthetic set, and the admission verdict (shed reason and
+        quota headroom) — everything ``submit`` would decide, decided
+        first.
+
+        Strictly read-only: the what-if registration runs on a throwaway
+        optimizer clone (restored from the live snapshot, inside a scoped
+        metrics registry) with a pinned probe qid, so the query table,
+        dedup cache, qid allocator, WAL and counters are all untouched.
+        Works on a closed service too — it's introspection.
+        """
+        with self._lock:
+            if isinstance(query, str):
+                # Pin the probe qid at parse time too: parse_query with no
+                # qid draws from the global allocator, and EXPLAIN must
+                # leave it untouched (WAL replay determinism).
+                query = parse_query(query, qid=EXPLAIN_PROBE_QID)
+            canonical = canonicalize(query, qid=EXPLAIN_PROBE_QID)
+            key = canonical_key(canonical)
+            price = self._planner.price(canonical)
+            live = self.optimizer
+            standalone = self._planner.model_radio_s_per_epoch(canonical)
+            # entries() is a read-only copy; lookup() would count a cache
+            # hit/miss and EXPLAIN must not move the stats it reports on.
+            entry = self._cache.entries().get(key)
+            cache_hit = entry is not None
+            if cache_hit:
+                action = "cache-attach"
+                before = after = live.synthetic_count()
+                aborts, injected, marginal = 0, False, 0.0
+            else:
+                # The what-if registration can mint synthetic-merge qids;
+                # rewind the allocator afterwards so an EXPLAIN changes
+                # nothing about the qids later submissions would get.
+                saved_qid = peek_qid()
+                try:
+                    with scoped():
+                        probe = BaseStationOptimizer(live.cost_model,
+                                                     alpha=live.alpha)
+                        probe.restore_state(live.snapshot_state())
+                        before = probe.synthetic_count()
+                        cost_before = probe.total_synthetic_cost()
+                        actions = probe.register(canonical, qos=qos)
+                        after = probe.synthetic_count()
+                        cost_after = probe.total_synthetic_cost()
+                finally:
+                    set_next_qid(saved_qid)
+                aborts = len(actions.abort_qids)
+                injected = len(actions.inject) > 0
+                action = "injected" if injected else "absorbed"
+                marginal = ((cost_after - cost_before) * canonical.epoch_ms
+                            / 1000.0 * self._planner.scale())
+            # Quota view: prefer the session's tenant, else an explicit
+            # client_id (the cluster coordinator prices for tenants whose
+            # shard sessions don't exist yet), else the anonymous tier.
+            if session_id is not None:
+                client = self._sessions.get(session_id).client_id
+            else:
+                client = client_id if client_id is not None else "anonymous"
+            budget = self._quotas.budget(client)
+            spent = self._quota_spend.get(client, 0.0)
+            quota_reason = self._quota_reason(client, price.radio_s_per_epoch)
+            would_shed = (self._backlog_reason(qos, price.radio_s_per_epoch)
+                          or self._latency_reason(qos) or quota_reason)
+            self._m_planner["explains"].inc()
+            return ExplainReport(
+                text=str(canonical),
+                action=action,
+                cache_hit=cache_hit,
+                price=price,
+                standalone_radio_s_per_epoch=standalone,
+                marginal_radio_s_per_epoch=marginal,
+                sharing_saving_radio_s_per_epoch=standalone - marginal,
+                synthetic_before=before,
+                synthetic_after=after,
+                aborts=aborts,
+                injected=injected,
+                would_shed=would_shed,
+                quota_budget=budget,
+                quota_spent_radio_s=spent,
+                quota_ok=quota_reason is None,
+            )
+
+    # ------------------------------------------------------------------
     # Query termination
     # ------------------------------------------------------------------
     def terminate(self, session_id: str, ticket_id: int,
@@ -1051,6 +1316,16 @@ class QueryService:
         self._subs.pop(ticket.ticket_id, None)
         self._delivered.pop(ticket.ticket_id, None)
         self._ticket_qos.pop(ticket.ticket_id, None)
+        price = self._ticket_price.pop(ticket.ticket_id, None)
+        client = self._ticket_client.pop(ticket.ticket_id, None)
+        if price is not None and client is not None:
+            remaining = self._quota_spend.get(client, 0.0) - price
+            if remaining > 1e-9:
+                self._quota_spend[client] = remaining
+            else:
+                # Drop the ledger entry at zero so float dust can't
+                # accumulate into a phantom quota charge.
+                self._quota_spend.pop(client, None)
 
     # ------------------------------------------------------------------
     # Result subscriptions
@@ -1230,27 +1505,27 @@ class QueryService:
         obs`` exports.
         """
         with self._lock:
-            base = self._baseline
             return ServiceStats(
                 sessions_open=len(self._sessions),
                 sessions_opened_total=self._sessions.opened_total,
                 sessions_expired_total=self._sessions.expired_total,
-                submissions_total=int(self._m_submissions.value
-                                      - base["submissions"]),
-                admitted_total=int(self._m_admitted.value - base["admitted"]),
+                submissions_total=self._delta(self._m_submissions.value,
+                                              "submissions"),
+                admitted_total=self._delta(self._m_admitted.value,
+                                           "admitted"),
                 pending=len(self._batcher),
                 cache_hits=self._cache.hits,
                 cache_misses=self._cache.misses,
                 cache_hit_rate=self._cache.hit_rate,
                 live_cached_queries=len(self._cache),
-                registrations=int(self._m_registrations.value
-                                  - base["registrations"]),
-                injected_registrations=int(self._m_injected.value
-                                           - base["injected"]),
-                absorbed_registrations=int(self._m_absorbed.value
-                                           - base["absorbed"]),
-                terminations=int(self._m_terminations.value
-                                 - base["terminations"]),
+                registrations=self._delta(self._m_registrations.value,
+                                          "registrations"),
+                injected_registrations=self._delta(self._m_injected.value,
+                                                   "injected"),
+                absorbed_registrations=self._delta(self._m_absorbed.value,
+                                                   "absorbed"),
+                terminations=self._delta(self._m_terminations.value,
+                                         "terminations"),
                 admission_latency_p50_ms=self._lat_local.quantile(50.0),
                 admission_latency_p95_ms=self._lat_local.quantile(95.0),
                 batches_flushed=self._batcher.batches_flushed,
@@ -1262,8 +1537,8 @@ class QueryService:
                 live_synthetic_queries=self.optimizer.synthetic_count(),
                 network_operations=self.optimizer.network_operations,
                 absorbed_operations=self.optimizer.absorbed_operations,
-                results_delivered=int(self._m_delivered.value
-                                      - base["delivered"]),
+                results_delivered=self._delta(self._m_delivered.value,
+                                              "delivered"),
                 recovery_app_retries=self._recovery_delta("app_retries"),
                 recovery_evictions=self._recovery_delta("evictions"),
                 recovery_readmissions=self._recovery_delta("readmissions"),
@@ -1299,12 +1574,44 @@ class QueryService:
                 zombie_aborts=d("zombie_aborts"),
             )
 
+    def planner_stats(self) -> PlannerStats:
+        """Instance-scoped snapshot of the ``planner.*`` counters."""
+        with self._lock:
+            return PlannerStats(
+                explains=self._planner_delta("explains"),
+                quota_rejections=self._planner_delta("quota_rejections"),
+                cost_sheds=self._planner_delta("cost_sheds"),
+                priced_backlog_radio_s=self._pending_cost_radio_s(),
+                live_cost_radio_s=self._live_cost_radio_s(),
+            )
+
+    def _delta(self, value: float, key: str) -> int:
+        """Instance delta against the construction-time baseline.
+
+        Counters live in the registry current at construction; if a
+        scoped registry is reset mid-run (chaos cells recovering twice do
+        this), a later reading can come from a *fresh* series sitting
+        below the remembered baseline.  Going negative there poisoned
+        every later stats() call — instead, re-anchor the baseline to
+        zero so deltas restart from the reset point, and clamp the
+        result.  A baseline deliberately pushed negative by
+        :meth:`_restore_snapshot` (to surface restored totals) is
+        unaffected: the live value never sinks below it.
+        """
+        base = self._baseline.get(key, 0.0)
+        if value < base:
+            self._baseline[key] = base = 0.0
+        return max(int(value - base), 0)
+
     def _res_delta(self, key: str) -> int:
-        return int(self._m_res[key].value - self._baseline[f"res_{key}"])
+        return self._delta(self._m_res[key].value, f"res_{key}")
 
     def _recovery_delta(self, key: str) -> int:
         total = sum(c.value for c in self._m_recovery[key])
-        return int(total - self._baseline[f"recovery_{key}"])
+        return self._delta(total, f"recovery_{key}")
+
+    def _planner_delta(self, key: str) -> int:
+        return self._delta(self._m_planner[key].value, f"planner_{key}")
 
     def _backend_completeness(self) -> float:
         fn = getattr(self._backend, "row_completeness", None)

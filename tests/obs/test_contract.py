@@ -18,7 +18,12 @@ from repro.harness.experiments import fig3_cells
 from repro.harness.metrics import SweepTelemetry
 from repro.harness.tier1_sim import default_cost_model
 from repro.obs import scoped
-from repro.service import OptimizerBackend, QueryService
+from repro.service import (
+    OptimizerBackend,
+    QueryService,
+    StatisticsStore,
+    TenantQuotas,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 CONTRACT_DOC = REPO_ROOT / "docs" / "observability.md"
@@ -34,14 +39,38 @@ def _run_cell_families(strategy):
 def _service_families():
     with scoped() as registry:
         optimizer = BaseStationOptimizer(default_cost_model(16, 3))
-        service = QueryService(OptimizerBackend(optimizer))
+        service = QueryService(
+            OptimizerBackend(optimizer),
+            quotas=TenantQuotas(default_radio_s_per_epoch=0.12))
         sid = service.open_session("alice", now_ms=0.0)
+        service.explain(
+            "SELECT light FROM sensors WHERE light > 300 "
+            "EPOCH DURATION 4096")
         service.submit(
             sid,
             "SELECT light FROM sensors WHERE light > 300 "
             "EPOCH DURATION 4096",
             now_ms=1.0,
         )
+        # Over budget: exercises planner.quota_rejections_total.
+        service.submit(
+            sid,
+            "SELECT temp FROM sensors WHERE temp > 10 "
+            "EPOCH DURATION 4096",
+            now_ms=2.0,
+        )
+        return registry.families()
+
+
+def _planner_families():
+    """The planner's sampling counters (fed by collect_statistics)."""
+    with scoped() as registry:
+        from repro.sensors.field import AttributeSpec
+        store = StatisticsStore.from_specs(
+            [AttributeSpec("light", 0.0, 1000.0)], n_buckets=4)
+        store.observe_row({"light": 500.0})
+        store.observe_frames("result", 3, 2.5)
+        store.merge(store)
         return registry.families()
 
 
@@ -53,6 +82,9 @@ def _cluster_families():
             for _ in range(2)]
         coordinator = ClusterCoordinator(backends)
         sid = coordinator.open_session("alice", now_ms=0.0)
+        coordinator.explain(
+            "SELECT light FROM sensors WHERE light > 300 "
+            "EPOCH DURATION 4096")
         coordinator.submit(
             sid,
             "SELECT light FROM sensors WHERE light > 300 "
@@ -77,6 +109,7 @@ def exported_families():
     for strategy in (Strategy.BASELINE, Strategy.TTMQO):
         families.update(_run_cell_families(strategy))
     families.update(_service_families())
+    families.update(_planner_families())
     families.update(_cluster_families())
     families.update(_sweep_families())
     return sorted(families)
@@ -86,7 +119,7 @@ def test_layers_actually_exported(exported_families):
     """Guard against the harness silently exporting nothing."""
     prefixes = {name.split(".")[0] for name in exported_families}
     assert {"sim", "tinydb", "optimizer", "service", "cluster", "sweep",
-            "run", "span"} <= prefixes
+            "run", "span", "planner"} <= prefixes
 
 
 def test_every_exported_family_is_documented(exported_families):
