@@ -15,7 +15,8 @@ Commands:
   from the WAL, and assert the recovery invariants over a loss x crash
   grid;
 * ``sweep``   — fan the Figure 3 (workload x size x strategy) grid across
-  worker processes with deterministic result caching;
+  worker processes with deterministic result caching (``--profile`` runs
+  the grid serially under cProfile and prints the hottest functions);
 * ``cluster`` — partition the field into K shards behind the tier-0 root
   coordinator and drive a scripted multi-tenant load (region-local
   queries route to one shard; global queries fan out and merge);
@@ -184,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="always re-simulate, never read/write cache")
     sweep_p.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
+    sweep_p.add_argument("--profile", action="store_true",
+                         help="run the grid under cProfile and print the "
+                              "hottest functions (forces serial, uncached "
+                              "execution so the simulations themselves are "
+                              "what gets profiled)")
 
     cluster_p = sub.add_parser(
         "cluster",
@@ -512,6 +518,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     cells = fig3_grid(tuple(args.workloads), tuple(args.sides),
                       duration_ms=args.duration * 1000.0, seed=args.seed)
+    if args.profile:
+        # Worker processes would each need their own profiler and a cache
+        # hit profiles nothing, so profiling implies serial + no cache.
+        args.workers = 0
+        args.no_cache = True
     cache_dir = None if args.no_cache else args.cache_dir
 
     def _progress(cell, telemetry):
@@ -523,8 +534,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{cell.spec.workload.description:<16} "
               f"{cell.spec.strategy.value:<18} {source}")
 
-    report = run_sweep(cells, workers=args.workers, cache_dir=cache_dir,
-                       progress=_progress)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = run_sweep(cells, workers=args.workers, cache_dir=cache_dir,
+                           progress=_progress)
+        profiler.disable()
+    else:
+        profiler = None
+        report = run_sweep(cells, workers=args.workers, cache_dir=cache_dir,
+                           progress=_progress)
 
     # One Figure 3 table per (workload, side) group, in grid order.
     per_group = len(STRATEGY_ORDER)
@@ -548,6 +569,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if cache_dir is not None:
         print(f"cache               : {cache_dir} "
               f"(delete to force re-simulation)")
+    if profiler is not None:
+        import pstats
+
+        print("\nhottest functions (by total time, excluding callees):")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("tottime").print_stats(20)
     return 0
 
 

@@ -49,7 +49,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..queries.ast import fresh_qids
-from ..service.durability import DurabilityConfig
+from ..service.durability import WAL_FILENAME, DurabilityConfig
 from ..service.service import OptimizerBackend, QueryService, TicketStatus
 from ..sim import RadioParams
 from .cells import derive_seed
@@ -423,6 +423,7 @@ def run_sigkill_crash(min_ops: int = 8, seed: int = 0,
     """
     state_dir = tempfile.mkdtemp(prefix="repro-sigkill-")
     progress = Path(state_dir) / "progress"
+    wal_path = Path(state_dir) / WAL_FILENAME
     import repro
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -442,7 +443,14 @@ def run_sigkill_crash(min_ops: int = 8, seed: int = 0,
                 ops = int(progress.read_text(encoding="utf-8"))
             except (OSError, ValueError):
                 ops = 0
-            if ops >= min_ops:
+            # Snapshots truncate the WAL, so a kill landing right after a
+            # rotation would leave nothing to replay; wait for the next
+            # append so the recovery path under test is always exercised.
+            try:
+                wal_pending = wal_path.stat().st_size > 0
+            except OSError:
+                wal_pending = False
+            if ops >= min_ops and wal_pending:
                 break
             time.sleep(0.01)
         else:

@@ -114,9 +114,15 @@ def run_workload(
     workload: Workload,
     config: Optional[DeploymentConfig] = None,
     drain_ms: float = DEFAULT_DRAIN_MS,
+    fastpath: Optional[bool] = None,
 ) -> RunResult:
-    """Simulate ``workload`` under ``strategy`` and return the measurements."""
-    return run_workload_live(strategy, workload, config, drain_ms).result
+    """Simulate ``workload`` under ``strategy`` and return the measurements.
+
+    ``fastpath`` selects the vectorized execution path (default on, see
+    :mod:`repro.sim.fastpath`); results are bit-identical either way.
+    """
+    return run_workload_live(strategy, workload, config, drain_ms,
+                             fastpath=fastpath).result
 
 
 def run_workload_live(
@@ -124,10 +130,11 @@ def run_workload_live(
     workload: Workload,
     config: Optional[DeploymentConfig] = None,
     drain_ms: float = DEFAULT_DRAIN_MS,
+    fastpath: Optional[bool] = None,
 ) -> LiveRun:
     """Like :func:`run_workload` but also hand back the live deployment."""
     config = config or DeploymentConfig()
-    deployment = Deployment(strategy, config)
+    deployment = Deployment(strategy, config, fastpath=fastpath)
     sim = deployment.sim
 
     for event in workload.events:
@@ -202,11 +209,13 @@ def run_all_strategies(
     config: Optional[DeploymentConfig] = None,
     strategies: Optional[tuple] = None,
     drain_ms: float = DEFAULT_DRAIN_MS,
+    fastpath: Optional[bool] = None,
 ) -> Dict[Strategy, RunResult]:
     """Run the same workload under several strategies (Figure 3's matrix)."""
     chosen = strategies or (Strategy.BASELINE, Strategy.BS_ONLY,
                             Strategy.INNET_ONLY, Strategy.TTMQO)
-    return {s: run_workload(s, workload, config, drain_ms) for s in chosen}
+    return {s: run_workload(s, workload, config, drain_ms, fastpath=fastpath)
+            for s in chosen}
 
 
 def run_all_strategies_live(
@@ -214,8 +223,11 @@ def run_all_strategies_live(
     config: Optional[DeploymentConfig] = None,
     strategies: Optional[tuple] = None,
     drain_ms: float = DEFAULT_DRAIN_MS,
+    fastpath: Optional[bool] = None,
 ) -> Dict[Strategy, LiveRun]:
     """Like :func:`run_all_strategies`, keeping each live deployment."""
     chosen = strategies or (Strategy.BASELINE, Strategy.BS_ONLY,
                             Strategy.INNET_ONLY, Strategy.TTMQO)
-    return {s: run_workload_live(s, workload, config, drain_ms) for s in chosen}
+    return {s: run_workload_live(s, workload, config, drain_ms,
+                                 fastpath=fastpath)
+            for s in chosen}

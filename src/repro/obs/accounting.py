@@ -217,13 +217,21 @@ class SimObs:
         self.tracer = Tracer(self.registry, clock=clock, **kwargs)
         self.radio = RadioAccountant(self.registry)
         self.latency = LatencyAccountant(self.registry)
+        # Cached per-(node, kind) span label dicts for the per-frame hot
+        # path; handed to Tracer.start_with by reference (never mutated).
+        self._tx_labels: Dict["tuple[int, str]", Dict[str, str]] = {}
 
     # -- radio/MAC/node hooks ------------------------------------------
     def on_transmit(self, node_id: int, kind: str, length_bytes: int,
                     airtime_ms: float) -> None:
         """A frame went on air: count it and record its airtime span."""
         self.radio.record_tx(node_id, kind, length_bytes, airtime_ms)
-        span = self.tracer.start("radio.tx", node=node_id, kind=kind)
+        key = (node_id, kind)
+        labels = self._tx_labels.get(key)
+        if labels is None:
+            labels = self._tx_labels[key] = {"node": str(node_id),
+                                             "kind": kind}
+        span = self.tracer.start_with("radio.tx", labels)
         self.tracer.finish(span, end_ms=span.start_ms + airtime_ms)
 
     def on_collision(self, receivers: int) -> None:

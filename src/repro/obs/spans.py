@@ -79,6 +79,10 @@ class Tracer:
         self.finished: List[Span] = []
         self.dropped = 0
         self.started = 0
+        # Duration-histogram handles by span name: the per-finish registry
+        # lookup (name + labels -> series) dominates finish() on the
+        # radio hot path, and the handle for a given name never changes.
+        self._duration_hists: Dict[str, object] = {}
 
     @property
     def now(self) -> float:
@@ -91,6 +95,17 @@ class Tracer:
         return Span(name=name, start_ms=self._clock(),
                     labels={str(k): str(v) for k, v in labels.items()})
 
+    def start_with(self, name: str, labels: Dict[str, str]) -> Span:
+        """Open a span with a pre-built label dict (hot-path variant).
+
+        ``labels`` is stored by reference and must not be mutated
+        afterwards — per-frame callers keep one cached dict per label
+        combination instead of rebuilding and re-stringifying it on
+        every frame.
+        """
+        self.started += 1
+        return Span(name=name, start_ms=self._clock(), labels=labels)
+
     def finish(self, span: Span, status: str = "ok",
                end_ms: Optional[float] = None) -> Span:
         """Close a span (``end_ms`` overrides the clock, e.g. known airtime)."""
@@ -101,9 +116,13 @@ class Tracer:
             drop = len(self.finished) - self.cap
             del self.finished[:drop]
             self.dropped += drop
-        self.registry.histogram(f"span.{span.name}.duration_ms",
-                                help=f"duration of {span.name} spans",
-                                unit="ms").observe(span.duration_ms)
+        hist = self._duration_hists.get(span.name)
+        if hist is None:
+            hist = self._duration_hists[span.name] = self.registry.histogram(
+                f"span.{span.name}.duration_ms",
+                help=f"duration of {span.name} spans",
+                unit="ms")
+        hist.observe(span.duration_ms)
         return span
 
     @contextmanager

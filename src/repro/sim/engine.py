@@ -9,6 +9,25 @@ The engine knows nothing about radios or sensor nodes; those layers
 (:mod:`repro.sim.radio`, :mod:`repro.sim.mac`, :mod:`repro.sim.node`) schedule
 events through it.
 
+Two hot-path mechanics matter for throughput (see ``docs/performance.md``):
+
+* **Cohort draining** — :meth:`EventQueue.run_until` pops every event
+  sharing the minimal timestamp in one drain instead of re-probing the
+  heap per callback.  Epoch-synchronous workloads schedule large
+  same-timestamp cohorts (every node samples at the epoch boundary), so
+  this removes one cancelled-scan plus horizon check per event while
+  preserving FIFO tie-break order exactly (cohorts pop in sequence-number
+  order, and events a cohort member schedules at the *same* timestamp
+  join the next drain — precisely where serial popping would have put
+  them).
+* **Cancellation compaction** — cancellation is lazy (cancelled entries
+  are skipped when popped), which historically let long quiescent runs
+  grow the heap without bound: a workload that schedules and cancels
+  timers far in the future leaves every dead entry resident until its
+  timestamp is reached.  The queue now counts live cancellations and
+  rebuilds the heap once cancelled entries dominate (see
+  ``COMPACT_MIN_CANCELLED``), bounding memory by the pending-event count.
+
 Example
 -------
 >>> eq = EventQueue()
@@ -26,6 +45,11 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+#: Compaction fires only once at least this many cancelled entries are
+#: resident *and* they outnumber live entries — small queues never pay
+#: the rebuild, unbounded cancel-heavy runs stay O(live).
+COMPACT_MIN_CANCELLED = 512
+
 
 class SimulationError(RuntimeError):
     """Raised when the engine is used inconsistently (e.g. time travel)."""
@@ -36,21 +60,30 @@ class Event:
 
     Instances are returned by :meth:`EventQueue.schedule` and can be used to
     cancel the event before it fires.  Events are lightweight: cancellation
-    is lazy (the queue skips cancelled entries when they are popped).
+    is lazy (the queue skips cancelled entries when they are popped), but
+    the owning queue is notified so it can compact once dead entries
+    dominate the heap.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_queue")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: Tuple[Any, ...],
+                 queue: Optional["EventQueue"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -66,13 +99,18 @@ class EventQueue:
     Time is a monotonically non-decreasing ``float`` in milliseconds.  Events
     scheduled for the same instant fire in the order they were scheduled,
     which keeps runs reproducible.
+
+    Internally the heap stores ``(time, seq, event)`` tuples: the unique
+    sequence number fully orders same-time entries, so heap comparisons
+    never fall through to Python-level ``Event.__lt__`` calls.
     """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -84,8 +122,13 @@ class EventQueue:
         """Number of events executed so far (cancelled events excluded)."""
         return self._events_processed
 
+    @property
+    def heap_size(self) -> int:
+        """Resident heap entries, cancelled ones included (memory proxy)."""
+        return len(self._heap)
+
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ms from now.
@@ -95,7 +138,11 @@ class EventQueue:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args, queue=self)
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual time ``time`` (ms)."""
@@ -103,14 +150,15 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args, queue=self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Execute the next pending event.
@@ -121,7 +169,7 @@ class EventQueue:
         self._drop_cancelled()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
+        _, _, event = heapq.heappop(self._heap)
         self._now = event.time
         self._events_processed += 1
         event.fn(*event.args)
@@ -131,13 +179,40 @@ class EventQueue:
         """Run events with ``time <= t_end``; afterwards ``now == t_end``.
 
         Events scheduled during execution are honoured if they fall within the
-        horizon.
+        horizon.  Same-timestamp cohorts are popped in one drain (FIFO order
+        preserved — see the module docstring).
         """
-        while True:
-            self._drop_cancelled()
-            if not self._heap or self._heap[0].time > t_end:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                pop(heap)
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            t = head[0]
+            if t > t_end:
                 break
-            self.step()
+            self._now = t
+            pop(heap)
+            self._events_processed += 1
+            event.fn(*event.args)
+            # Drain the rest of the cohort at time t without re-checking
+            # the horizon or re-storing the clock.  Events scheduled
+            # *during* the drain at the same timestamp carry higher seq
+            # numbers, so the heap feeds them to this loop in exactly the
+            # order serial popping would have — FIFO tie-break preserved.
+            while heap and heap[0][0] == t:
+                event = pop(heap)[2]
+                # A cohort member may cancel a later member; honour it.
+                if event.cancelled:
+                    if self._cancelled:
+                        self._cancelled -= 1
+                    continue
+                self._events_processed += 1
+                event.fn(*event.args)
         if t_end > self._now:
             self._now = t_end
 
@@ -150,8 +225,32 @@ class EventQueue:
                 return
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            if self._cancelled:
+                self._cancelled -= 1
+
+    def _note_cancelled(self) -> None:
+        """An event on (or recently popped from) this queue was cancelled.
+
+        Once cancelled entries pass the compaction threshold *and* make up
+        the majority of the heap, rebuild it without them — otherwise a
+        long quiescent run that keeps scheduling-and-cancelling far-future
+        timers grows the heap unboundedly (dead entries only leave the old
+        lazy scheme when their timestamp is finally reached).
+        """
+        self._cancelled += 1
+        if (self._cancelled >= COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        self._heap = [entry for entry in self._heap
+                      if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
 
 class PeriodicTimer:
@@ -198,4 +297,5 @@ class PeriodicTimer:
 
     @property
     def stopped(self) -> bool:
+        """True once :meth:`stop` has cancelled future firings."""
         return self._stopped

@@ -40,6 +40,7 @@ class TransmissionRecord:
     retransmission: bool
 
     def to_json(self) -> str:
+        """One JSONL line: the record as sorted-key JSON."""
         return json.dumps(asdict(self), sort_keys=True)
 
 
@@ -96,9 +97,11 @@ class EventLog:
         return len(self.records)
 
     def by_kind(self, kind: MessageKind) -> List[TransmissionRecord]:
+        """Every recorded frame of one traffic kind, in time order."""
         return [r for r in self.records if r.kind == kind.value]
 
     def by_node(self, node_id: int) -> List[TransmissionRecord]:
+        """Every frame transmitted by one node, in time order."""
         return [r for r in self.records if r.src == node_id]
 
     def between(self, start_ms: float, end_ms: float,
@@ -127,6 +130,7 @@ class EventLog:
 
     @classmethod
     def load_jsonl(cls, path) -> "EventLog":
+        """Rebuild a log from a file written by :meth:`dump_jsonl`."""
         log = cls()
         with open(path) as handle:
             for line in handle:

@@ -1,0 +1,270 @@
+"""Vectorized fast-path arrays for the epoch-synchronous inner loop.
+
+The object path walks per-node Python structures on every radio event: a
+transmission completion probes ``Topology.in_range`` (a dict-of-sets
+lookup) once per (receiver, overlapping transmission) pair, and carrier
+sensing scans the whole active-transmission table per MAC attempt.  At
+fig3 scale (hundreds of cells x tens of thousands of frames) that
+per-packet object dispatch is the single-core bottleneck (ROADMAP item 1).
+
+This module precomputes **whole-topology acceleration structures** once
+at deployment build time — the LoRaSim topology-builder idiom — so the
+hot path indexes flat precomputed storage instead of chasing dicts:
+
+* :class:`TopologyArrays` — node index map, boolean adjacency matrix,
+  per-node sorted neighbor id tuples, parent-chain hop vector (BFS
+  levels), the per-directed-link Gilbert–Elliott seed table, **and**
+  per-node adjacency bitsets (arbitrary-precision Python ints, one bit
+  per node row);
+* :class:`ChannelState` — the per-run mutable state (the active-
+  transmitter bitset that makes carrier sensing O(1), the
+  Gilbert–Elliott bad-state table).
+
+Two representations coexist deliberately.  The numpy arrays carry the
+whole-topology view that batch consumers want (the energy accountant's
+vectorized accumulation, hop-vector scoring, the differential tests'
+cross-checks).  The *per-event* hot path, however, runs on the int
+bitsets: at sensor-network cell sizes (N <= 64 for every figure in the
+paper) a numpy fancy-index or scalar read costs more in call overhead
+than the whole operation, while an ``int`` OR/AND over an N-bit mask is
+a single C-level op — and still scales to thousands of nodes because
+Python ints are arbitrary precision.  ``docs/performance.md`` quantifies
+the difference.
+
+Everything here is an *acceleration structure*: the arrays carry exactly
+the information the object path derives on the fly, so the fastpath
+produces **bit-identical** :class:`~repro.harness.runner.RunResult`s (the
+golden-trace and serial-vs-fastpath differential tests enforce this).
+Invariants the arrays must uphold are documented in
+``docs/performance.md``.
+
+numpy is an optional dependency: when it is missing :func:`build_arrays`
+returns ``None`` and every consumer silently stays on the pure-python
+object path, which remains fully supported.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+try:  # pragma: no cover - exercised via tests that stub the import away
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Topology
+
+#: True when the vectorized fast path can be used at all.
+HAVE_NUMPY = _np is not None
+
+#: Mixing constants of the per-link Gilbert–Elliott RNG seed (kept in one
+#: place so the object path in :mod:`repro.sim.radio` and the precomputed
+#: seed table below can never drift apart).
+GE_SRC_MIX = 0x1F123BB5
+GE_DST_MIX = 0x9E3779B1
+GE_SALT = 0x6E110B
+
+
+def resolve_enabled(flag: Optional[bool] = None) -> bool:
+    """Whether the fast path should be used.
+
+    An explicit ``flag`` wins; otherwise the ``REPRO_FASTPATH``
+    environment variable can force the object path (``0``/``false``/
+    ``off``/``no``) for debugging, and the default is on.  Availability
+    (numpy importable) is checked separately via :data:`HAVE_NUMPY`.
+    """
+    if flag is not None:
+        return bool(flag)
+    env = os.environ.get("REPRO_FASTPATH", "").strip().lower()
+    return env not in ("0", "false", "off", "no")
+
+
+def ge_link_seed(seed: int, src: int, dst: int) -> int:
+    """The deterministic RNG seed of one directed link's loss chain.
+
+    Identical to the object path's lazy per-link seeding — each link owns
+    an independent stream so loss patterns never depend on global
+    transmission order.
+    """
+    return (seed << 16) ^ (src * GE_SRC_MIX) ^ (dst * GE_DST_MIX) ^ GE_SALT
+
+
+class TopologyArrays:
+    """Immutable whole-topology acceleration structures, built once.
+
+    Attributes
+    ----------
+    size:
+        Node count ``N``.
+    ids:
+        Node ids in ascending order (row ``i`` of every array is node
+        ``ids[i]``).
+    index:
+        Node id -> row index.  The inverse of ``ids``.
+    adj:
+        ``(N, N)`` boolean adjacency matrix: ``adj[i, j]`` iff the nodes
+        are within radio range.  Symmetric, zero diagonal — mirrors
+        ``Topology.neighbors`` exactly.
+    row_bit:
+        ``row_bit[i] == 1 << i`` — the bitset bit of row ``i``.
+    adj_bits:
+        Per row, the adjacency row as one Python-int bitset: bit ``j``
+        set iff ``adj[i, j]``.  ``adj_bits[i] == sum(1 << j for j in
+        range(N) if adj[i, j])`` is the cross-representation invariant
+        the fastpath unit tests check.
+    cover_bits:
+        ``adj_bits[i] | row_bit[i]`` — the rows whose transmissions node
+        ``i`` can hear, itself included (the carrier-sense footprint).
+    neighbor_ids:
+        Per row, the neighbor *ids* as a sorted tuple — the delivery
+        fan-out order of the object path (``sorted(neighbors[src])``)
+        frozen at build time.
+    neighbor_pairs:
+        Per row, ``tuple of (neighbor id, neighbor row_bit)`` aligned
+        with :attr:`neighbor_ids` — the fan-out loop reads receiver id
+        and bitset bit in one unpack.
+    neighbor_rows:
+        Per row, the neighbor row indices as an int array (the rows a
+        transmission from that node occupies).
+    hops:
+        Parent-chain hop vector: ``hops[i]`` is the BFS level of node
+        ``ids[i]`` (the ``N_k`` sets of the paper's Eq. 1-2 as one flat
+        array).
+    ge_seeds:
+        Per directed in-range link ``(u, v)``, the Gilbert–Elliott RNG
+        seed (:func:`ge_link_seed`), stored as a dense edge table aligned
+        with :attr:`edge_index`.
+    edge_index:
+        Directed link ``(u, v)`` -> edge row in :attr:`ge_seeds` (and in
+        :class:`ChannelState.ge_bad`).
+    """
+
+    __slots__ = ("size", "ids", "index", "adj", "row_bit", "adj_bits",
+                 "cover_bits", "neighbor_ids", "neighbor_pairs",
+                 "neighbor_rows", "hops", "ge_seeds", "edge_index")
+
+    def __init__(self, topology: "Topology", seed: int = 0) -> None:
+        if _np is None:
+            raise RuntimeError("numpy is not available; "
+                               "use build_arrays() which degrades gracefully")
+        ids: List[int] = topology.node_ids
+        self.size = len(ids)
+        self.ids = _np.asarray(ids, dtype=_np.int64)
+        self.index: Dict[int, int] = {node: i for i, node in enumerate(ids)}
+        self.adj = _np.zeros((self.size, self.size), dtype=bool)
+        self.row_bit: Tuple[int, ...] = tuple(1 << i for i in range(self.size))
+        neighbor_ids: List[Tuple[int, ...]] = []
+        neighbor_rows: List["_np.ndarray"] = []
+        adj_bits: List[int] = []
+        for i, node in enumerate(ids):
+            nbrs = sorted(topology.neighbors[node])
+            neighbor_ids.append(tuple(nbrs))
+            rows = _np.asarray([self.index[v] for v in nbrs],
+                               dtype=_np.intp)
+            neighbor_rows.append(rows)
+            self.adj[i, rows] = True
+            bits = 0
+            for v in nbrs:
+                bits |= 1 << self.index[v]
+            adj_bits.append(bits)
+        self.adj_bits: Tuple[int, ...] = tuple(adj_bits)
+        self.cover_bits: Tuple[int, ...] = tuple(
+            adj_bits[i] | self.row_bit[i] for i in range(self.size))
+        self.neighbor_ids: Tuple[Tuple[int, ...], ...] = tuple(neighbor_ids)
+        self.neighbor_pairs: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple((v, self.row_bit[self.index[v]]) for v in nbrs)
+            for nbrs in neighbor_ids)
+        self.neighbor_rows: Tuple["_np.ndarray", ...] = tuple(neighbor_rows)
+        self.hops = _np.asarray([topology.levels[node] for node in ids],
+                                dtype=_np.int32)
+        # Directed-link Gilbert-Elliott seed table.  Edges are enumerated
+        # in (src id, dst id) ascending order so the table layout is a
+        # pure function of the topology.
+        edge_index: Dict[Tuple[int, int], int] = {}
+        seeds: List[int] = []
+        for u in ids:
+            for v in sorted(topology.neighbors[u]):
+                edge_index[(u, v)] = len(seeds)
+                seeds.append(ge_link_seed(seed, u, v))
+        self.edge_index = edge_index
+        self.ge_seeds = _np.asarray(seeds, dtype=_np.int64)
+
+    # ------------------------------------------------------------------
+    def collision_mask(self, src_rows: Sequence[int]) -> "_np.ndarray":
+        """Boolean vector of rows in range of *any* of ``src_rows``.
+
+        The numpy ``any``-reduction form, used by batch consumers and as
+        the cross-check for :meth:`collision_bits` in the unit tests.
+        """
+        if len(src_rows) == 1:
+            return self.adj[src_rows[0]]
+        return self.adj[list(src_rows)].any(axis=0)
+
+    def collision_bits(self, src_rows: Sequence[int]) -> int:
+        """Bitset of rows in range of *any* of ``src_rows``.
+
+        The per-event form of :meth:`collision_mask`: one int OR per
+        transmitter instead of a numpy reduction.
+        """
+        bits = 0
+        for row in src_rows:
+            bits |= self.adj_bits[row]
+        return bits
+
+
+class ChannelState:
+    """Mutable per-run channel state (one instance per :class:`Channel`).
+
+    Invariants (checked by the fastpath unit tests):
+
+    * bit ``i`` of :attr:`active_bits` is set iff node ``ids[i]`` has a
+      transmission on the air right now — so carrier sensing is a single
+      AND against the node's precomputed cover bitset (a node never has
+      two concurrent transmissions, so one bit per node suffices);
+    * ``ge_bad[e]`` is the current Gilbert–Elliott state of directed
+      edge ``e`` and is only ever advanced by that link's own seeded RNG,
+      exactly like the object path's lazy per-link dict.
+    """
+
+    __slots__ = ("arrays", "active_bits", "ge_bad")
+
+    def __init__(self, arrays: TopologyArrays) -> None:
+        self.arrays = arrays
+        self.active_bits = 0
+        self.ge_bad = bytearray(len(arrays.ge_seeds))
+
+    # -- carrier sensing ------------------------------------------------
+    def begin_tx(self, row: int) -> None:
+        """A transmission from row ``row`` went on air."""
+        self.active_bits |= self.arrays.row_bit[row]
+
+    def end_tx(self, row: int) -> None:
+        """The transmission from row ``row`` left the air."""
+        self.active_bits &= ~self.arrays.row_bit[row]
+
+    def is_busy(self, node_id: int) -> bool:
+        """O(1) carrier sense: any in-range transmitter (self included)?"""
+        arrays = self.arrays
+        return bool(self.active_bits
+                    & arrays.cover_bits[arrays.index[node_id]])
+
+
+def build_arrays(topology: "Topology", seed: int = 0,
+                 ) -> Optional[TopologyArrays]:
+    """Build :class:`TopologyArrays`, or ``None`` when unavailable.
+
+    Returns ``None`` — signalling callers to stay on the object path —
+    when numpy is missing.  Topology ids may be arbitrary ints; the dense
+    index map handles sparse/odd numbering.
+    """
+    if _np is None:
+        return None
+    return TopologyArrays(topology, seed=seed)
+
+
+def numpy_module():
+    """The imported numpy module, or ``None`` (for consumers that need
+    array constructors without importing numpy themselves)."""
+    return _np

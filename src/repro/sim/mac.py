@@ -87,6 +87,7 @@ class MacLayer:
 
     @property
     def queue_length(self) -> int:
+        """Frames waiting or in flight on this MAC (send-queue depth)."""
         return len(self._queue) + (1 if self._current is not None else 0)
 
     def enqueue(self, msg: Message) -> bool:

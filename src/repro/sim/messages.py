@@ -95,30 +95,27 @@ class Message:
     #: Number of times this frame has been retransmitted (filled by the MAC).
     retransmissions: int = 0
 
-    @property
-    def length_bytes(self) -> int:
-        """Total on-air frame length."""
-        return HEADER_BYTES + self.payload_bytes
-
-    @property
-    def is_broadcast(self) -> bool:
-        return isinstance(self.link_dst, Broadcast)
-
-    @property
-    def is_unicast(self) -> bool:
-        return isinstance(self.link_dst, int)
-
-    @property
-    def is_multicast(self) -> bool:
-        return isinstance(self.link_dst, frozenset)
+    # The addressing mode and frame length are pure functions of the
+    # constructor fields, but the radio/MAC/node hot path reads them
+    # hundreds of thousands of times per cell — so they are materialised
+    # once here instead of being recomputed per read (``link_dst`` is
+    # never mutated after construction).
+    def __post_init__(self) -> None:
+        link_dst = self.link_dst
+        self.length_bytes: int = HEADER_BYTES + self.payload_bytes
+        self.is_broadcast: bool = isinstance(link_dst, Broadcast)
+        self.is_unicast: bool = isinstance(link_dst, int)
+        self.is_multicast: bool = isinstance(link_dst, frozenset)
+        if self.is_broadcast:
+            self._destinations: Optional[FrozenSet[int]] = None
+        elif self.is_unicast:
+            self._destinations = frozenset((link_dst,))
+        else:
+            self._destinations = link_dst  # type: ignore[assignment]
 
     def destinations(self) -> Optional[FrozenSet[int]]:
         """The explicit destination set, or ``None`` for broadcast."""
-        if self.is_broadcast:
-            return None
-        if self.is_unicast:
-            return frozenset((self.link_dst,))
-        return self.link_dst  # type: ignore[return-value]
+        return self._destinations
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

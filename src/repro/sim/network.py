@@ -220,6 +220,7 @@ class Topology:
 
     @property
     def size(self) -> int:
+        """Number of nodes in the topology."""
         return len(self.positions)
 
     @property
@@ -266,9 +267,11 @@ class Topology:
         return list(ups)
 
     def in_range(self, u: int, v: int) -> bool:
+        """Can ``u`` hear ``v``?  Radio-range adjacency, symmetric."""
         return v in self.neighbors.get(u, ())
 
     def quality(self, u: int, v: int) -> float:
+        """Link quality of the directed edge ``u -> v`` in [0, 1]."""
         return self.link_quality[(u, v)]
 
     def validate(self) -> None:

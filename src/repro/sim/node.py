@@ -87,10 +87,12 @@ class SensorNode:
     # Wiring
     # ------------------------------------------------------------------
     def attach_app(self, app: NodeApp) -> None:
+        """Install the application layer and back-link it to this node."""
         app.node = self
         self.app = app
 
     def start(self) -> None:
+        """Boot the node: runs the application's ``on_start`` hook."""
         if self.app is not None:
             self.app.on_start()
 
@@ -104,10 +106,12 @@ class SensorNode:
 
     @property
     def is_base_station(self) -> bool:
+        """Is this node the topology's sink?"""
         return self.node_id == self.topology.base_station
 
     @property
     def asleep(self) -> bool:
+        """True while the radio is powered off (sleep mode)."""
         return not self._radio_on
 
     @property
@@ -138,6 +142,7 @@ class SensorNode:
         return msg
 
     def broadcast(self, kind: MessageKind, payload: Any, payload_bytes: int) -> Message:
+        """Queue a link-layer broadcast (unacknowledged one-hop flood)."""
         return self.send(kind, BROADCAST, payload, payload_bytes)
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
+from . import fastpath as _fastpath
 from .engine import EventQueue
 from .messages import Message
 
@@ -135,6 +136,13 @@ class _Transmission:
     msg: Message
     start: float
     end: float
+    #: Fastpath-only fields: the sender's topology row, plus the bitsets
+    #: accumulated incrementally while the frame is on the air — the
+    #: union of overlapping transmitters (``overlap_self``) and of their
+    #: adjacency rows (``overlap_adj``).  See ``Channel.transmit``.
+    row: int = -1
+    overlap_adj: int = 0
+    overlap_self: int = 0
 
 
 @dataclass
@@ -162,7 +170,8 @@ class Channel:
     def __init__(self, engine: EventQueue, topology: "Topology",
                  params: Optional[RadioParams] = None,
                  trace: Optional["TraceCollector"] = None,
-                 seed: int = 0, obs: Optional["SimObs"] = None) -> None:
+                 seed: int = 0, obs: Optional["SimObs"] = None,
+                 fastpath: Optional[bool] = None) -> None:
         self._engine = engine
         self._topology = topology
         self.params = params or RadioParams()
@@ -181,6 +190,26 @@ class Channel:
         # the same fade sequence regardless of what other nodes do.
         self._link_bad: Dict["tuple[int, int]", bool] = {}
         self._link_rngs: Dict["tuple[int, int]", random.Random] = {}
+        # True while neither loss model can consume RNG state: lets the
+        # fast path skip the per-receiver loss probe entirely.
+        self._lossless = (self.params.loss_rate <= 0.0
+                          and self.params.burst is None)
+        # Vectorized fast path (bit-identical to the object path; see
+        # repro.sim.fastpath).  Built when requested and numpy is present,
+        # otherwise every hot method falls back to the object code.
+        self._fast: Optional[_fastpath.ChannelState] = None
+        if _fastpath.resolve_enabled(fastpath) and _fastpath.HAVE_NUMPY:
+            arrays = _fastpath.build_arrays(topology, seed=seed)
+            if arrays is not None:
+                self._fast = _fastpath.ChannelState(arrays)
+        # Per-frame-length airtime cache: frame lengths cluster on a few
+        # payload shapes, so this avoids two float ops per transmission.
+        self._airtime_cache: Dict[int, float] = {}
+        # Fastpath fan-out tables: per sender row, a tuple of
+        # (receiver id, receiver row bit, radio_on callable, receive
+        # hook) resolved once instead of two dict lookups per delivery.
+        # Rebuilt lazily whenever a node (re-)attaches.
+        self._fanout_tables: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -190,12 +219,15 @@ class Channel:
         """Register a node's receive hook and power-state query."""
         self._receivers[node_id] = on_receive
         self._radio_on[node_id] = radio_on
+        self._fanout_tables = None  # re-resolved lazily on next fan-out
 
     # ------------------------------------------------------------------
     # Carrier sensing / transmission
     # ------------------------------------------------------------------
     def is_busy_at(self, node_id: int) -> bool:
         """Carrier sense: is any in-range node currently transmitting?"""
+        if self._fast is not None:
+            return self._fast.is_busy(node_id)
         if node_id in self._active:
             return True
         for src in self._active:
@@ -204,6 +236,7 @@ class Channel:
         return False
 
     def is_transmitting(self, node_id: int) -> bool:
+        """Is this node's own frame currently on the air?"""
         return node_id in self._active
 
     def transmit(self, src: int, msg: Message,
@@ -216,16 +249,42 @@ class Channel:
         """
         if src in self._active:
             raise RuntimeError(f"node {src} is already transmitting")
-        duration = self.params.airtime_ms(msg.length_bytes)
+        length = msg.length_bytes
+        duration = self._airtime_cache.get(length)
+        if duration is None:
+            duration = self._airtime_cache[length] = \
+                self.params.airtime_ms(length)
         now = self._engine.now
         record = _Transmission(src=src, msg=msg, start=now, end=now + duration)
+        fast = self._fast
+        if fast is not None:
+            # Incremental overlap tracking: two frames overlap iff the
+            # earlier one is still on the air when the later starts, so
+            # accumulating bitsets at transmit time sees exactly the
+            # pairs the object path finds by scanning history at
+            # completion time.  Records whose ``end == now`` do not
+            # overlap (the predicate is strict) and are skipped.
+            arrays = fast.arrays
+            adj_bits = arrays.adj_bits
+            row_bit = arrays.row_bit
+            row = record.row = arrays.index[src]
+            my_adj = adj_bits[row]
+            my_bit = row_bit[row]
+            for other in self._active.values():
+                if other.end <= now:
+                    continue
+                other.overlap_adj |= my_adj
+                other.overlap_self |= my_bit
+                record.overlap_adj |= adj_bits[other.row]
+                record.overlap_self |= row_bit[other.row]
+            fast.begin_tx(row)
+        else:
+            self._history.append(record)
         self._active[src] = record
-        self._history.append(record)
         if self._trace is not None:
             self._trace.record_transmission(src, msg, duration)
         if self._obs is not None:
-            self._obs.on_transmit(src, msg.kind.value, msg.length_bytes,
-                                  duration)
+            self._obs.on_transmit(src, msg.kind.value, length, duration)
         self._engine.schedule(duration, self._complete, record, on_complete)
         return duration
 
@@ -235,22 +294,30 @@ class Channel:
     def _complete(self, record: _Transmission,
                   on_complete: Callable[[DeliveryReport], None]) -> None:
         del self._active[record.src]
+        fast = self._fast
         report = DeliveryReport(msg=record.msg)
         destinations = record.msg.destinations()
 
-        for receiver in sorted(self._topology.neighbors[record.src]):
-            ok, collided = self._receives(receiver, record)
-            if ok:
-                model = self._channel_loss(record.src, receiver)
-                if model is not None:
-                    ok = False
-                    report.lost.add(receiver)
-                    if self._obs is not None:
-                        self._obs.on_link_loss(record.src, receiver, model)
-            if ok:
-                report.received.add(receiver)
-            elif collided:
-                report.collided.add(receiver)
+        delivery_hooks: "list[Callable[[Message], None]]" = []
+        delivery_order: "list[int]" = []
+        if fast is not None:
+            fast.end_tx(record.row)
+            self._fanout_fast(record, report, delivery_hooks)
+        else:
+            for receiver in sorted(self._topology.neighbors[record.src]):
+                ok, collided = self._receives(receiver, record)
+                if ok:
+                    model = self._channel_loss(record.src, receiver)
+                    if model is not None:
+                        ok = False
+                        report.lost.add(receiver)
+                        if self._obs is not None:
+                            self._obs.on_link_loss(record.src, receiver, model)
+                if ok:
+                    report.received.add(receiver)
+                    delivery_order.append(receiver)
+                elif collided:
+                    report.collided.add(receiver)
 
         if destinations is not None:
             report.failed_destinations = set(destinations) - report.received
@@ -260,13 +327,82 @@ class Channel:
             self._obs.on_collision(len(report.collided))
 
         # Deliver after the report is fully built so the sender's MAC and the
-        # receivers observe a consistent ordering.
-        for receiver in sorted(report.received):
-            hook = self._receivers.get(receiver)
-            if hook is not None:
-                hook(record.msg)
+        # receivers observe a consistent ordering.  Both fan-out paths
+        # deliver in ascending receiver id — the same order the original
+        # ``sorted(report.received)`` produced (the fastpath resolves the
+        # hooks up front, the object path looks them up here).
+        msg = record.msg
+        if fast is not None:
+            for hook in delivery_hooks:
+                hook(msg)
+        else:
+            receivers = self._receivers
+            for receiver in delivery_order:
+                hook = receivers.get(receiver)
+                if hook is not None:
+                    hook(msg)
         on_complete(report)
-        self._prune_history()
+        if fast is None:
+            self._prune_history()
+
+    def _fanout_fast(self, record: _Transmission, report: DeliveryReport,
+                     delivery_hooks: "list[Callable[[Message], None]]",
+                     ) -> None:
+        """Bitset delivery fan-out (bit-identical to the object path).
+
+        The object path probes ``Topology.in_range`` once per (receiver,
+        overlapping transmission) pair.  Here the overlapping-transmitter
+        bitsets were accumulated while the frame was on the air (see
+        :meth:`transmit`), so each sorted candidate receiver classifies
+        with two single int ANDs: against the overlapping transmitters
+        themselves (half-duplex) and against the union of their adjacency
+        rows (collision).  Receiver power callables and delivery hooks
+        come pre-resolved from the fan-out table.
+        """
+        tables = self._fanout_tables
+        if tables is None:
+            tables = self._build_fanout_tables()
+        collided_bits = record.overlap_adj
+        self_bits = record.overlap_self
+        lossless = self._lossless
+        received = report.received
+        collided = report.collided
+        deliver = delivery_hooks.append
+        for receiver, rbit, on, hook in tables[record.row]:
+            if rbit & self_bits:
+                continue  # half-duplex: was transmitting itself
+            if on is not None and not on():
+                continue  # radio powered down (sleep mode)
+            if rbit & collided_bits:
+                collided.add(receiver)
+                continue
+            if not lossless:
+                model = self._channel_loss(record.src, receiver)
+                if model is not None:
+                    report.lost.add(receiver)
+                    if self._obs is not None:
+                        self._obs.on_link_loss(record.src, receiver, model)
+                    continue
+            received.add(receiver)
+            if hook is not None:
+                deliver(hook)
+
+    def _build_fanout_tables(self) -> tuple:
+        """Resolve per-sender-row delivery tables against attached nodes.
+
+        Row ``i`` holds ``(receiver id, receiver row bit, radio_on
+        callable or None, receive hook or None)`` for each neighbor in
+        ascending id order.  The callables a node registers via
+        :meth:`attach` are stable for its lifetime, and :meth:`attach`
+        invalidates the tables, so resolving them once is safe.
+        """
+        receivers = self._receivers
+        radio_on = self._radio_on
+        self._fanout_tables = tables = tuple(
+            tuple((v, bit, radio_on.get(v), receivers.get(v))
+                  for v, bit in pairs)
+            for pairs in self._fast.arrays.neighbor_pairs)
+        return tables
 
     def _channel_loss(self, src: int, receiver: int) -> Optional[str]:
         """Name of the loss model that ate the frame, or None if delivered.
@@ -282,21 +418,33 @@ class Channel:
         return None
 
     def _burst_loss(self, src: int, receiver: int) -> bool:
-        """Advance the link's Gilbert–Elliott chain one frame; lost?"""
+        """Advance the link's Gilbert–Elliott chain one frame; lost?
+
+        Both paths seed each directed link identically
+        (:func:`repro.sim.fastpath.ge_link_seed`); the fast path keeps the
+        chain state in the precomputed edge-table array instead of a dict.
+        """
         burst = self.params.burst
         link = (src, receiver)
         rng = self._link_rngs.get(link)
         if rng is None:
             rng = self._link_rngs[link] = random.Random(
-                (self._seed << 16) ^ (src * 0x1F123BB5)
-                ^ (receiver * 0x9E3779B1) ^ 0x6E110B)
-        bad = self._link_bad.get(link, False)
+                _fastpath.ge_link_seed(self._seed, src, receiver))
+        fast = self._fast
+        edge = fast.arrays.edge_index[link] if fast is not None else None
+        if edge is not None:
+            bad = bool(fast.ge_bad[edge])
+        else:
+            bad = self._link_bad.get(link, False)
         if bad:
             if rng.random() < burst.p_bad_to_good:
                 bad = False
         elif rng.random() < burst.p_good_to_bad:
             bad = True
-        self._link_bad[link] = bad
+        if edge is not None:
+            fast.ge_bad[edge] = bad
+        else:
+            self._link_bad[link] = bad
         return rng.random() < (burst.loss_bad if bad else burst.loss_good)
 
     def _receives(self, receiver: int, record: _Transmission) -> "tuple[bool, bool]":

@@ -37,6 +37,7 @@ class Simulation:
         radio_params: Optional[RadioParams] = None,
         mac_params: Optional[MacParams] = None,
         seed: int = 0,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.topology = topology
         self.world = world
@@ -48,8 +49,12 @@ class Simulation:
         #: time on the engine's virtual clock (never the wall clock, so
         #: instrumented runs stay bit-identically deterministic).
         self.obs = SimObs(clock=lambda: self.engine.now)
+        #: ``fastpath`` selects the vectorized channel path (default on;
+        #: ``None`` defers to ``REPRO_FASTPATH``).  Results are
+        #: bit-identical either way, so it is an execution knob, not part
+        #: of any cell's cache identity.
         self.channel = Channel(self.engine, topology, radio_params, self.trace,
-                               seed=seed, obs=self.obs)
+                               seed=seed, obs=self.obs, fastpath=fastpath)
         self.nodes: Dict[int, SensorNode] = {
             node_id: SensorNode(node_id, self.engine, self.channel, topology,
                                 self.trace, mac_params, seed=seed,
@@ -60,10 +65,12 @@ class Simulation:
 
     @property
     def now(self) -> float:
+        """Current virtual time in milliseconds."""
         return self.engine.now
 
     @property
     def base_station(self) -> SensorNode:
+        """The sink node (node 0 in the paper's deployments)."""
         return self.nodes[self.topology.base_station]
 
     def install(self, app_factory: Callable[[SensorNode], NodeApp]) -> None:

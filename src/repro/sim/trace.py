@@ -51,6 +51,7 @@ class NodeStats:
     by_kind: Dict[MessageKind, int] = field(default_factory=dict)
 
     def record(self, msg: Message, duration: float) -> None:
+        """Charge one transmitted frame to this node's totals."""
         self.tx_busy_ms += duration
         self.tx_count += 1
         self.tx_bytes += msg.length_bytes
@@ -73,6 +74,7 @@ class TraceCollector:
     # Recording hooks (called by the radio/MAC layers)
     # ------------------------------------------------------------------
     def node_stats(self, node_id: int) -> NodeStats:
+        """This node's accumulator, created on first use."""
         stats = self._nodes.get(node_id)
         if stats is None:
             stats = NodeStats(node_id)
@@ -80,6 +82,7 @@ class TraceCollector:
         return stats
 
     def record_transmission(self, src: int, msg: Message, duration: float) -> None:
+        """One frame on air: per-node charge plus retransmission delta."""
         self.node_stats(src).record(msg, duration)
         prev = self._retx_seen.get(msg.msg_id, 0)
         if msg.retransmissions > prev:
@@ -87,12 +90,15 @@ class TraceCollector:
             self._retx_seen[msg.msg_id] = msg.retransmissions
 
     def record_collision(self, msg: Message, receivers: Set[int]) -> None:
+        """Count the receivers that lost this frame to a collision."""
         self.collisions += len(receivers)
 
     def record_drop(self, msg: Message) -> None:
+        """Count a frame the MAC abandoned after exhausting retries."""
         self.dropped_frames += 1
 
     def record_sleep(self, node_id: int, duration: float) -> None:
+        """Accrue radio-off time to the node (sleep mode or outage)."""
         self.node_stats(node_id).sleep_ms += duration
 
     # ------------------------------------------------------------------
@@ -100,6 +106,7 @@ class TraceCollector:
     # ------------------------------------------------------------------
     @property
     def elapsed_ms(self) -> float:
+        """Virtual time since this collector started observing."""
         return self._engine.now - self.started_at
 
     def total_transmissions(self, kinds: Optional[Iterable[MessageKind]] = None) -> int:
@@ -113,6 +120,7 @@ class TraceCollector:
         return total
 
     def total_tx_time_ms(self) -> float:
+        """Summed radio transmit time across all nodes, in ms."""
         return sum(s.tx_busy_ms for s in self._nodes.values())
 
     def average_transmission_time(self, node_ids: Iterable[int],
@@ -154,6 +162,7 @@ class TraceCollector:
         return total / len(ids)
 
     def messages_by_kind(self) -> Dict[MessageKind, int]:
+        """Network-wide frame counts per traffic kind."""
         totals: Dict[MessageKind, int] = {}
         for stats in self._nodes.values():
             for kind, count in stats.by_kind.items():

@@ -1,0 +1,73 @@
+"""Docstring coverage gate for the simulation substrate.
+
+``repro.sim`` is the layer new contributors read first (every other
+layer sits on it), so its public surface must stay documented.  This is
+an `interrogate`-style check implemented over ``ast`` so it needs no
+third-party tool: it counts module docstrings plus docstrings on every
+public class, method, and function (module-level or class-body; names
+starting with ``_`` and closures nested inside functions are exempt)
+and fails below the pinned threshold.
+
+The threshold is a floor, not a target — at the time of pinning the
+package is at 100%; the gate exists to catch drift, and the per-file
+listing in the failure message says exactly what is missing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SIM_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro" / "sim"
+
+#: Minimum documented fraction of the public surface.
+THRESHOLD = 0.90
+
+
+def _public_defs(tree: ast.Module):
+    """Yield (qualname, node) for the module and every public def.
+
+    Walks module-level and class-body definitions only: a function
+    nested inside another function is an implementation detail, not
+    public surface.
+    """
+    yield "<module>", tree
+    stack = [("", tree.body)]
+    while stack:
+        prefix, body = stack.pop()
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if node.name.startswith("_"):
+                    continue
+                name = f"{prefix}{node.name}"
+                yield name, node
+                if isinstance(node, ast.ClassDef):
+                    stack.append((f"{name}.", node.body))
+
+
+def _audit():
+    total, documented, missing = 0, 0, []
+    for path in sorted(SIM_ROOT.glob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for name, node in _public_defs(tree):
+            total += 1
+            if ast.get_docstring(node):
+                documented += 1
+            else:
+                missing.append(f"{path.name}:{name}")
+    return total, documented, missing
+
+
+def test_sim_package_exists_and_has_defs():
+    total, _, _ = _audit()
+    assert total > 50, "audit found almost nothing — extractor rot?"
+
+
+def test_sim_public_docstring_coverage():
+    total, documented, missing = _audit()
+    coverage = documented / total
+    assert coverage >= THRESHOLD, (
+        f"repro.sim public docstring coverage {coverage:.1%} "
+        f"({documented}/{total}) fell below {THRESHOLD:.0%}; "
+        f"undocumented: {missing}")

@@ -1,0 +1,117 @@
+"""Serial-vs-fastpath differential: bit-identical RunResults.
+
+The fastpath (:mod:`repro.sim.fastpath`) replaces the channel's per-packet
+object dispatch with precomputed whole-topology structures.  Its contract
+is that this is *pure acceleration*: every cell must produce a
+:class:`~repro.harness.runner.RunResult` equal field-for-field — float
+bits included — to the object path's.
+
+Three grids exercise the contract:
+
+* the always-on reduced grid (one fig3 group, one dynamic-workload cell,
+  one lossy cell) runs in the default suite;
+* ``REPRO_FASTPATH_SMOKE=1`` selects the CI smoke grid (same cells, one
+  strategy pair each) for the dedicated workflow job;
+* the full fig3/fig4-style grid (every workload x side x strategy, plus
+  loss-model cells) runs under ``-m slow``.
+
+Loss-model cells matter most: Bernoulli and Gilbert–Elliott consume RNG
+state per candidate receiver, so any fan-out reordering or skipped probe
+shows up as a diverging result.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.cells import CellSpec, WorkloadSpec
+from repro.harness.experiments import fig3_cells, fig3_grid
+from repro.harness.strategies import DeploymentConfig, Strategy
+from repro.sim import fastpath
+from repro.sim.radio import GilbertElliottParams, RadioParams
+
+pytestmark = pytest.mark.skipif(
+    not fastpath.HAVE_NUMPY,
+    reason="numpy not installed: only the object path exists")
+
+SMOKE = os.environ.get("REPRO_FASTPATH_SMOKE", "") == "1"
+
+#: Loss-model deployment shared by the lossy differential cells.
+LOSSY_RADIO = RadioParams(loss_rate=0.05, burst=GilbertElliottParams())
+
+
+def _dynamic_cell(strategy: Strategy, seed: int = 23) -> CellSpec:
+    """A packet-level Figure 4 analog: Poisson arrivals/terminations."""
+    workload = WorkloadSpec(kind="dynamic", n_nodes=16, n_queries=6,
+                            concurrency=3.0, seed=seed)
+    return CellSpec(strategy=strategy, workload=workload,
+                    config=DeploymentConfig(side=4, seed=seed), seed=seed)
+
+
+def _lossy_cell(strategy: Strategy, seed: int = 31) -> CellSpec:
+    workload = WorkloadSpec.named("B", duration_ms=60_000.0)
+    return CellSpec(strategy=strategy, workload=workload,
+                    config=DeploymentConfig(side=4, seed=seed,
+                                            radio_params=LOSSY_RADIO),
+                    seed=seed)
+
+
+def _assert_differential(spec: CellSpec) -> None:
+    serial = replace(spec, fastpath=False).run()
+    fast = replace(spec, fastpath=True).run()
+    assert serial.to_dict() == fast.to_dict(), (
+        f"fastpath diverged on {spec.strategy.name} / "
+        f"{spec.workload.description or spec.workload.kind}")
+    assert serial == fast
+
+
+def _reduced_grid():
+    return [
+        *fig3_cells("A", 4),
+        _dynamic_cell(Strategy.TTMQO),
+        _lossy_cell(Strategy.BASELINE),
+        _lossy_cell(Strategy.TTMQO),
+    ]
+
+
+@pytest.mark.parametrize(
+    "spec", _reduced_grid(),
+    ids=lambda spec: f"{spec.strategy.name}-"
+                     f"{spec.workload.name or spec.workload.kind}"
+                     f"{'-lossy' if spec.config.radio_params else ''}")
+def test_differential_reduced_grid(spec):
+    _assert_differential(spec)
+
+
+@pytest.mark.skipif(not SMOKE, reason="CI smoke grid; "
+                    "set REPRO_FASTPATH_SMOKE=1 to run")
+def test_differential_smoke_grid():
+    """The reduced grid again, one assertion per run, for the CI job."""
+    for spec in _reduced_grid():
+        _assert_differential(spec)
+
+
+@pytest.mark.slow
+def test_differential_full_grid():
+    """Every fig3 workload x side x strategy, plus dynamic + lossy cells."""
+    cells = fig3_grid()
+    cells.extend(_dynamic_cell(s)
+                 for s in (Strategy.BASELINE, Strategy.TTMQO))
+    cells.extend(_lossy_cell(s)
+                 for s in (Strategy.BS_ONLY, Strategy.INNET_ONLY))
+    for spec in cells:
+        _assert_differential(spec)
+
+
+def test_fastpath_toggle_is_not_cell_identity():
+    """The knob cannot change what a cell computes, so it must not change
+    the cell's canonical hash, cache key, or derived seed."""
+    from repro.harness.cells import canonical_cell_json, derive_seed
+    spec = fig3_cells("A", 4)[0]
+    on = replace(spec, fastpath=True)
+    off = replace(spec, fastpath=False)
+    assert canonical_cell_json(on) == canonical_cell_json(off)
+    assert derive_seed(on) == derive_seed(off)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.sim.engine import EventQueue, PeriodicTimer, SimulationError
+from repro.sim.engine import (
+    COMPACT_MIN_CANCELLED,
+    EventQueue,
+    PeriodicTimer,
+    SimulationError,
+)
 
 
 class TestEventQueue:
@@ -123,6 +128,100 @@ class TestEventQueue:
             eq.schedule(float(i + 1), fired.append, i)
         eq.run(max_events=2)
         assert fired == [0, 1]
+
+
+class TestCohortDrain:
+    """Batched same-timestamp dispatch must be invisible to callbacks."""
+
+    def test_fifo_preserved_across_large_cohort(self):
+        eq = EventQueue()
+        fired = []
+        for i in range(200):
+            eq.schedule(4.0, fired.append, i)
+        eq.schedule(2.0, fired.append, "early")
+        eq.run_until(10.0)
+        assert fired == ["early", *range(200)]
+
+    def test_same_time_events_scheduled_mid_cohort_run_after_it(self):
+        """An event scheduled at the current timestamp from within a
+        cohort member carries a higher seq and fires after the members
+        already in the heap — exactly as serial popping orders it."""
+        eq = EventQueue()
+        fired = []
+        eq.schedule(3.0, lambda: (fired.append("a"),
+                                  eq.schedule(0.0, fired.append, "late")))
+        eq.schedule(3.0, fired.append, "b")
+        eq.run_until(5.0)
+        assert fired == ["a", "b", "late"]
+
+    def test_cohort_member_cancelling_later_member_is_honoured(self):
+        eq = EventQueue()
+        fired = []
+        holder = {}
+        eq.schedule(1.0, lambda: holder["victim"].cancel())
+        holder["victim"] = eq.schedule(1.0, fired.append, "victim")
+        eq.schedule(1.0, fired.append, "after")
+        eq.run_until(2.0)
+        assert fired == ["after"]
+        assert eq.events_processed == 2  # canceller + "after", not the victim
+
+    def test_clock_is_stable_within_a_cohort(self):
+        eq = EventQueue()
+        seen = []
+        for _ in range(3):
+            eq.schedule(6.0, lambda: seen.append(eq.now))
+        eq.run_until(10.0)
+        assert seen == [6.0, 6.0, 6.0]
+
+    def test_cancellation_stays_lazy_until_pop_or_compaction(self):
+        """Below the compaction threshold a cancelled entry stays resident
+        (lazy cancellation) and is only dropped when popped."""
+        eq = EventQueue()
+        event = eq.schedule(50.0, lambda: None)
+        eq.schedule(60.0, lambda: None)
+        event.cancel()
+        assert eq.heap_size == 2  # still resident
+        eq.run_until(100.0)
+        assert eq.heap_size == 0
+        assert eq.events_processed == 1
+
+
+class TestHeapCompaction:
+    """Regression: cancel-heavy quiescent runs must not grow the heap
+    unboundedly (dead entries used to stay resident until their far-future
+    timestamp was reached)."""
+
+    def test_many_cancelled_timers_are_compacted_away(self):
+        eq = EventQueue()
+        live = eq.schedule(1e9, lambda: None)
+        # Schedule-and-cancel far-future timers, as a retransmission or
+        # watchdog layer does; the heap must stay bounded by live count.
+        for _ in range(20 * COMPACT_MIN_CANCELLED):
+            eq.schedule(1e9, lambda: None).cancel()
+        assert eq.heap_size < 2 * COMPACT_MIN_CANCELLED
+        assert len(eq) == 1
+        assert not live.cancelled
+
+    def test_compaction_keeps_order_and_pending_events(self):
+        eq = EventQueue()
+        fired = []
+        keep = [eq.schedule(float(i + 1), fired.append, i) for i in range(5)]
+        for _ in range(3 * COMPACT_MIN_CANCELLED):
+            eq.schedule(1e9, lambda: None).cancel()
+        assert eq.heap_size < 2 * COMPACT_MIN_CANCELLED
+        eq.run_until(10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert keep[0].time == 1.0
+
+    def test_small_queues_never_pay_compaction(self):
+        """Below COMPACT_MIN_CANCELLED cancelled entries stay lazily
+        resident — compacting tiny heaps would cost more than it saves."""
+        eq = EventQueue()
+        events = [eq.schedule(1e9, lambda: None)
+                  for _ in range(COMPACT_MIN_CANCELLED - 2)]
+        for event in events:
+            event.cancel()
+        assert eq.heap_size == COMPACT_MIN_CANCELLED - 2
 
 
 class TestPeriodicTimer:

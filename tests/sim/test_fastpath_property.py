@@ -1,0 +1,154 @@
+"""Hypothesis property: fastpath and object-path deliveries agree.
+
+The differential suite (``tests/harness/test_fastpath_differential``)
+compares whole harness runs on the fixed experiment grids; this module
+attacks the same contract from below with randomized *channel-level*
+schedules hypothesis can shrink: random topologies, random transmission
+timings (including deliberate same-instant cohorts that collide), random
+addressing modes, sleeping nodes, and randomized Bernoulli/Gilbert–Elliott
+loss parameters.  For every generated scenario the two paths must produce
+the same delivery reports and the same per-node receive logs — sets,
+order, and timestamps all equal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import fastpath
+from repro.sim.engine import EventQueue
+from repro.sim.messages import BROADCAST, Message, MessageKind
+from repro.sim.network import Topology
+from repro.sim.radio import Channel, GilbertElliottParams, RadioParams
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+pytestmark = pytest.mark.skipif(not fastpath.HAVE_NUMPY,
+                                reason="numpy not installed")
+
+# -- strategies --------------------------------------------------------
+probabilities = st.floats(min_value=0.0, max_value=0.95,
+                          allow_nan=False, allow_infinity=False)
+
+ge_params = st.builds(
+    GilbertElliottParams,
+    p_good_to_bad=st.floats(min_value=0.01, max_value=1.0),
+    p_bad_to_good=st.floats(min_value=0.01, max_value=1.0),
+    loss_good=probabilities,
+    loss_bad=probabilities,
+)
+
+radio_params = st.builds(
+    RadioParams,
+    loss_rate=probabilities,
+    burst=st.one_of(st.none(), ge_params),
+)
+
+#: One planned transmission: (start slot, sender index, addressing draw,
+#: payload bytes).  Slots are coarse so that several transmissions land on
+#: the same instant and overlap — the collision machinery must engage.
+transmissions = st.tuples(
+    st.integers(min_value=0, max_value=12),   # start slot (x 5 ms)
+    st.integers(min_value=0, max_value=10 ** 6),  # sender draw
+    st.integers(min_value=0, max_value=10 ** 6),  # destination draw
+    st.integers(min_value=1, max_value=40),   # payload bytes
+)
+
+scenarios = st.fixed_dictionaries({
+    "topo_seed": st.integers(min_value=0, max_value=10 ** 6),
+    "n_nodes": st.integers(min_value=3, max_value=14),
+    "channel_seed": st.integers(min_value=0, max_value=10 ** 6),
+    "params": radio_params,
+    "schedule": st.lists(transmissions, min_size=1, max_size=25),
+    "asleep": st.sets(st.integers(min_value=0, max_value=13), max_size=4),
+})
+
+
+def _run(scenario, use_fastpath: bool):
+    """Execute one scenario on the chosen path; return its observable log."""
+    topo = Topology.random(scenario["n_nodes"], area_ft=120.0,
+                           seed=scenario["topo_seed"])
+    engine = EventQueue()
+    channel = Channel(engine, topo, params=scenario["params"],
+                      seed=scenario["channel_seed"], fastpath=use_fastpath)
+    assert (channel._fast is not None) == use_fastpath
+
+    received = []
+    reports = []
+    asleep = {topo.node_ids[i % len(topo.node_ids)]
+              for i in scenario["asleep"]}
+    for node in topo.node_ids:
+        def on_receive(msg, node=node):
+            received.append((engine.now, node, msg.src, msg.payload))
+        channel.attach(node, on_receive,
+                       (lambda: False) if node in asleep else (lambda: True))
+
+    def fire(src, dst_draw, payload_bytes, tag):
+        if channel.is_transmitting(src):
+            return  # identical guard on both paths: a dict lookup
+        # Destination draw: ~half broadcast, ~quarter unicast to a random
+        # node, ~quarter multicast to a small id set.
+        mode = dst_draw % 4
+        ids = topo.node_ids
+        if mode <= 1:
+            link_dst = BROADCAST
+        elif mode == 2:
+            link_dst = ids[(dst_draw // 4) % len(ids)]
+        else:
+            link_dst = frozenset({ids[(dst_draw // 4) % len(ids)],
+                                  ids[(dst_draw // 8) % len(ids)]})
+        msg = Message(MessageKind.RESULT, src, link_dst, tag, payload_bytes)
+
+        def on_complete(report):
+            reports.append((engine.now, tag,
+                            tuple(sorted(report.received)),
+                            tuple(sorted(report.failed_destinations)),
+                            tuple(sorted(report.collided)),
+                            tuple(sorted(report.lost))))
+        channel.transmit(src, msg, on_complete)
+
+    for tag, (slot, src_draw, dst_draw, payload_bytes) in \
+            enumerate(scenario["schedule"]):
+        src = topo.node_ids[src_draw % len(topo.node_ids)]
+        engine.schedule(slot * 5.0, fire, src, dst_draw, payload_bytes, tag)
+    engine.run_until(10_000.0)
+    assert not channel._active
+    return received, reports
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_paths_deliver_identically(scenario):
+    assert _run(scenario, use_fastpath=False) \
+        == _run(scenario, use_fastpath=True)
+
+
+@given(scenario=scenarios)
+@settings(max_examples=25, deadline=None)
+def test_carrier_sense_agrees_under_load(scenario):
+    """is_busy_at must agree at every node while traffic is in flight."""
+    topo = Topology.random(scenario["n_nodes"], area_ft=120.0,
+                           seed=scenario["topo_seed"])
+
+    def build(use_fastpath):
+        engine = EventQueue()
+        channel = Channel(engine, topo, params=scenario["params"],
+                          seed=scenario["channel_seed"],
+                          fastpath=use_fastpath)
+        for node in topo.node_ids:
+            channel.attach(node, lambda msg: None, lambda: True)
+        return engine, channel
+
+    eng_obj, chan_obj = build(False)
+    eng_fast, chan_fast = build(True)
+    for slot, src_draw, _, payload_bytes in scenario["schedule"]:
+        src = topo.node_ids[src_draw % len(topo.node_ids)]
+        for engine, channel in ((eng_obj, chan_obj), (eng_fast, chan_fast)):
+            engine.run_until(slot * 5.0)
+            if not channel.is_transmitting(src):
+                msg = Message(MessageKind.RESULT, src, BROADCAST, None,
+                              payload_bytes)
+                channel.transmit(src, msg, lambda report: None)
+        assert [chan_obj.is_busy_at(n) for n in topo.node_ids] \
+            == [chan_fast.is_busy_at(n) for n in topo.node_ids]
