@@ -247,6 +247,39 @@ def build_parser() -> argparse.ArgumentParser:
     obs_p.add_argument("--spans", type=int, default=0, metavar="N",
                        help="also export the last N spans (json/text)")
 
+    gw_p = sub.add_parser(
+        "gateway",
+        help="serve the query service over TCP (length-prefixed JSON), "
+             "optionally replicating its WAL to a warm standby")
+    gw_p.add_argument("--role", choices=["primary", "standby"],
+                      default="primary",
+                      help="primary serves clients; standby follows a "
+                           "primary's WAL stream into --state-dir")
+    gw_p.add_argument("--host", default="127.0.0.1")
+    gw_p.add_argument("--port", type=int, default=0,
+                      help="listen port (0 = ephemeral, printed at start)")
+    gw_p.add_argument("--state-dir", default=None,
+                      help="durability directory (required for standby; "
+                           "enables the WAL on a primary)")
+    gw_p.add_argument("--replicate-to", default=None, metavar="HOST:PORT",
+                      help="ship WAL frames and snapshots to this standby")
+    gw_p.add_argument("--sync", action="store_true",
+                      help="semi-synchronous submits: withhold each submit "
+                           "reply until the standby acked its WAL record")
+    gw_p.add_argument("--side", type=int, default=4,
+                      help="grid side of the admission cost profile")
+    gw_p.add_argument("--load", type=int, default=0, metavar="N",
+                      help="drive N concurrent socket clients against the "
+                           "gateway, print the report, then exit "
+                           "(0 = serve until interrupted)")
+    gw_p.add_argument("--submits", type=int, default=25,
+                      help="submits per load client")
+    gw_p.add_argument("--unique", type=int, default=6,
+                      help="distinct queries in the load pool")
+    gw_p.add_argument("--seed", type=int, default=0)
+    gw_p.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the load report as JSON")
+
     topo_p = sub.add_parser("topo", help="render a deployment as ASCII")
     topo_p.add_argument("--kind", choices=["grid", "random"], default="grid")
     topo_p.add_argument("--side", type=int, default=8,
@@ -786,6 +819,102 @@ def _cmd_topo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .gateway import GatewayServer, run_socket_load
+    from .harness.tier1_sim import default_cost_model
+    from .core.basestation import BaseStationOptimizer
+    from .service import (DurabilityConfig, OptimizerBackend,
+                          PrimaryReplicator, QueryService, ReplicationConfig,
+                          StandbyServer)
+
+    if args.role == "standby":
+        if args.state_dir is None:
+            print("error: --role standby requires --state-dir",
+                  file=sys.stderr)
+            return 2
+        standby = StandbyServer(args.state_dir, host=args.host,
+                                port=args.port)
+        host, port = standby.address
+        print(f"standby following on {host}:{port} -> {args.state_dir}")
+        print("promote with: QueryService.recover(backend, state_dir) "
+              "after stopping this process")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            standby.stop()
+        print(f"standby stopped at applied_seq={standby.applied_seq}")
+        return 0
+
+    backend = OptimizerBackend(
+        BaseStationOptimizer(default_cost_model(args.side * args.side, 3),
+                             alpha=0.6))
+    durability = (DurabilityConfig(directory=args.state_dir,
+                                   snapshot_every_ops=64)
+                  if args.state_dir is not None else None)
+    service = QueryService(backend, batch_window_ms=0.0,
+                           durability=durability)
+    replicator = None
+    if args.replicate_to is not None:
+        if durability is None:
+            print("error: --replicate-to requires --state-dir (the WAL "
+                  "is what gets replicated)", file=sys.stderr)
+            return 2
+        host, _, port = args.replicate_to.rpartition(":")
+        replicator = PrimaryReplicator(ReplicationConfig(
+            host=host or "127.0.0.1", port=int(port), sync=args.sync))
+        service.attach_replicator(replicator)
+    gateway = GatewayServer(service, host=args.host, port=args.port,
+                            replicator=replicator).start()
+    host, port = gateway.address
+    mode = ("semi-sync replication" if replicator is not None and args.sync
+            else "async replication" if replicator is not None
+            else "standalone")
+    print(f"gateway listening on {host}:{port} ({mode})")
+
+    exit_code = 0
+    try:
+        if args.load > 0:
+            report = run_socket_load(host, port, n_clients=args.load,
+                                     submits_per_client=args.submits,
+                                     n_unique=args.unique, seed=args.seed)
+            payload = report.to_dict()
+            latency = payload["latency_ms"]
+            print(f"load                : {report.clients} clients x "
+                  f"{report.submits_per_client} submits over TCP")
+            print(f"requests            : {report.requests} "
+                  f"({report.admitted} admitted, {report.cache_hits} cache "
+                  f"hits, {report.shed} shed, {report.errors} errors)")
+            print(f"throughput          : {report.submits_per_s:.0f} "
+                  f"submits/s over {report.duration_s:.2f}s")
+            print(f"submit latency      : p50 {latency['p50']:.2f} ms, "
+                  f"p90 {latency['p90']:.2f} ms, "
+                  f"p99 {latency['p99']:.2f} ms")
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                print(f"wrote {args.json}")
+            exit_code = 0 if report.errors == 0 else 1
+        else:
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        gateway.stop()
+        if replicator is not None:
+            replicator.stop()
+        if durability is not None:
+            service.shutdown()
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -806,6 +935,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_explain(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "topo":
         return _cmd_topo(args)
     return 2  # pragma: no cover - argparse enforces the choices

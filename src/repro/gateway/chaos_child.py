@@ -1,0 +1,49 @@
+"""Child-process entry point for gateway kill/promote tests.
+
+``python -m repro.gateway.chaos_child STATE_DIR STANDBY_PORT`` brings up
+a complete replicated primary in a fresh interpreter — durable
+:class:`QueryService`, semi-sync :class:`PrimaryReplicator` pointed at
+the parent's :class:`StandbyServer`, and a :class:`GatewayServer` on an
+ephemeral port — prints ``PORT <n>`` so the parent can connect, then
+sleeps until the parent SIGKILLs it mid-load.
+
+The parent (``tests/gateway/test_kill_promote.py`` and
+``benchmarks/test_ext_gateway.py``) drives real socket load at the
+printed port, kills this process with no warning, promotes its standby,
+and asserts that every submission this process acknowledged survived.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def main(state_dir: str, standby_port: int,
+         host: str = "127.0.0.1") -> None:
+    from ..core.basestation import BaseStationOptimizer
+    from ..harness.tier1_sim import default_cost_model
+    from ..service import (DurabilityConfig, OptimizerBackend,
+                           PrimaryReplicator, QueryService,
+                           ReplicationConfig)
+    from .server import GatewayServer
+
+    backend = OptimizerBackend(
+        BaseStationOptimizer(default_cost_model(16, 3), alpha=0.6))
+    service = QueryService(
+        backend, batch_window_ms=0.0,
+        durability=DurabilityConfig(directory=state_dir,
+                                    snapshot_every_ops=16))
+    replicator = PrimaryReplicator(ReplicationConfig(
+        host=host, port=standby_port, epoch_ms=5.0, sync=True))
+    service.attach_replicator(replicator)
+    gateway = GatewayServer(service, host=host,
+                            replicator=replicator).start()
+    print(f"PORT {gateway.address[1]}", flush=True)
+    while True:  # the parent ends this process with SIGKILL
+        time.sleep(0.5)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    main(sys.argv[1], int(sys.argv[2]),
+         sys.argv[3] if len(sys.argv) > 3 else "127.0.0.1")

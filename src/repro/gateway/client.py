@@ -1,0 +1,156 @@
+"""A small blocking client for the gateway protocol.
+
+Used by tests, ``benchmarks/test_ext_gateway.py`` and ``python -m repro
+gateway --load``; application code embedding the service in-process
+should keep calling :class:`~repro.service.QueryService` directly.
+
+One :class:`GatewayClient` wraps one TCP connection.  Requests carry a
+monotonically increasing correlation ``id``; :meth:`_call` reads frames
+until the matching reply arrives, buffering any ``result`` frames that
+interleave (the server streams subscribed results on the same socket).
+Buffered results are retrieved with :meth:`drain_results` /
+:meth:`wait_results`.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import time
+from typing import Dict, List, Optional
+
+from .protocol import ProtocolError, recv_frame, send_frame
+
+
+class GatewayError(RuntimeError):
+    """The server answered ``ok=false``; the message is its ``error``."""
+
+
+class GatewayClient:
+    """Blocking, single-connection gateway client (context manager)."""
+
+    def __init__(self, host: str, port: int,
+                 timeout_s: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        self._next_id = 0
+        #: ticket_id -> result items that arrived between replies.
+        self._results: Dict[int, List[dict]] = {}
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    # ------------------------------------------------------------------
+    # Request/reply plumbing
+    # ------------------------------------------------------------------
+    def _call(self, op: str, **fields) -> dict:
+        self._next_id += 1
+        request = {"op": op, "id": self._next_id}
+        request.update(fields)
+        send_frame(self._sock, request)
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise ProtocolError(
+                    f"connection closed awaiting reply to {op!r}")
+            if frame.get("kind") == "result":
+                self._buffer_result(frame)
+                continue
+            if frame.get("id") != self._next_id:
+                continue  # stale reply (should not happen on one socket)
+            if not frame.get("ok", False):
+                raise GatewayError(frame.get("error", "request failed"))
+            return frame
+
+    def _buffer_result(self, frame: dict) -> None:
+        self._results.setdefault(int(frame["ticket"]), []).append(
+            frame["item"])
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._call("ping").get("pong"))
+
+    def open(self, client: str = "anonymous",
+             ttl_ms: Optional[float] = None) -> str:
+        return self._call("open", client=client, ttl_ms=ttl_ms)["session"]
+
+    def submit(self, session: str, query: str,
+               qos: str = "best-effort") -> dict:
+        """Submit a query; returns the reply (``ticket``, ``status``...).
+
+        A gateway- or service-shed submission still returns ``ok`` with
+        ``status == "shed"`` — shedding is an answer, not an error.
+        """
+        return self._call("submit", session=session, query=query, qos=qos)
+
+    def explain(self, query: str, session: Optional[str] = None,
+                qos: str = "best-effort") -> dict:
+        return self._call("explain", query=query, session=session,
+                          qos=qos)["explain"]
+
+    def terminate(self, session: str, ticket: int) -> None:
+        self._call("terminate", session=session, ticket=ticket)
+
+    def subscribe(self, session: str, ticket: int) -> None:
+        self._call("subscribe", session=session, ticket=ticket)
+
+    def close_session(self, session: str) -> None:
+        self._call("close_session", session=session)
+
+    def stats(self) -> dict:
+        return self._call("stats")["stats"]
+
+    # ------------------------------------------------------------------
+    # Streamed results
+    # ------------------------------------------------------------------
+    def drain_results(self, ticket: int) -> List[dict]:
+        """Buffered result items for ``ticket`` (without blocking)."""
+        self._poll()
+        return self._results.pop(ticket, [])
+
+    def wait_results(self, ticket: int, n: int = 1,
+                     timeout_s: float = 30.0) -> List[dict]:
+        """Block until ``ticket`` has at least ``n`` buffered items."""
+        deadline = time.monotonic() + timeout_s
+        collected = self._results.setdefault(ticket, [])
+        while len(collected) < n:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not select.select(
+                    [self._sock], [], [], max(remaining, 0))[0]:
+                raise TimeoutError(
+                    f"ticket {ticket}: {len(collected)}/{n} results "
+                    f"after {timeout_s}s")
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise ProtocolError(
+                    "connection closed while awaiting results")
+            if frame.get("kind") == "result":
+                self._buffer_result(frame)
+        return self._results.pop(ticket)
+
+    def _poll(self) -> None:
+        """Drain frames already queued on the socket without waiting.
+
+        Readability is checked with ``select`` before each *blocking*
+        ``recv_frame`` — frames are always consumed whole, never left
+        half-read (the server writes each frame in one piece, so a
+        readable header means the rest follows promptly).
+        """
+        while select.select([self._sock], [], [], 0)[0]:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                return
+            if frame.get("kind") == "result":
+                self._buffer_result(frame)

@@ -1,0 +1,158 @@
+"""Threaded socket load against a running gateway.
+
+The in-process load harness (:func:`repro.service.run_scripted_load`)
+exercises the service through direct calls; this one exercises the whole
+front door — real TCP connections, framing, per-connection send queues,
+and (when the gateway runs semi-sync replication) the standby ack on
+every submit's critical path.  Used by ``python -m repro gateway
+--load`` and ``benchmarks/test_ext_gateway.py``.
+
+Each client thread opens its own connection and session, submits a run
+of textually perturbed duplicate queries drawn from the scripted query
+pool (so canonicalization and the dedup cache stay on the hot path),
+terminates a fraction of them, and records one wall-clock latency per
+acknowledged submit.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..service.load import _QUERY_POOL, _perturb
+from .client import GatewayClient, GatewayError
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+@dataclass
+class SocketLoadReport:
+    """Outcome of one socket load run (all latencies in milliseconds)."""
+
+    clients: int
+    submits_per_client: int
+    requests: int = 0
+    admitted: int = 0
+    cache_hits: int = 0
+    shed: int = 0
+    errors: int = 0
+    terminated: int = 0
+    duration_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def submits_per_s(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.requests / self.duration_s
+
+    def percentile_ms(self, q: float) -> float:
+        return _percentile(sorted(self.latencies_ms), q)
+
+    def to_dict(self) -> dict:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "clients": self.clients,
+            "submits_per_client": self.submits_per_client,
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "cache_hits": self.cache_hits,
+            "shed": self.shed,
+            "errors": self.errors,
+            "terminated": self.terminated,
+            "duration_s": self.duration_s,
+            "submits_per_s": self.submits_per_s,
+            "latency_ms": {
+                "p50": _percentile(ordered, 0.50),
+                "p90": _percentile(ordered, 0.90),
+                "p99": _percentile(ordered, 0.99),
+                "max": ordered[-1] if ordered else 0.0,
+            },
+        }
+
+
+def run_socket_load(host: str, port: int, *,
+                    n_clients: int = 8,
+                    submits_per_client: int = 25,
+                    n_unique: int = 6,
+                    seed: int = 0,
+                    qos: str = "best-effort",
+                    terminate_fraction: float = 0.25,
+                    timeout_s: float = 60.0) -> SocketLoadReport:
+    """Drive ``n_clients`` concurrent TCP clients against one gateway."""
+    if n_unique < 1 or n_unique > len(_QUERY_POOL):
+        raise ValueError(
+            f"n_unique must be in 1..{len(_QUERY_POOL)} (got {n_unique})")
+    report = SocketLoadReport(clients=n_clients,
+                              submits_per_client=submits_per_client)
+    lock = threading.Lock()
+    failures: List[BaseException] = []
+
+    def _client(index: int) -> None:
+        rng = random.Random(seed * 7919 + index)
+        local: Dict[str, object] = {
+            "requests": 0, "admitted": 0, "cache_hits": 0, "shed": 0,
+            "errors": 0, "terminated": 0, "latencies": []}
+        try:
+            with GatewayClient(host, port, timeout_s=timeout_s) as client:
+                session = client.open(f"load-{index:03d}")
+                open_tickets: List[int] = []
+                for step in range(submits_per_client):
+                    text = _perturb(
+                        _QUERY_POOL[(index + step) % n_unique], rng)
+                    started = time.perf_counter()
+                    try:
+                        reply = client.submit(session, text, qos=qos)
+                    except GatewayError:
+                        local["errors"] += 1
+                        continue
+                    finally:
+                        local["requests"] += 1
+                    local["latencies"].append(
+                        (time.perf_counter() - started) * 1000.0)
+                    if reply.get("status") == "shed":
+                        local["shed"] += 1
+                        continue
+                    if reply.get("status") in ("live", "pending"):
+                        local["admitted"] += 1
+                        if reply.get("cache_hit"):
+                            local["cache_hits"] += 1
+                        open_tickets.append(int(reply["ticket"]))
+                        if (open_tickets
+                                and rng.random() < terminate_fraction):
+                            client.terminate(session, open_tickets.pop(0))
+                            local["terminated"] += 1
+                client.close_session(session)
+        except BaseException as exc:  # surfaced to the caller below
+            with lock:
+                failures.append(exc)
+        with lock:
+            report.requests += local["requests"]
+            report.admitted += local["admitted"]
+            report.cache_hits += local["cache_hits"]
+            report.shed += local["shed"]
+            report.errors += local["errors"]
+            report.terminated += local["terminated"]
+            report.latencies_ms.extend(local["latencies"])
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=_client, args=(index,),
+                                name=f"gateway-load-{index}", daemon=True)
+               for index in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+    report.duration_s = time.perf_counter() - started
+    if failures:
+        raise failures[0]
+    return report

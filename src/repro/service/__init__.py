@@ -28,6 +28,11 @@ from .planner import (
     collect_statistics,
     estimate_workload,
 )
+from .replication import (
+    PrimaryReplicator,
+    ReplicationConfig,
+    StandbyServer,
+)
 from .service import (
     OptimizerBackend,
     QueryService,
@@ -55,6 +60,9 @@ __all__ = [
     "OverloadConfig",
     "PendingAdmission",
     "PlannerStats",
+    "PrimaryReplicator",
+    "ReplicationConfig",
+    "StandbyServer",
     "QueryPlanner",
     "QueryPrice",
     "QueryService",

@@ -65,9 +65,11 @@ class DurabilityConfig:
 
     ``snapshot_every_ops = 0`` disables automatic snapshots (the WAL alone
     still recovers everything, just with a longer replay).  ``fsync``
-    controls whether every WAL append is forced to stable storage; the
-    default only flushes to the OS, which survives process crashes (the
-    chaos harness's model) but not power loss.
+    controls whether every WAL append — and the directory metadata behind
+    WAL creation/rotation and snapshot renames (:func:`_fsync_dir`) — is
+    forced to stable storage; the default only flushes to the OS, which
+    survives process crashes (the chaos harness's model) but not power
+    loss.
     """
 
     directory: str
@@ -87,6 +89,29 @@ class DurabilityConfig:
     @property
     def snapshot_path(self) -> Path:
         return Path(self.directory) / SNAPSHOT_FILENAME
+
+
+def _fsync_dir(path) -> None:
+    """fsync a *directory*, making renames/creates/truncates power-safe.
+
+    ``os.replace`` and ``open(..., "w")`` update the parent directory's
+    entry table, and that metadata has its own journey to stable storage:
+    fsyncing only the file leaves a window where power loss forgets the
+    rename (losing an "atomic" snapshot) or resurrects a rotated WAL next
+    to a newer snapshot.  Platforms whose directories cannot be opened or
+    fsynced (Windows raises ``PermissionError``/``OSError``) get a no-op —
+    the same crash-consistency they had before.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _frame(record: dict) -> str:
@@ -123,7 +148,12 @@ class WriteAheadLog:
         self.fsync = fsync
         self.records_appended = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
         self._fh = open(self.path, "a", encoding="utf-8")
+        if self.fsync and created:
+            # The file's directory entry must reach stable storage too, or
+            # a power loss can forget the log existed at all.
+            _fsync_dir(self.path.parent)
 
     def append(self, record: dict) -> None:
         """Durably append one record (write-ahead: call before applying)."""
@@ -140,6 +170,10 @@ class WriteAheadLog:
         self._fh.flush()
         if self.fsync:
             os.fsync(self._fh.fileno())
+            # Without the directory fsync, power loss can resurrect the
+            # pre-rotation WAL next to the newer snapshot that covers it —
+            # replaying already-snapshotted operations on recovery.
+            _fsync_dir(self.path.parent)
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -153,7 +187,14 @@ class WriteAheadLog:
         torn write is unreachable anyway (the crashed process appended
         strictly in order), and counting it as data would resurrect a
         half-written operation.  ``torn`` is the number of discarded
-        trailing lines (0 for a clean log or a missing file).
+        trailing lines (0 for a clean log or a missing file) — callers
+        surface it through :class:`RecoveryReport` and the
+        ``resilience.wal_torn_records_total`` counter rather than
+        silently discarding.
+
+        The file is streamed line by line: a long-lived service that
+        never snapshots accumulates a WAL far larger than memory, and
+        recovery must not slurp it whole.
         """
         path = Path(path)
         if not path.exists():
@@ -161,15 +202,17 @@ class WriteAheadLog:
         records: List[dict] = []
         torn = 0
         with open(path, "r", encoding="utf-8") as fh:
-            lines = fh.readlines()
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
-            record = _unframe(line)
-            if record is None:
-                torn = len([l for l in lines[index:] if l.strip()])
-                break
-            records.append(record)
+            for line in fh:
+                if not line.strip():
+                    continue
+                if torn:
+                    torn += 1  # count, never decode, past the first tear
+                    continue
+                record = _unframe(line)
+                if record is None:
+                    torn = 1
+                    continue
+                records.append(record)
         return records, torn
 
 
@@ -177,8 +220,16 @@ class SnapshotStore:
     """Atomic single-document snapshot persistence."""
 
     @staticmethod
-    def save(path, state: dict) -> None:
-        """Write ``state`` atomically: temp file, fsync, rename."""
+    def save(path, state: dict, *, fsync_dir: bool = True) -> None:
+        """Write ``state`` atomically: temp file, fsync, rename.
+
+        ``fsync_dir`` additionally forces the parent directory's entry
+        table to stable storage after the rename — without it the rename
+        is atomic against process crashes but not power loss, which can
+        forget the replace ever happened.  The service passes its
+        :attr:`DurabilityConfig.fsync` here, so the power-safety tier is
+        one knob for WAL and snapshots alike.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + ".tmp")
@@ -187,6 +238,8 @@ class SnapshotStore:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if fsync_dir:
+            _fsync_dir(path.parent)
 
     @staticmethod
     def load(path) -> Optional[dict]:
@@ -219,6 +272,11 @@ class RecoveryReport:
     wal_records: int = 0
     replayed_ops: int = 0
     torn_records: int = 0
+    #: WAL records skipped because the snapshot already contained them —
+    #: the crash landed between :meth:`SnapshotStore.save` and
+    #: :meth:`WriteAheadLog.rotate`, leaving a newer snapshot beside a
+    #: stale (unrotated) log.  Skipping keeps replay idempotent.
+    stale_ops: int = 0
     #: Replayed operations that raised — exactly as they did in the
     #: original process (e.g. a submit against an already-expired
     #: session); the exception *is* the replayed behavior.

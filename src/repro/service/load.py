@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import random
 import signal
+import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -114,6 +116,7 @@ def run_scripted_load(
     config: Optional[DeploymentConfig] = None,
     state_dir: Optional[str] = None,
     handle_signals: bool = False,
+    stop_event: Optional[threading.Event] = None,
 ) -> LoadReport:
     """Drive ``n_clients`` scripted clients against one simulated service.
 
@@ -130,6 +133,13 @@ def run_scripted_load(
     admitting, flushes the open batch window, terminates every live
     ticket through the ordinary path, snapshots, and the run returns
     early with ``interrupted=True``.
+
+    ``signal.signal`` only works on the main thread; when the run is
+    hosted elsewhere (the gateway serves from a worker thread),
+    ``handle_signals=True`` degrades to a warning instead of a
+    ``ValueError``, and graceful shutdown stays reachable through
+    ``stop_event`` — an external :class:`threading.Event` polled on every
+    housekeeping tick that triggers the same drain path as a signal.
     """
     if n_unique < 1 or n_unique > len(_QUERY_POOL):
         raise ValueError(
@@ -152,7 +162,8 @@ def run_scripted_load(
         stop_requested["flag"] = True
 
     def _tick() -> None:
-        if stop_requested["flag"]:
+        if stop_requested["flag"] or (stop_event is not None
+                                      and stop_event.is_set()):
             stop_requested["terminated"] = len(service.shutdown(sim.now))
             raise _GracefulStop
         service.tick()
@@ -203,8 +214,18 @@ def run_scripted_load(
 
     previous_handlers = {}
     if handle_signals:
-        for signum in (signal.SIGTERM, signal.SIGINT):
-            previous_handlers[signum] = signal.signal(signum, _on_signal)
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous_handlers[signum] = signal.signal(signum, _on_signal)
+        else:
+            # signal.signal raises ValueError off the main thread — exactly
+            # where the gateway hosts this loop.  Graceful shutdown stays
+            # available through stop_event.
+            warnings.warn(
+                "run_scripted_load(handle_signals=True) called off the main "
+                "thread; signal handlers not installed — use stop_event to "
+                "request a graceful shutdown",
+                RuntimeWarning, stacklevel=2)
     interrupted = False
     try:
         sim.start()

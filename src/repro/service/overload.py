@@ -85,6 +85,16 @@ class OverloadConfig:
     #: of entry count — so one monster query can't hide behind a short
     #: queue.  ``None`` disables the priced threshold.
     shed_backlog_cost_radio_s: Optional[float] = None
+    #: Per-connection send-queue bound at the socket gateway
+    #: (``repro.gateway``).  A connection whose TCP peer stops reading
+    #: fills its queue; result items past the bound are dropped
+    #: (``gateway.send_drops_total``) instead of growing server memory.
+    gateway_sendq_maxsize: int = 256
+    #: Shed BEST_EFFORT *submissions* arriving on a connection whose send
+    #: queue has reached this depth — a peer too slow to read its results
+    #: shouldn't be admitted for more.  ``None`` sheds only when the queue
+    #: is completely full; RELIABLE submissions are never gateway-shed.
+    gateway_shed_sendq_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.subscriber_queue_maxsize < 1:
@@ -113,6 +123,15 @@ class OverloadConfig:
             raise ValueError(
                 f"shed_backlog_cost_radio_s must be > 0 "
                 f"(got {self.shed_backlog_cost_radio_s})")
+        if self.gateway_sendq_maxsize < 1:
+            raise ValueError(
+                f"gateway_sendq_maxsize must be >= 1 "
+                f"(got {self.gateway_sendq_maxsize})")
+        if (self.gateway_shed_sendq_depth is not None
+                and self.gateway_shed_sendq_depth < 1):
+            raise ValueError(
+                f"gateway_shed_sendq_depth must be >= 1 "
+                f"(got {self.gateway_shed_sendq_depth})")
 
     def backlog_threshold(self, qos: QoSClass) -> Optional[int]:
         """The shed threshold for one QoS class (``None`` = never shed)."""

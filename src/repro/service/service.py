@@ -258,6 +258,7 @@ class ResilienceStats:
 
     wal_records: int
     wal_torn_records: int
+    wal_stale_records: int
     snapshots: int
     recoveries: int
     replayed_ops: int
@@ -334,8 +335,18 @@ class QueryService:
         self._closed = False
         self._dur: Optional[DurabilityConfig] = None
         self._wal: Optional[WriteAheadLog] = None
+        #: Optional WAL-shipping hook (``service.replication``): every
+        #: logged record and snapshot rotation is mirrored to it, in
+        #: order, under the service lock.
+        self._replicator = None
         self._op_depth = 0
         self._ops_since_snapshot = 0
+        #: Monotone WAL record counter, never reset by rotation.  Each
+        #: logged record carries it as ``seq`` and snapshots store the
+        #: high-water mark, so recovery can tell a stale WAL (a crash
+        #: landed between ``SnapshotStore.save`` and ``rotate``) from a
+        #: fresh one and skip records the snapshot already contains.
+        self._op_seq = 0
         self._replaying = False
         #: Set by :meth:`recover` on the recovered instance.
         self.last_recovery: Optional[RecoveryReport] = None
@@ -422,6 +433,11 @@ class QueryService:
             "wal_torn_records": registry.counter(
                 "resilience.wal_torn_records_total",
                 help="torn/corrupt WAL tail records discarded by recovery"),
+            "wal_stale_records": registry.counter(
+                "resilience.wal_stale_records_total",
+                help="stale WAL records skipped by recovery because the "
+                     "snapshot already contained them (crash between "
+                     "snapshot save and WAL rotation)"),
             "snapshots": registry.counter(
                 "resilience.snapshots_total",
                 help="service state snapshots written"),
@@ -529,6 +545,36 @@ class QueryService:
     def planner(self) -> QueryPlanner:
         return self._planner
 
+    @property
+    def overload_config(self) -> OverloadConfig:
+        """The overload thresholds this service sheds by (read-only).
+
+        The gateway reads its backpressure knobs from here, so socket-level
+        shedding and service-level shedding are configured in one place.
+        """
+        return self._overload
+
+    def attach_replicator(self, replicator) -> None:
+        """Mirror every WAL record and snapshot to ``replicator``.
+
+        Requires durability (the replication stream *is* the WAL stream).
+        Attaching first writes a fresh snapshot — shipped to the follower
+        as its starting state — so the stream is self-contained: snapshot,
+        then every record after it, in order, under the service lock.
+        """
+        with self._lock:
+            if self._wal is None:
+                raise ValueError(
+                    "replication needs durability (the WAL is the stream); "
+                    "build the service with a DurabilityConfig first")
+            self._replicator = replicator
+            self._snapshot_locked(self._clock())
+
+    def detach_replicator(self) -> None:
+        """Stop mirroring WAL records (the follower keeps what it has)."""
+        with self._lock:
+            self._replicator = None
+
     def _pending_cost_radio_s(self) -> float:
         """Summed price of the admission backlog (priced-backlog gauge)."""
         return sum(self._ticket_price.get(p.ticket_id, 0.0)
@@ -586,9 +632,13 @@ class QueryService:
         try:
             if (self._op_depth == 1 and record is not None
                     and self._wal is not None and not self._replaying):
+                self._op_seq += 1
+                record = dict(record, seq=self._op_seq)
                 self._wal.append(record)
                 self._m_res["wal_records"].inc()
                 self._ops_since_snapshot += 1
+                if self._replicator is not None:
+                    self._replicator.on_wal_append(record)
             yield
         finally:
             self._op_depth -= 1
@@ -610,15 +660,20 @@ class QueryService:
             self._snapshot_locked(self._now(now_ms))
 
     def _snapshot_locked(self, now: float) -> None:
-        SnapshotStore.save(self._dur.snapshot_path, self._snapshot_state(now))
+        state = self._snapshot_state(now)
+        SnapshotStore.save(self._dur.snapshot_path, state,
+                           fsync_dir=self._dur.fsync)
         self._wal.rotate()
         self._ops_since_snapshot = 0
         self._m_res["snapshots"].inc()
+        if self._replicator is not None:
+            self._replicator.on_snapshot(state)
 
     def _snapshot_state(self, now: float) -> dict:
         return {
             "format": FORMAT_VERSION,
             "saved_ms": now,
+            "op_seq": self._op_seq,
             "next_qid": peek_qid(),
             "config": {
                 "batch_window_ms": self._batcher.window_ms,
@@ -676,6 +731,7 @@ class QueryService:
                 f"unsupported snapshot format {snap.get('format')!r} "
                 f"(this build reads {FORMAT_VERSION})")
         set_next_qid(int(snap["next_qid"]))
+        self._op_seq = int(snap.get("op_seq", 0))
         self._sessions.restore(snap["sessions"])
         self._next_ticket = int(snap["next_ticket"])
         self._tickets = {entry["ticket_id"]: _ticket_from_dict(entry)
@@ -787,14 +843,25 @@ class QueryService:
                     service.optimizer.reset()
                 if boot is not None and boot.get("next_qid") is not None:
                     set_next_qid(int(boot["next_qid"]))
+            snapshot_seq = service._op_seq
             for record in records:
                 if record.get("op") == "boot":
+                    continue
+                seq = record.get("seq")
+                if seq is not None and seq <= snapshot_seq:
+                    # Stale WAL: the crash landed between the snapshot
+                    # save and the WAL rotation, so these records are
+                    # already inside the restored snapshot.  Replaying
+                    # them would double-apply every op; skip instead.
+                    report.stale_ops += 1
                     continue
                 report.replayed_ops += 1
                 try:
                     service._replay(record)
                 except Exception:  # noqa: BLE001 - the original raised too
                     report.replay_errors += 1
+                if seq is not None and seq > service._op_seq:
+                    service._op_seq = seq
         finally:
             service._replaying = False
         # "Closed" is a process-lifetime property, not durable state: a
@@ -809,6 +876,7 @@ class QueryService:
             report.reinjected, report.zombies_aborted = reconcile()
         service._m_res["recoveries"].inc()
         service._m_res["wal_torn_records"].inc(torn)
+        service._m_res["wal_stale_records"].inc(report.stale_ops)
         service._m_res["replayed_ops"].inc(report.replayed_ops)
         service._m_res["reinjected"].inc(report.reinjected)
         service._m_res["zombie_aborts"].inc(report.zombies_aborted)
@@ -1560,6 +1628,7 @@ class QueryService:
             return ResilienceStats(
                 wal_records=d("wal_records"),
                 wal_torn_records=d("wal_torn_records"),
+                wal_stale_records=d("wal_stale_records"),
                 snapshots=d("snapshots"),
                 recoveries=d("recoveries"),
                 replayed_ops=d("replayed_ops"),

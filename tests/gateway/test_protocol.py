@@ -1,0 +1,154 @@
+"""Wire framing: round trips, EOF semantics, and malformed frames."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.gateway.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestEncoding:
+    def test_frame_is_length_prefixed_canonical_json(self):
+        frame = encode_frame({"b": 1, "a": 2})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert frame[4:] == b'{"a":2,"b":1}'
+
+    def test_encoding_is_byte_stable_across_key_order(self):
+        assert encode_frame({"x": 1, "y": [2, 3]}) == \
+            encode_frame({"y": [2, 3], "x": 1})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_payload(b'[1, 2, 3]')
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_payload(b"\xff\xfe not json")
+
+    def test_oversize_length_prefix_rejected_before_allocation(self):
+        left, right = socket_pair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="cap"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestBlockingTransport:
+    def test_round_trip(self):
+        left, right = socket_pair()
+        try:
+            message = {"op": "submit", "id": 7, "query": "SELECT light",
+                       "nested": {"deep": [1.5, None, True]}}
+            send_frame(left, message)
+            assert recv_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_frames_preserve_order(self):
+        left, right = socket_pair()
+        try:
+            for index in range(50):
+                send_frame(left, {"seq": index})
+            received = [recv_frame(right)["seq"] for _ in range(50)]
+            assert received == list(range(50))
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket_pair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_eof_mid_header_is_protocol_error(self):
+        left, right = socket_pair()
+        left.sendall(b"\x00\x00")  # half a length prefix
+        left.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_eof_between_header_and_payload_is_protocol_error(self):
+        left, right = socket_pair()
+        left.sendall(struct.pack(">I", 10) + b"abc")  # 3 of 10 bytes
+        left.close()
+        try:
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_large_frame_survives_chunked_delivery(self):
+        message = {"blob": "x" * 300_000}
+        left, right = socket_pair()
+        try:
+            sender = threading.Thread(
+                target=send_frame, args=(left, message), daemon=True)
+            sender.start()
+            assert recv_frame(right) == message
+            sender.join(timeout=10)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAsyncTransport:
+    def test_asyncio_round_trip_against_blocking_peer(self):
+        import asyncio
+
+        from repro.gateway.protocol import read_frame, write_frame
+
+        async def serve(reader, writer, done):
+            frame = await read_frame(reader)
+            await write_frame(writer, {"echo": frame})
+            eof = await read_frame(reader)
+            done["eof"] = eof
+            writer.close()
+
+        async def run():
+            done = {}
+            server = await asyncio.start_server(
+                lambda r, w: serve(r, w, done), "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+
+            def client():
+                sock = socket.create_connection(("127.0.0.1", port),
+                                                timeout=10)
+                send_frame(sock, {"hello": 1})
+                done["reply"] = recv_frame(sock)
+                sock.close()
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            await asyncio.sleep(0.3)
+            server.close()
+            await server.wait_closed()
+            thread.join(timeout=10)
+            return done
+
+        done = asyncio.run(run())
+        assert done["reply"] == {"echo": {"hello": 1}}
+        assert done["eof"] is None  # clean close maps to None on both sides

@@ -1,0 +1,232 @@
+"""The asyncio front door: ops over real TCP, errors, backpressure."""
+
+import asyncio
+import queue as thread_queue
+
+import pytest
+
+from repro.core.basestation import BaseStationOptimizer
+from repro.gateway import GatewayClient, GatewayError, GatewayServer
+from repro.gateway.server import _Connection, _item_to_wire
+from repro.harness.tier1_sim import default_cost_model
+from repro.service import OptimizerBackend, OverloadConfig, QueryService
+
+Q_LIGHT = "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096"
+Q_LIGHT_VARIANT = "select LIGHT from sensors where light > 300 " \
+                  "SAMPLE PERIOD 4096"
+Q_TEMP = "SELECT temp FROM sensors WHERE temp > 10 EPOCH DURATION 8192"
+
+
+def make_service(**kwargs):
+    backend = OptimizerBackend(
+        BaseStationOptimizer(default_cost_model(16, 3), alpha=0.6))
+    kwargs.setdefault("batch_window_ms", 0.0)
+    return QueryService(backend, **kwargs)
+
+
+@pytest.fixture
+def gateway():
+    service = make_service()
+    server = GatewayServer(service).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def client(gateway):
+    host, port = gateway.address
+    with GatewayClient(host, port, timeout_s=30.0) as c:
+        yield c
+
+
+class TestOps:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_submit_and_duplicate_hits_cache(self, client):
+        session = client.open("alice")
+        first = client.submit(session, Q_LIGHT)
+        assert first["status"] == "live"
+        assert first["cache_hit"] is False
+        second = client.submit(session, Q_LIGHT_VARIANT)
+        assert second["status"] == "live"
+        assert second["cache_hit"] is True
+        assert second["ticket"] != first["ticket"]
+
+    def test_explain_prices_without_admitting(self, client):
+        report = client.explain(Q_TEMP)
+        assert report["action"] in ("injected", "absorbed", "cache-attach")
+        assert report["price"]["radio_s_per_epoch"] > 0.0
+        stats = client.stats()
+        assert stats["submissions_total"] == 0
+
+    def test_terminate_and_stats(self, client):
+        session = client.open("bob")
+        ticket = client.submit(session, Q_LIGHT)["ticket"]
+        client.terminate(session, ticket)
+        stats = client.stats()
+        assert stats["terminations"] == 1
+        assert stats["live_tickets"] == 0
+
+    def test_close_session_releases_tickets(self, client):
+        session = client.open("carol")
+        client.submit(session, Q_LIGHT)
+        client.submit(session, Q_TEMP)
+        client.close_session(session)
+        assert client.stats()["live_tickets"] == 0
+
+    def test_two_connections_share_one_service(self, gateway):
+        host, port = gateway.address
+        with GatewayClient(host, port) as one, \
+                GatewayClient(host, port) as two:
+            session_one = one.open("alice")
+            session_two = two.open("bob")
+            first = one.submit(session_one, Q_LIGHT)
+            second = two.submit(session_two, Q_LIGHT_VARIANT)
+            assert first["cache_hit"] is False
+            assert second["cache_hit"] is True
+
+
+class TestErrors:
+    def test_unknown_op_is_an_error_reply_not_a_disconnect(self, client):
+        with pytest.raises(GatewayError, match="unknown op"):
+            client._call("frobnicate")
+        assert client.ping() is True  # connection survived
+
+    def test_unknown_session_submit(self, client):
+        with pytest.raises(GatewayError, match="SessionError|KeyError"):
+            client.submit("no-such-session", Q_LIGHT)
+
+    def test_unparseable_query(self, client):
+        session = client.open("dave")
+        with pytest.raises(GatewayError):
+            client.submit(session, "SELECT nothing FROM nowhere AT ALL")
+        assert client.ping() is True
+
+    def test_terminate_foreign_ticket(self, gateway):
+        host, port = gateway.address
+        with GatewayClient(host, port) as one, \
+                GatewayClient(host, port) as two:
+            session_one = one.open("alice")
+            session_two = two.open("mallory")
+            ticket = one.submit(session_one, Q_LIGHT)["ticket"]
+            with pytest.raises(GatewayError, match="owns no ticket"):
+                two.terminate(session_two, ticket)
+
+
+class TestBackpressure:
+    """The gateway sheds BEST_EFFORT work when a peer stops reading."""
+
+    def _server(self, depth=2, maxsize=4):
+        service = make_service(overload=OverloadConfig(
+            gateway_sendq_maxsize=maxsize,
+            gateway_shed_sendq_depth=depth))
+        return GatewayServer(service)
+
+    def _submit_with_queue_depth(self, server, fill, qos="best-effort"):
+        """Run one submit dispatch against a connection with a deep queue."""
+        service = server.service
+        session = service.open_session("slowpoke")
+
+        async def run():
+            maxsize = service.overload_config.gateway_sendq_maxsize
+            conn = _Connection(sendq=asyncio.Queue(maxsize=maxsize))
+            for index in range(fill):
+                conn.sendq.put_nowait({"kind": "result", "n": index})
+            reply = {"kind": "reply", "id": 1, "ok": True}
+            await server._op_submit(
+                conn, {"session": session, "query": Q_LIGHT, "qos": qos},
+                reply)
+            return reply
+
+        return asyncio.run(run())
+
+    def test_best_effort_shed_at_depth(self):
+        server = self._server(depth=2)
+        reply = self._submit_with_queue_depth(server, fill=2)
+        assert reply["ok"] is True
+        assert reply["status"] == "shed"
+        assert reply["ticket"] is None
+        assert reply["error"] == "gateway-sendq-backpressure"
+        # Shed at the door: the service never saw the submission.
+        assert server.service.stats().submissions_total == 0
+
+    def test_best_effort_admitted_below_depth(self):
+        server = self._server(depth=2)
+        reply = self._submit_with_queue_depth(server, fill=1)
+        assert reply["status"] == "live"
+
+    def test_reliable_rides_through_backpressure(self):
+        server = self._server(depth=1, maxsize=4)
+        reply = self._submit_with_queue_depth(server, fill=3,
+                                              qos="reliable")
+        assert reply["status"] == "live"
+
+    def test_depth_defaults_to_queue_bound_when_unset(self):
+        service = make_service(overload=OverloadConfig(
+            gateway_sendq_maxsize=3))
+        server = GatewayServer(service)
+        assert self._submit_with_queue_depth(
+            server, fill=2)["status"] == "live"
+        # ticket above still live; a full queue sheds
+        assert self._submit_with_queue_depth(
+            server, fill=3)["status"] == "shed"
+
+
+class TestResultWire:
+    def test_mapped_row_encoding(self):
+        from repro.core.basestation.result_mapper import MappedRow
+        wire = _item_to_wire(MappedRow(epoch_time=4096.0, origin=7,
+                                       values={"light": 512.0}))
+        assert wire == {"type": "row", "epoch_time": 4096.0, "origin": 7,
+                       "values": {"light": 512.0}}
+
+    def test_mapped_aggregates_encoding(self):
+        from repro.core.basestation.result_mapper import MappedAggregates
+        from repro.queries.ast import Aggregate, AggregateOp
+        wire = _item_to_wire(MappedAggregates(
+            epoch_time=8192.0,
+            values={Aggregate(AggregateOp.MAX, "light"): 900.0}))
+        assert wire["type"] == "aggregates"
+        assert wire["values"] == {"MAX(light)": 900.0}
+        assert wire["group_key"] == []
+
+    def test_streamed_results_reach_a_subscribed_connection(self):
+        """End to end through _stream_results with a stubbed subscriber."""
+        from repro.core.basestation.result_mapper import MappedRow
+        service = make_service()
+        server = GatewayServer(service)
+
+        async def run():
+            conn = _Connection(sendq=asyncio.Queue(maxsize=8))
+            subscriber = thread_queue.Queue()
+            subscriber.put(MappedRow(epoch_time=1.0, origin=0,
+                                     values={"light": 1.0}))
+            conn.subscriptions[42] = subscriber
+            server._connections.append(conn)
+            server._stream_results()
+            return conn.sendq.get_nowait()
+
+        frame = asyncio.run(run())
+        assert frame["kind"] == "result"
+        assert frame["ticket"] == 42
+        assert frame["item"]["type"] == "row"
+
+    def test_overfull_sendq_drops_results_not_replies(self):
+        from repro.core.basestation.result_mapper import MappedRow
+        service = make_service(overload=OverloadConfig(
+            gateway_sendq_maxsize=2))
+        server = GatewayServer(service)
+
+        async def run():
+            conn = _Connection(sendq=asyncio.Queue(maxsize=2))
+            subscriber = thread_queue.Queue()
+            for index in range(5):
+                subscriber.put(MappedRow(epoch_time=float(index), origin=0,
+                                         values={"light": 1.0}))
+            conn.subscriptions[1] = subscriber
+            server._connections.append(conn)
+            server._stream_results()
+            return conn.sendq.qsize()
+
+        assert asyncio.run(run()) == 2  # 2 queued, 3 dropped and counted

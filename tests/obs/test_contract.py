@@ -94,6 +94,46 @@ def _cluster_families():
         return registry.families()
 
 
+def _gateway_families(tmp_path_factory):
+    """Gateway + replication: socket round trip through a warm standby."""
+    with scoped() as registry:
+        from repro.gateway import GatewayClient, GatewayServer
+        from repro.service import (
+            DurabilityConfig,
+            PrimaryReplicator,
+            ReplicationConfig,
+            StandbyServer,
+        )
+        base = tmp_path_factory.mktemp("gateway-contract")
+        standby = StandbyServer(base / "standby")
+        replicator = PrimaryReplicator(ReplicationConfig(
+            port=standby.address[1], epoch_ms=5.0, sync=True))
+        service = QueryService(
+            OptimizerBackend(BaseStationOptimizer(default_cost_model(16, 3))),
+            batch_window_ms=0.0,
+            durability=DurabilityConfig(directory=str(base / "primary")))
+        gateway = None
+        try:
+            service.attach_replicator(replicator)
+            gateway = GatewayServer(service, replicator=replicator)
+            gateway.start()
+            host, port = gateway.address
+            with GatewayClient(host, port) as client:
+                client.ping()
+                sid = client.open("contract")
+                client.submit(
+                    sid,
+                    "SELECT light FROM sensors WHERE light > 300 "
+                    "EPOCH DURATION 4096")
+        finally:
+            if gateway is not None:
+                gateway.stop()
+            replicator.stop()
+            standby.stop()
+            service.shutdown()
+        return registry.families()
+
+
 def _sweep_families():
     with scoped() as registry:
         telemetry = SweepTelemetry(total_cells=2, workers=1,
@@ -104,13 +144,14 @@ def _sweep_families():
 
 
 @pytest.fixture(scope="module")
-def exported_families():
+def exported_families(tmp_path_factory):
     families = set()
     for strategy in (Strategy.BASELINE, Strategy.TTMQO):
         families.update(_run_cell_families(strategy))
     families.update(_service_families())
     families.update(_planner_families())
     families.update(_cluster_families())
+    families.update(_gateway_families(tmp_path_factory))
     families.update(_sweep_families())
     return sorted(families)
 
@@ -119,7 +160,7 @@ def test_layers_actually_exported(exported_families):
     """Guard against the harness silently exporting nothing."""
     prefixes = {name.split(".")[0] for name in exported_families}
     assert {"sim", "tinydb", "optimizer", "service", "cluster", "sweep",
-            "run", "span", "planner"} <= prefixes
+            "run", "span", "planner", "gateway", "replication"} <= prefixes
 
 
 def test_every_exported_family_is_documented(exported_families):
