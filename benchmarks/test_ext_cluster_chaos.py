@@ -1,0 +1,125 @@
+"""Extension: cluster-tier fault tolerance — supervised shard restarts,
+root-WAL coordinator recovery, and degraded-mode merge.
+
+The cluster chaos cells (``repro.harness.chaos``) crash one shard of a
+supervised cluster (the supervisor detects it by heartbeat deadline and
+restarts it from the shard's WAL) and the root coordinator itself
+(rebuilt from its root WAL over the live shards), each verified against
+an identically-seeded no-crash twin:
+
+* **zero acknowledged admissions lost** — every submit that returned a
+  ticket resolves to a live, unterminated ticket after the heal;
+* **no zombie anchors** — ``orphan_anchors()`` is empty and refcount
+  validation holds after recovery;
+* **degraded-mode completeness** — merged epochs during the outage carry
+  ``completeness`` equal to the surviving-shard fraction (0.5 for one of
+  two shards down), healing back to 1.0 when the shard returns.
+
+Records ``BENCH_cluster_chaos.json`` with time-to-detect,
+time-to-recover, and completeness-during-outage vs the no-crash twin.
+``REPRO_CLUSTER_CHAOS_SMOKE=1`` shrinks the run for CI (the
+``cluster-chaos-smoke`` job), which still writes and uploads the file.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.harness import print_table
+from repro.harness.chaos import cluster_chaos_grid, run_degraded_merge_probe
+
+from _util import run_once
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_cluster_chaos.json"
+
+
+def _grid():
+    """(smoke?, cells): shard + coordinator kills, shrunk under smoke."""
+    smoke = os.environ.get("REPRO_CLUSTER_CHAOS_SMOKE") == "1"
+    if smoke:
+        cells = cluster_chaos_grid(n_steps=24)
+    else:
+        cells = cluster_chaos_grid(n_steps=48)
+    return smoke, cells
+
+
+def test_ext_cluster_chaos(benchmark):
+    smoke, cells = _grid()
+
+    def _run_all():
+        results = [spec.run() for spec in cells]
+        probe = run_degraded_merge_probe(
+            seed=3, n_epochs=8 if smoke else 12)
+        return results, probe
+
+    results, probe = run_once(benchmark, _run_all)
+
+    print_table(
+        ["kill", "invariants", "acked(crash/base)", "lost", "refused",
+         "orphans", "detect ms", "recover ms", "mode"],
+        [[r.kill, "ok" if r.ok else "FAIL",
+          f"{r.acked_crash}/{r.acked_baseline}", r.lost_acked,
+          r.shard_down_refusals, r.orphans_after,
+          f"{r.detect_ms:.0f}", f"{r.recover_ms:.0f}", r.recovery_mode]
+         for r in results],
+        title="Extension — cluster fault-tolerance invariants "
+              f"({'smoke' if smoke else 'full'} run)",
+    )
+
+    for spec, result in zip(cells, results):
+        assert result.ok, (spec.kill, result.validate_failures)
+        assert result.lost_acked == 0, spec.kill
+        assert result.orphans_after == 0, spec.kill
+        assert result.acked_crash == result.acked_baseline, spec.kill
+    shard_kills = [r for s, r in zip(cells, results) if s.kill == "shard"]
+    assert shard_kills
+    # The supervisor actually detected and healed the outage, and the
+    # outage was visible to tenants only as retried refusals.
+    assert all(r.detect_ms > 0 and r.recovery_mode == "recover"
+               for r in shard_kills)
+    coord_kills = [r for s, r in zip(cells, results)
+                   if s.kill == "coordinator"]
+    assert all(r.recovery_mode == "root-wal" and r.root_wal_replayed > 0
+               for r in coord_kills)
+
+    # Degraded-mode merge: completeness == surviving fraction during the
+    # outage, back to 1.0 after the heal; the twin stays at 1.0.
+    assert probe["bound_held"], probe
+    assert probe["degraded_epochs"] >= 1, probe
+    assert probe["crash"]["healed"], probe
+    assert probe["crash"]["min_completeness"] == probe["surviving_fraction"]
+    assert all(value == 1.0 for value in probe["baseline"]["completeness"])
+
+    record = {
+        "grid": "smoke" if smoke else "full",
+        "cells": [
+            {
+                "kill": spec.kill,
+                "seed": spec.resolved_seed(),
+                "acked_crash": r.acked_crash,
+                "acked_baseline": r.acked_baseline,
+                "lost_acked": r.lost_acked,
+                "shard_down_refusals": r.shard_down_refusals,
+                "terminated_crash": r.terminated_crash,
+                "terminated_baseline": r.terminated_baseline,
+                "orphan_anchors": r.orphans_after,
+                "refcounts_ok": r.refcounts_ok,
+                "time_to_detect_ms": r.detect_ms,
+                "time_to_recover_ms": r.recover_ms,
+                "recovery_mode": r.recovery_mode,
+                "root_wal_replayed": r.root_wal_replayed,
+                "root_wal_torn": r.root_wal_torn,
+            }
+            for spec, r in zip(cells, results)
+        ],
+        "degraded_merge": {
+            "completeness_during_outage": probe["crash"]["completeness"],
+            "completeness_baseline": probe["baseline"]["completeness"],
+            "min_completeness": probe["crash"]["min_completeness"],
+            "surviving_fraction": probe["surviving_fraction"],
+            "degraded_epochs": probe["degraded_epochs"],
+            "healed": probe["crash"]["healed"],
+            "incidents": probe["crash"]["incidents"],
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

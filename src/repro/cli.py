@@ -164,6 +164,34 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--json", default=None, metavar="PATH",
                          help="also write the sweep results as JSON")
 
+    cchaos_p = sub.add_parser(
+        "cluster-chaos",
+        help="cluster fault-tolerance sweep: crash a shard (supervised "
+             "restart) and the coordinator (root-WAL recovery), verify "
+             "against identically-seeded no-crash twins")
+    cchaos_p.add_argument("--kills", nargs="+",
+                          choices=["shard", "coordinator"],
+                          default=["shard", "coordinator"],
+                          help="victims to sweep")
+    cchaos_p.add_argument("--shards", type=int, default=2,
+                          help="shards in the cluster under test")
+    cchaos_p.add_argument("--steps", type=int, default=36,
+                          help="scripted admission steps per cell")
+    cchaos_p.add_argument("--crash", type=float, default=0.4,
+                          help="crash instant as a fraction of the run")
+    cchaos_p.add_argument("--deadline", type=float, default=900.0,
+                          help="supervisor failure-detector deadline (ms)")
+    cchaos_p.add_argument("--seed", type=int, default=None,
+                          help="cell seed (default: derived per spec)")
+    cchaos_p.add_argument("--probe", action="store_true",
+                          help="also run the degraded-merge completeness "
+                               "probe on simulated shards (slower)")
+    cchaos_p.add_argument("--sigkill", action="store_true",
+                          help="also SIGKILL a real cluster child process "
+                               "and recover its root WAL twice")
+    cchaos_p.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the results as JSON")
+
     sweep_p = sub.add_parser(
         "sweep",
         help="fan the Figure 3 grid across worker processes with caching")
@@ -542,6 +570,73 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=1, sort_keys=True)
         print(f"\nwrote {args.json}")
     print(f"\nrecovery invariants : "
+          f"{'all held' if all_ok else 'VIOLATED (see above)'}")
+    return 0 if all_ok else 1
+
+
+def _cmd_cluster_chaos(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import asdict
+
+    from .harness import print_table
+    from .harness.chaos import (cluster_chaos_grid, run_cluster_sigkill_crash,
+                                run_degraded_merge_probe)
+
+    cells = cluster_chaos_grid(
+        kills=tuple(args.kills), n_shards=args.shards, n_steps=args.steps,
+        crash_fraction=args.crash, deadline_ms=args.deadline,
+        seed=args.seed)
+    results = [(spec, spec.run()) for spec in cells]
+
+    all_ok = all(result.ok for _, result in results)
+    rows = []
+    for spec, result in results:
+        rows.append([
+            spec.kill, "ok" if result.ok else "FAIL",
+            f"{result.acked_crash}/{result.acked_baseline}",
+            result.lost_acked, result.shard_down_refusals,
+            result.orphans_after,
+            f"{result.detect_ms:.0f}", f"{result.recover_ms:.0f}",
+            result.recovery_mode,
+        ])
+    print_table(
+        ["kill", "invariants", "acked(crash/base)", "lost", "refused",
+         "orphans", "detect ms", "recover ms", "mode"],
+        rows,
+        title=f"cluster chaos — {len(cells)} cells",
+    )
+    for _, result in results:
+        for failure in result.validate_failures:
+            print(f"invariant failure [{result.kill}]: {failure}",
+                  file=sys.stderr)
+
+    payload = {"cells": [asdict(result) for _, result in results]}
+    if args.probe:
+        probe = run_degraded_merge_probe(seed=args.seed or 0)
+        payload["degraded_merge"] = probe
+        all_ok = all_ok and probe["bound_held"] and probe["crash"]["healed"]
+        print(f"\ndegraded merge      : "
+              f"{probe['degraded_epochs']} epoch(s) below 1.0, "
+              f"min completeness "
+              f"{probe['crash']['min_completeness']:.2f} "
+              f"(bound {probe['surviving_fraction']:.2f} "
+              f"{'held' if probe['bound_held'] else 'VIOLATED'}), "
+              f"healed={probe['crash']['healed']}")
+    if args.sigkill:
+        sigkill = run_cluster_sigkill_crash(seed=args.seed or 0)
+        payload["sigkill"] = sigkill
+        all_ok = (all_ok and sigkill["lost_acked"] == 0
+                  and sigkill["recovery_idempotent"])
+        print(f"\ncluster SIGKILL     : {sigkill['acked_ops']} acked ops, "
+              f"{sigkill['lost_acked']} lost, "
+              f"{sigkill['root_wal_replayed']} root ops replayed, "
+              f"idempotent={sigkill['recovery_idempotent']}")
+    payload["all_ok"] = all_ok
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    print(f"\ncluster invariants  : "
           f"{'all held' if all_ok else 'VIOLATED (see above)'}")
     return 0 if all_ok else 1
 
@@ -927,6 +1022,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "cluster-chaos":
+        return _cmd_cluster_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "cluster":

@@ -21,6 +21,7 @@ from .coordinator import (
     ClusterScope,
     ClusterStats,
     ClusterTicket,
+    ShardDownError,
     ShardExplain,
 )
 from .deployment import ClusterDeployment
@@ -33,6 +34,7 @@ from .load import (
 from .merge import combine_shard_aggregates, user_aggregates_view, user_view
 from .partition import ClusterRegion, FieldPartition
 from .ring import DEFAULT_VNODES, HashRing
+from .supervisor import ShardIncident, ShardSupervisor, SupervisorConfig
 
 __all__ = [
     "ClusterClientOutcome",
@@ -48,7 +50,11 @@ __all__ = [
     "FieldPartition",
     "HashRing",
     "ROOT_CLIENT",
+    "ShardDownError",
     "ShardExplain",
+    "ShardIncident",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "build_query_pool",
     "combine_shard_aggregates",
     "run_cluster_load",

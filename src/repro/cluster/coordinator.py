@@ -20,8 +20,19 @@ session/ticket API shaped like the single-station service:
   (``repro.cluster.merge``) into the answer stream a single station
   would have produced;
 * **durability** — each shard keeps its own WAL + snapshots under
-  ``<durability_dir>/shard-NN``; :meth:`recover` rebuilds every shard
-  and re-adopts the fan-out anchors the crashed coordinator owned.
+  ``<durability_dir>/shard-NN``, and the coordinator journals its *own*
+  bookkeeping (session opens, fan-out anchor creation/refcounts,
+  terminates) to a **root WAL** under ``<durability_dir>/root`` using the
+  same CRC-framed format (``service/durability.py``).  :meth:`recover`
+  rebuilds every shard, then restores anchors, watchers' tickets, and
+  refcounts from the root log — no re-adoption from shards — and sweeps
+  shard-side zombies the crash orphaned;
+* **fault tolerance** — shards marked down (by the
+  :class:`~repro.cluster.supervisor.ShardSupervisor` failure detector or
+  by a failed call) are routed around: fan-outs skip them, merges
+  finalise epochs from the surviving shards with a ``completeness``
+  fraction, and terminates/closes that race the outage are queued and
+  retried when :meth:`replace_shard_service` heals the shard.
 
 Cluster ticket ids are namespaced strings: ``shard-01:17`` for a query
 routed to one shard (shard name + shard ticket id), ``root:3`` for a
@@ -33,14 +44,20 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.basestation import MappedAggregates, MappedRow, RootRewriter
 from ..core.qos import QoSClass
 from ..obs import get_registry
-from ..queries.ast import Query
+from ..queries.ast import (
+    Query,
+    peek_qid,
+    query_from_dict,
+    query_to_dict,
+    set_next_qid,
+)
 from ..queries.canonical import CanonicalKey, canonical_key, canonicalize
 from ..queries.parser import parse_query
 from ..service import (
@@ -54,8 +71,16 @@ from ..service import (
     Ticket,
     TicketStatus,
 )
+from ..service.durability import (
+    FORMAT_VERSION,
+    SNAPSHOT_FILENAME,
+    WAL_FILENAME,
+    RecoveryReport,
+    SnapshotStore,
+    WriteAheadLog,
+)
 from ..service.planner import EXPLAIN_PROBE_QID
-from ..service.service import _wall_clock_ms
+from ..service.service import ServiceClosed, _wall_clock_ms
 from .merge import combine_shard_aggregates, user_aggregates_view
 from .partition import FieldPartition
 from .ring import DEFAULT_VNODES, HashRing
@@ -66,6 +91,19 @@ ROOT_CLIENT = "cluster-root"
 #: root, so shard-level leases held by the root must never lapse on
 #: their own.  Finite so it stays strict-JSON safe in shard snapshots.
 ROOT_TTL_MS = 1e15
+#: Subdirectory of ``durability_dir`` holding the coordinator's own WAL.
+ROOT_DIR_NAME = "root"
+#: Root WAL records between automatic root snapshots.
+ROOT_SNAPSHOT_EVERY_OPS = 64
+
+
+class ShardDownError(ServiceClosed):
+    """An operation needed a shard that is marked down (or died mid-call).
+
+    The admission was *not* acknowledged: callers retry after the
+    supervisor heals the shard (LOCAL queries), or accept the degraded
+    fan-out the coordinator built from the surviving shards.
+    """
 
 
 class ClusterScope:
@@ -104,6 +142,10 @@ class ClusterTicket:
         """Worst-of shard ticket statuses, TERMINATED once released."""
         if self.terminated:
             return TicketStatus.TERMINATED
+        if not self.shard_tickets:
+            # No shard handle yet: a recovered ticket awaiting relink, or
+            # a fan-out whose every subquery sits on a down shard.
+            return TicketStatus.PENDING
         statuses = {t.status for t in self.shard_tickets}
         for worst in (TicketStatus.FAILED, TicketStatus.SHED,
                       TicketStatus.EXPIRED, TicketStatus.PENDING):
@@ -214,6 +256,7 @@ class ClusterStats:
     merged_aggregates: int
     merge_duplicates_dropped: int
     per_shard: Tuple[ServiceStats, ...]
+    shards_down: int = 0
 
     @property
     def admitted_total(self) -> int:
@@ -306,7 +349,32 @@ class ClusterCoordinator:
         self._root_cache = CanonicalQueryCache()
         self._anchors: Dict[CanonicalKey, _RootAnchor] = {}
         self._fan_seq = 0
+        #: Shards currently considered dead (failure detector / failed
+        #: call).  Routed around until :meth:`replace_shard_service`.
+        self._down_shards: Set[int] = set()
+        #: shard id -> [(shard session id, shard ticket id)]: terminates
+        #: that raced an outage, retried on tick and on heal.
+        self._pending_terminates: Dict[int, List[Tuple[str, int]]] = {}
+        #: shard id -> [shard session id]: closes that raced an outage.
+        self._pending_closes: Dict[int, List[str]] = {}
+        self._crashed = False
+        self._replaying = False
+        self._root_dir: Optional[Path] = None
+        self._root_wal: Optional[WriteAheadLog] = None
+        self._root_op_seq = 0
+        self._root_ops_since_snapshot = 0
+        #: Recovery bookkeeping: anchor key -> shard id -> shard ticket
+        #: id, resolved into live Tickets by :meth:`_relink_shards`.
+        self._sub_ids: Dict[CanonicalKey, Dict[int, int]] = {}
+        #: Same for LOCAL cluster tickets: cluster ticket id -> shard id
+        #: -> shard ticket id.
+        self._ticket_sub_ids: Dict[str, Dict[int, int]] = {}
+        #: Set by :meth:`recover` when the root WAL was replayed.
+        self.last_root_recovery: Optional[RecoveryReport] = None
         self._init_metrics(get_registry())
+        if durability_dir is not None:
+            self._attach_root_durability(
+                Path(durability_dir) / ROOT_DIR_NAME, fresh=True)
 
     # ------------------------------------------------------------------
     # Metrics (cluster.* families; see docs/observability.md)
@@ -338,6 +406,31 @@ class ClusterCoordinator:
         self._m_explains = registry.counter(
             "cluster.explains_total",
             help="cluster EXPLAIN requests served by the root")
+        self._m_root_records = registry.counter(
+            "cluster.root_wal.records_total",
+            help="records appended to the coordinator's root WAL")
+        self._m_root_snapshots = registry.counter(
+            "cluster.root_wal.snapshots_total",
+            help="root snapshots written (each rotates the root WAL)")
+        self._m_root_replayed = registry.counter(
+            "cluster.root_wal.replayed_ops_total",
+            help="root WAL records replayed during coordinator recovery")
+        self._m_root_torn = registry.counter(
+            "cluster.root_wal.torn_records_total",
+            help="torn root WAL records discarded during recovery")
+        self._m_root_recoveries = registry.counter(
+            "cluster.root_wal.recoveries_total",
+            help="coordinator recoveries restored from the root WAL")
+        self._m_degraded = registry.counter(
+            "cluster.merge_degraded_epochs_total",
+            help="aggregate epochs finalised below full completeness "
+                 "during a shard outage")
+        self._m_outages = registry.counter(
+            "cluster.shard_outages_total",
+            help="shard-down transitions observed by the coordinator")
+        registry.gauge("cluster.shards_down",
+                       help="shards currently marked down"
+                       ).set_fn(lambda: float(len(self._down_shards)))
         registry.gauge("cluster.shards",
                        help="shards behind the coordinator"
                        ).set_fn(lambda: float(len(self._shards)))
@@ -366,6 +459,11 @@ class ClusterCoordinator:
     def _shard(self, shard_id: int) -> _Shard:
         return self._shards[shard_id]
 
+    def _ensure_root_open(self) -> None:
+        if self._crashed:
+            raise ServiceClosed(
+                "coordinator crashed; build a new one with recover()")
+
     def home_shard(self, client_id: str) -> int:
         """The ring's home shard for a tenant."""
         return self._by_name[self.ring.shard_for(client_id)].shard_id
@@ -383,6 +481,9 @@ class ClusterCoordinator:
             shard_sid = shard.service.open_session(
                 client_id, ttl_ms=ROOT_TTL_MS, now_ms=now)
             per_shard[shard.shard_id] = shard_sid
+            self._journal({"op": "shard_session", "sid": session_id,
+                           "shard": shard.shard_id, "shard_sid": shard_sid,
+                           "now": now})
         return shard_sid
 
     def _root_session(self, shard: _Shard, now: float) -> str:
@@ -391,7 +492,179 @@ class ClusterCoordinator:
             root_sid = shard.service.open_session(
                 ROOT_CLIENT, ttl_ms=ROOT_TTL_MS, now_ms=now)
             self._root_sessions[shard.shard_id] = root_sid
+            self._journal({"op": "root_session", "shard": shard.shard_id,
+                           "shard_sid": root_sid, "now": now})
         return root_sid
+
+    # ------------------------------------------------------------------
+    # Root WAL: journaling + snapshots
+    # ------------------------------------------------------------------
+    def _attach_root_durability(self, root_dir: Path, fresh: bool) -> None:
+        """Open the root WAL.  ``fresh`` is a first boot: the directory
+        must not already hold recoverable state (use :meth:`recover`)."""
+        wal_path = root_dir / WAL_FILENAME
+        snap_path = root_dir / SNAPSHOT_FILENAME
+        if fresh and (snap_path.exists()
+                      or (wal_path.exists()
+                          and wal_path.stat().st_size > 0)):
+            raise ValueError(
+                f"root durability directory {str(root_dir)!r} already "
+                f"holds coordinator state; use ClusterCoordinator."
+                f"recover() to reopen it")
+        self._root_dir = root_dir
+        self._root_wal = WriteAheadLog(wal_path, fsync=False)
+        if fresh:
+            self._journal({"op": "boot", "format": FORMAT_VERSION,
+                           "config": {
+                               "default_ttl_ms":
+                                   self._sessions.default_ttl_ms,
+                           }})
+        else:
+            # Post-recovery reopen: coalesce the recovered state into a
+            # fresh snapshot so the replayed WAL is never replayed twice.
+            self._root_snapshot(self._clock())
+
+    def _journal(self, record: dict) -> None:
+        """Append one bookkeeping record to the root WAL (if attached).
+
+        Called *after* the root state transition and its shard-side
+        effects: a journaled record is an acknowledged operation, and
+        replay applies it to root bookkeeping directly (never back
+        through the shards — their own WALs already hold the effects).
+        """
+        if self._root_wal is None or self._replaying:
+            return
+        self._root_op_seq += 1
+        self._root_wal.append(dict(record, seq=self._root_op_seq))
+        self._m_root_records.inc()
+        self._root_ops_since_snapshot += 1
+
+    def _maybe_snapshot(self) -> None:
+        """Auto-snapshot at the *end* of a public operation (never from
+        inside :meth:`_journal`, which can run mid-transition)."""
+        if (self._root_wal is not None and not self._replaying
+                and self._root_ops_since_snapshot
+                >= ROOT_SNAPSHOT_EVERY_OPS):
+            self._root_snapshot(self._clock())
+
+    def snapshot(self, now_ms: Optional[float] = None) -> None:
+        """Write a full root snapshot and truncate the root WAL."""
+        with self._lock:
+            if self._root_wal is None:
+                raise ValueError(
+                    "coordinator was built without durability")
+            self._root_snapshot(self._now(now_ms))
+
+    def _root_snapshot(self, now: float) -> None:
+        assert self._root_dir is not None and self._root_wal is not None
+        SnapshotStore.save(self._root_dir / SNAPSHOT_FILENAME,
+                           self._root_snapshot_state(now))
+        self._root_wal.rotate()
+        self._root_ops_since_snapshot = 0
+        self._m_root_snapshots.inc()
+
+    def _root_snapshot_state(self, now: float) -> dict:
+        anchors = []
+        for key in sorted(self._anchors, key=repr):
+            anchor = self._anchors[key]
+            anchors.append({
+                "fan_query": query_to_dict(anchor.fan_query),
+                "targets": list(anchor.targets),
+                "subtickets": {
+                    str(sid): sub.ticket_id
+                    for sid, sub in sorted(anchor.subtickets.items())},
+            })
+        return {
+            "format": FORMAT_VERSION,
+            "saved_ms": now,
+            "op_seq": self._root_op_seq,
+            "fan_seq": self._fan_seq,
+            "sessions": self._sessions.to_dict(),
+            "shard_sessions": {
+                sid: {str(shard_id): shard_sid
+                      for shard_id, shard_sid in per.items()}
+                for sid, per in self._shard_sessions.items()},
+            "root_sessions": {str(shard_id): shard_sid
+                              for shard_id, shard_sid
+                              in self._root_sessions.items()},
+            "tickets": [self._ticket_to_dict(self._tickets[tid])
+                        for tid in sorted(self._tickets)],
+            "anchors": anchors,
+            "pending_terminates": {
+                str(shard_id): [[sid, tid] for sid, tid in pairs]
+                for shard_id, pairs in self._pending_terminates.items()},
+            "pending_closes": {
+                str(shard_id): list(sids)
+                for shard_id, sids in self._pending_closes.items()},
+        }
+
+    def _ticket_to_dict(self, ticket: ClusterTicket) -> dict:
+        subs: Dict[str, int] = {}
+        if ticket.scope == ClusterScope.LOCAL and ticket.shard_tickets:
+            subs[str(ticket.targets[0])] = ticket.shard_tickets[0].ticket_id
+        elif ticket.ticket_id in self._ticket_sub_ids:
+            subs = {str(shard_id): tid for shard_id, tid in
+                    self._ticket_sub_ids[ticket.ticket_id].items()}
+        payload = {
+            "ticket_id": ticket.ticket_id,
+            "session_id": ticket.session_id,
+            "query": query_to_dict(ticket.query),
+            "scope": ticket.scope,
+            "targets": list(ticket.targets),
+            "pruned": list(ticket.pruned),
+            "subtickets": subs,
+            "submitted_ms": ticket.submitted_ms,
+            "cache_hit": ticket.cache_hit,
+            "terminated": ticket.terminated,
+        }
+        if ticket.fan_key is not None:
+            anchor = self._anchors.get(ticket.fan_key)
+            if anchor is not None:
+                payload["fan_query"] = query_to_dict(anchor.fan_query)
+        return payload
+
+    def _ticket_from_dict(self, payload: dict) -> ClusterTicket:
+        query = query_from_dict(payload["query"])
+        fan_payload = payload.get("fan_query")
+        ticket = ClusterTicket(
+            ticket_id=payload["ticket_id"],
+            session_id=payload["session_id"],
+            query=query,
+            key=canonical_key(query),
+            scope=payload["scope"],
+            targets=tuple(payload["targets"]),
+            pruned=tuple(payload["pruned"]),
+            shard_tickets=(),
+            submitted_ms=float(payload["submitted_ms"]),
+            cache_hit=bool(payload["cache_hit"]),
+            fan_key=(canonical_key(query_from_dict(fan_payload))
+                     if fan_payload is not None else None),
+            terminated=bool(payload["terminated"]),
+        )
+        subs = {int(shard_id): tid for shard_id, tid
+                in payload.get("subtickets", {}).items()}
+        if subs and not ticket.terminated:
+            self._ticket_sub_ids[ticket.ticket_id] = subs
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Shard health
+    # ------------------------------------------------------------------
+    def mark_shard_down(self, shard_id: int) -> None:
+        """Record a shard outage (supervisor / failure-detector hook)."""
+        with self._lock:
+            self._mark_down(shard_id)
+
+    def _mark_down(self, shard_id: int) -> None:
+        if shard_id not in self._down_shards:
+            self._down_shards.add(shard_id)
+            self._m_outages.inc()
+
+    @property
+    def down_shards(self) -> Tuple[int, ...]:
+        """Shard ids currently marked down, ascending."""
+        with self._lock:
+            return tuple(sorted(self._down_shards))
 
     # ------------------------------------------------------------------
     # Sessions
@@ -401,36 +674,59 @@ class ClusterCoordinator:
                      now_ms: Optional[float] = None) -> str:
         """Open a TTL-leased tenant session at the root."""
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
             self._expire(now)
-            return self._sessions.open(client_id, now, ttl_ms).session_id
+            session = self._sessions.open(client_id, now, ttl_ms)
+            self._journal({"op": "open", "sid": session.session_id,
+                           "client": client_id, "ttl": session.ttl_ms,
+                           "now": now})
+            self._maybe_snapshot()
+            return session.session_id
 
     def renew_session(self, session_id: str,
                       ttl_ms: Optional[float] = None,
                       now_ms: Optional[float] = None) -> None:
         """Extend a tenant lease; a lapsed lease cannot be renewed."""
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
             self._expire(now)
             self._sessions.renew(session_id, now, ttl_ms)
+            self._journal({"op": "renew", "sid": session_id,
+                           "ttl": ttl_ms, "now": now})
+            self._maybe_snapshot()
 
     def close_session(self, session_id: str,
                       now_ms: Optional[float] = None) -> None:
         """Release every ticket the tenant owns and drop the session."""
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
             session = self._sessions.get(session_id)
+            # Journaled before the shard-side releases: on replay the
+            # close record implies every release the crash may have cut
+            # short, and the zombie sweep catches the shard-side strays.
+            self._journal({"op": "close", "sid": session_id, "now": now})
             self._release_session(session.session_id, session.tickets, now)
             self._sessions.close(session_id)
+            self._maybe_snapshot()
 
     def expire_leases(self, now_ms: Optional[float] = None) -> List[str]:
         """Cascade root-lease expiry down to the shards; idempotent."""
         with self._lock:
+            self._ensure_root_open()
             return self._expire(self._now(now_ms))
 
     def _expire(self, now: float) -> List[str]:
+        expired = self._sessions.expired(now)
+        if not expired:
+            return []
+        self._journal({"op": "expire",
+                       "sids": [s.session_id for s in expired],
+                       "now": now})
         expired_ids = []
-        for session in self._sessions.expired(now):
+        for session in expired:
             self._release_session(session.session_id, session.tickets, now)
             self._sessions.close(session.session_id)
             self._sessions.expired_total += 1
@@ -443,8 +739,17 @@ class ClusterCoordinator:
         ticket_ids.clear()
         for shard_id, shard_sid in sorted(
                 self._shard_sessions.pop(session_id, {}).items()):
-            self._shard(shard_id).service.close_session(shard_sid,
-                                                        now_ms=now)
+            if shard_id in self._down_shards:
+                self._pending_closes.setdefault(shard_id,
+                                                []).append(shard_sid)
+                continue
+            try:
+                self._shard(shard_id).service.close_session(shard_sid,
+                                                            now_ms=now)
+            except ServiceClosed:
+                self._mark_down(shard_id)
+                self._pending_closes.setdefault(shard_id,
+                                                []).append(shard_sid)
 
     # ------------------------------------------------------------------
     # Query admission
@@ -452,8 +757,13 @@ class ClusterCoordinator:
     def submit(self, session_id: str, query: Union[str, Query],
                now_ms: Optional[float] = None,
                qos: QoSClass = QoSClass.BEST_EFFORT) -> ClusterTicket:
-        """Plan, route, and submit one query on behalf of a tenant."""
+        """Plan, route, and submit one query on behalf of a tenant.
+
+        Raises :class:`ShardDownError` — *without* acknowledging the
+        admission — when the query's only viable shard is down.
+        """
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
             self._expire(now)
             session = self._sessions.get(session_id)
@@ -481,6 +791,18 @@ class ClusterCoordinator:
                 self._m_fanout.inc()
             self._tickets[ticket.ticket_id] = ticket
             session.tickets.add(ticket.ticket_id)
+            # Journal point == ack point: every shard-side submit above
+            # succeeded, so the record makes the admission durable.
+            record = {"op": "submit",
+                      "ticket": self._ticket_to_dict(ticket), "now": now}
+            if (ticket.scope == ClusterScope.FANOUT
+                    and not ticket.cache_hit):
+                anchor = self._anchors[ticket.fan_key]
+                record["anchor_subs"] = {
+                    str(sid): sub.ticket_id
+                    for sid, sub in sorted(anchor.subtickets.items())}
+            self._journal(record)
+            self._maybe_snapshot()
             return ticket
 
     def _submit_local(self, session_id: str, client_id: str,
@@ -488,10 +810,19 @@ class ClusterCoordinator:
                       pruned: Tuple[int, ...], now: float,
                       qos: QoSClass) -> ClusterTicket:
         shard = self._shard(targets[0])
-        shard_sid = self._tenant_shard_session(session_id, client_id,
-                                               shard, now)
-        local = shard.service.submit(shard_sid, canonical, now_ms=now,
-                                     qos=qos)
+        if shard.shard_id in self._down_shards:
+            raise ShardDownError(
+                f"shard {shard.name} is down; retry after recovery")
+        try:
+            shard_sid = self._tenant_shard_session(session_id, client_id,
+                                                   shard, now)
+            local = shard.service.submit(shard_sid, canonical, now_ms=now,
+                                         qos=qos)
+        except ServiceClosed as exc:
+            self._mark_down(shard.shard_id)
+            raise ShardDownError(
+                f"shard {shard.name} died mid-submit; admission was not "
+                f"acknowledged") from exc
         return ClusterTicket(
             ticket_id=f"{shard.name}:{local.ticket_id}",
             session_id=session_id,
@@ -516,15 +847,25 @@ class ClusterCoordinator:
             anchor = _RootAnchor(key=fan_key, fan_query=fan_query,
                                  targets=targets)
             for shard_id in targets:
+                if shard_id in self._down_shards:
+                    continue  # degraded fan-out: healed on shard return
                 shard = self._shard(shard_id)
-                root_sid = self._root_session(shard, now)
-                sub = shard.service.submit(root_sid, fan_query,
-                                           now_ms=now, qos=qos)
+                try:
+                    root_sid = self._root_session(shard, now)
+                    sub = shard.service.submit(root_sid, fan_query,
+                                               now_ms=now, qos=qos)
+                except ServiceClosed:
+                    self._mark_down(shard_id)
+                    continue
                 anchor.subtickets[shard_id] = sub
                 self._m_subqueries.inc()
                 if shard.has_results:
                     anchor.queues[shard_id] = shard.service.subscribe(
                         root_sid, sub.ticket_id, maxsize=0)
+            if not anchor.subtickets:
+                raise ShardDownError(
+                    f"every target shard of the fan-out is down "
+                    f"({sorted(targets)}); retry after recovery")
             entry = self._root_cache.insert(fan_key, fan_query)
             self._anchors[fan_key] = anchor
         else:
@@ -540,7 +881,8 @@ class ClusterCoordinator:
             scope=ClusterScope.FANOUT,
             targets=targets,
             pruned=pruned,
-            shard_tickets=tuple(anchor.subtickets[s] for s in targets),
+            shard_tickets=tuple(anchor.subtickets[s] for s in targets
+                                if s in anchor.subtickets),
             submitted_ms=now,
             cache_hit=dedup_hit,
             fan_key=fan_key,
@@ -620,8 +962,16 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     def terminate(self, session_id: str, ticket_id: str,
                   now_ms: Optional[float] = None) -> None:
-        """Release one of the tenant's cluster tickets."""
+        """Release one of the tenant's cluster tickets.
+
+        A terminate that races a shard outage still releases the *root*
+        bookkeeping (refcount, anchor, watcher) exactly once — the
+        shard-side terminate is queued and retried when the shard heals,
+        so a retry after :class:`ShardDownError` used to double-release
+        the anchor refcount (the PR 10 regression fix).
+        """
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
             self._expire(now)
             session = self._sessions.get(session_id)
@@ -629,19 +979,27 @@ class ClusterCoordinator:
             if ticket is None or ticket_id not in session.tickets:
                 raise KeyError(
                     f"session {session_id!r} owns no ticket {ticket_id!r}")
+            if not ticket.terminated:
+                self._journal({"op": "terminate", "ticket_id": ticket_id,
+                               "now": now})
             self._terminate_ticket(ticket, now)
             session.tickets.discard(ticket_id)
+            self._maybe_snapshot()
 
     def _terminate_ticket(self, ticket: ClusterTicket, now: float) -> None:
         if ticket.terminated:
             return
+        # Root bookkeeping is released exactly once, up front: a shard
+        # outage below must not leave the ticket half-terminated (the
+        # refcount-leak bug this PR fixes) — the shard-side terminate is
+        # queued per shard and retried on heal instead.
+        ticket.terminated = True
         if ticket.scope == ClusterScope.LOCAL:
             shard = self._shard(ticket.targets[0])
             shard_sid = self._shard_sessions[ticket.session_id][
                 shard.shard_id]
-            shard.service.terminate(shard_sid,
-                                    ticket.shard_tickets[0].ticket_id,
-                                    now_ms=now)
+            self._shard_terminate(shard.shard_id, shard_sid,
+                                  ticket.shard_tickets[0].ticket_id, now)
         else:
             dead = self._root_cache.release(ticket.fan_key)
             anchor = self._anchors.get(ticket.fan_key)
@@ -650,30 +1008,87 @@ class ClusterCoordinator:
                                    if w.ticket_id != ticket.ticket_id]
             if dead is not None and anchor is not None:
                 del self._anchors[ticket.fan_key]
+                self._sub_ids.pop(ticket.fan_key, None)
                 for shard_id in sorted(anchor.subtickets):
-                    self._shard(shard_id).service.terminate(
-                        self._root_sessions[shard_id],
-                        anchor.subtickets[shard_id].ticket_id, now_ms=now)
+                    self._shard_terminate(
+                        shard_id, self._root_sessions[shard_id],
+                        anchor.subtickets[shard_id].ticket_id, now)
                 anchor.queues.clear()
-        ticket.terminated = True
+        self._ticket_sub_ids.pop(ticket.ticket_id, None)
+
+    def _shard_terminate(self, shard_id: int, shard_sid: str,
+                         shard_ticket_id: int, now: float) -> None:
+        """Terminate a shard-level ticket, queueing if the shard is down."""
+        if shard_id in self._down_shards:
+            self._pending_terminates.setdefault(shard_id, []).append(
+                (shard_sid, shard_ticket_id))
+            return
+        try:
+            self._shard(shard_id).service.terminate(
+                shard_sid, shard_ticket_id, now_ms=now)
+        except ServiceClosed:
+            self._mark_down(shard_id)
+            self._pending_terminates.setdefault(shard_id, []).append(
+                (shard_sid, shard_ticket_id))
+
+    def _drain_pending(self, shard_id: int, now: float) -> None:
+        """Retry terminates/closes queued while ``shard_id`` was down."""
+        service = self._shard(shard_id).service
+        for shard_sid, shard_tid in self._pending_terminates.pop(
+                shard_id, []):
+            try:
+                service.terminate(shard_sid, shard_tid, now_ms=now)
+            except (KeyError, ServiceClosed):
+                pass  # session/ticket did not survive the shard's crash
+        for shard_sid in self._pending_closes.pop(shard_id, []):
+            try:
+                service.close_session(shard_sid, now_ms=now)
+            except (KeyError, ServiceClosed):
+                pass
+
+    def _retry_pending(self, now: float) -> None:
+        for shard_id in sorted(set(self._pending_terminates)
+                               | set(self._pending_closes)):
+            if shard_id not in self._down_shards:
+                self._drain_pending(shard_id, now)
 
     # ------------------------------------------------------------------
     # Housekeeping
     # ------------------------------------------------------------------
     def tick(self, now_ms: Optional[float] = None) -> None:
-        """Expire root leases; tick every shard (flush due batches)."""
+        """Expire root leases; tick every *up* shard (flush due batches).
+
+        Also retries shard-side terminates/closes queued during outages
+        and writes the periodic root snapshot when one is due.
+        """
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
             self._expire(now)
             for shard in self._shards:
-                shard.service.tick(now_ms=now)
+                if shard.shard_id in self._down_shards:
+                    continue
+                try:
+                    shard.service.tick(now_ms=now)
+                except ServiceClosed:
+                    self._mark_down(shard.shard_id)
+            self._retry_pending(now)
+            self._maybe_snapshot()
 
     def flush(self, now_ms: Optional[float] = None) -> int:
-        """Flush every shard's admission window; returns total admitted."""
+        """Flush every up shard's admission window; returns total admitted."""
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
-            return sum(shard.service.flush(now_ms=now)
-                       for shard in self._shards)
+            admitted = 0
+            for shard in self._shards:
+                if shard.shard_id in self._down_shards:
+                    continue
+                try:
+                    admitted += shard.service.flush(now_ms=now)
+                except ServiceClosed:
+                    self._mark_down(shard.shard_id)
+            return admitted
 
     # ------------------------------------------------------------------
     # Results: pump + merge
@@ -688,6 +1103,7 @@ class ClusterCoordinator:
         late subscriber to a deduplicated fan-out misses nothing).
         """
         with self._lock:
+            self._ensure_root_open()
             session = self._sessions.get(session_id)
             if ticket_id not in session.tickets:
                 raise KeyError(
@@ -724,11 +1140,16 @@ class ClusterCoordinator:
         call it once after a run's drain.
         """
         with self._lock:
+            self._ensure_root_open()
             now = self._now(now_ms)
             self._expire(now)
             for shard in self._shards:
-                if shard.has_results:
-                    shard.service.pump(now_ms=now)
+                if (shard.has_results
+                        and shard.shard_id not in self._down_shards):
+                    try:
+                        shard.service.pump(now_ms=now)
+                    except ServiceClosed:
+                        self._mark_down(shard.shard_id)
             return self._merge(float("inf") if final else now)
 
     def _merge(self, cutoff: float) -> int:
@@ -739,9 +1160,20 @@ class ClusterCoordinator:
             pushed += self._finalize_aggregates(anchor, cutoff)
         return pushed
 
+    def _anchor_completeness(self, anchor: _RootAnchor) -> float:
+        """Fraction of the anchor's member shards currently answering."""
+        members = anchor.targets or tuple(sorted(anchor.subtickets))
+        if not members:
+            return 1.0
+        surviving = [s for s in members
+                     if s not in self._down_shards
+                     and s in anchor.subtickets]
+        return len(surviving) / len(members)
+
     def _drain_shard(self, anchor: _RootAnchor, shard_id: int) -> int:
         pushed = 0
         shard_queue = anchor.queues[shard_id]
+        frac = self._anchor_completeness(anchor)
         while True:
             try:
                 item = shard_queue.get_nowait()
@@ -753,6 +1185,10 @@ class ClusterCoordinator:
                     self._m_dup_dropped.inc()
                     continue
                 anchor.seen_rows.add(row_key)
+                if frac < 1.0:
+                    # Degraded mode: the down shards' sensors cannot
+                    # contribute to this epoch, and the row says so.
+                    item = replace(item, completeness=frac)
                 anchor.merged.append(item)
                 self._m_merged_rows.inc()
                 pushed += self._deliver(anchor, item)
@@ -770,15 +1206,41 @@ class ClusterCoordinator:
         if not anchor.fan_query.is_aggregation:
             return 0
         pushed = 0
+        members = anchor.targets or tuple(sorted(anchor.subtickets))
+        surviving = [s for s in members
+                     if s not in self._down_shards
+                     and s in anchor.subtickets]
+        total = max(len(members), 1)
         for agg_key in sorted(anchor.partials):
             epoch_time, group_key = agg_key
-            complete = len(anchor.partials[agg_key]) >= len(anchor.subtickets)
-            if not complete and \
-                    epoch_time + 2 * anchor.fan_query.epoch_ms > cutoff:
+            reported = anchor.partials[agg_key]
+            if len(reported) >= len(anchor.subtickets) and \
+                    len(anchor.subtickets) >= total:
+                completeness = 1.0
+            elif (len(surviving) < total and surviving
+                    and all(s in reported for s in surviving)):
+                # Degraded mode: every *surviving* member has reported;
+                # finalise now with the shortfall stamped instead of
+                # stalling the stream on the 2-epoch cutoff below.
+                completeness = len(reported) / total
+            elif epoch_time + 2 * anchor.fan_query.epoch_ms > cutoff:
                 continue
+            else:
+                # Cutoff-expired epoch.  Merely-late partials from *up*
+                # shards keep the legacy behaviour (full completeness,
+                # late arrivals counted as duplicates when they land).
+                missing_down = any(
+                    s not in reported and
+                    (s in self._down_shards or s not in anchor.subtickets)
+                    for s in members)
+                completeness = (len(reported) / total
+                                if missing_down else 1.0)
             values = combine_shard_aggregates(
                 anchor.fan_query, anchor.partials.pop(agg_key).values())
-            merged = MappedAggregates(epoch_time, values, group_key)
+            merged = MappedAggregates(epoch_time, values, group_key,
+                                      completeness=completeness)
+            if completeness < 1.0:
+                self._m_degraded.inc()
             anchor.emitted.add(agg_key)
             anchor.merged.append(merged)
             self._m_merged_aggs.inc()
@@ -808,9 +1270,32 @@ class ClusterCoordinator:
                 if not ticket.terminated:
                     self._terminate_ticket(ticket, now)
                     terminated.append(ticket_id)
+            self._journal({"op": "shutdown", "now": now})
             for shard in self._shards:
-                shard.service.shutdown(now_ms=now)
+                if shard.shard_id in self._down_shards:
+                    continue
+                try:
+                    shard.service.shutdown(now_ms=now)
+                except ServiceClosed:
+                    self._mark_down(shard.shard_id)
+            if self._root_wal is not None:
+                self._root_snapshot(now)
+                self._root_wal.close()
+                self._root_wal = None
             return terminated
+
+    def simulate_crash(self) -> None:
+        """Drop the coordinator as SIGKILL would (chaos harness hook).
+
+        Only root-side state dies: the shards keep their own WALs and
+        crash (or survive) independently.  Every subsequent public call
+        raises :class:`ServiceClosed`; rebuild with :meth:`recover`.
+        """
+        with self._lock:
+            if self._root_wal is not None:
+                self._root_wal.close()
+                self._root_wal = None
+            self._crashed = True
 
     @classmethod
     def recover(cls, backends: Sequence,
@@ -820,29 +1305,357 @@ class ClusterCoordinator:
                 default_ttl_ms: float = DEFAULT_TTL_MS,
                 clock: Optional[Callable[[], float]] = None,
                 overload: Optional[OverloadConfig] = None,
-                vnodes: int = DEFAULT_VNODES) -> "ClusterCoordinator":
-        """Rebuild a coordinator from the shards' durability directories.
+                vnodes: int = DEFAULT_VNODES,
+                services: Optional[Sequence[QueryService]] = None
+                ) -> "ClusterCoordinator":
+        """Rebuild a coordinator from the durability directories.
 
         Every shard recovers independently (snapshot + WAL replay, PR 5
-        machinery); the root then re-discovers its fan-out sessions on
-        each shard and re-adopts their live subqueries as anchors.
-        Tenant *root* sessions are not durable — tenants reopen sessions
-        and resubmit, hitting the root dedup cache for still-running
-        fan-outs.  Until then recovered anchors are unreferenced: list
-        them with :meth:`orphan_anchors`, reap with :meth:`abort_orphans`.
+        machinery) unless already-recovered ``services`` are supplied
+        (coordinator-only crash: the shard processes never died).  The
+        root then restores its *own* bookkeeping — sessions, tickets,
+        anchors, refcounts — from the root WAL under
+        ``<durability_dir>/root`` and relinks anchors to the shards'
+        live subtickets by id; shard-side tickets the crash orphaned
+        (no surviving root claim) are swept.  Legacy directories without
+        a root WAL fall back to re-adoption from the shards' fan-out
+        sessions, leaving unreferenced anchors for
+        :meth:`orphan_anchors` / :meth:`abort_orphans`.
         """
         root = Path(durability_dir)
-        services = [
-            QueryService.recover(backend, root / f"shard-{shard_id:02d}",
-                                 clock=clock, overload=overload)
-            for shard_id, backend in enumerate(backends)]
+        if services is None:
+            recovered: List[QueryService] = []
+            high_qid = peek_qid()
+            for shard_id, backend in enumerate(backends):
+                service = QueryService.recover(
+                    backend, root / f"shard-{shard_id:02d}",
+                    clock=clock, overload=overload)
+                high_qid = max(high_qid, peek_qid())
+                recovered.append(service)
+            # Each shard recovery pins the global qid counter to its own
+            # snapshot's value; keep the maximum so post-recovery
+            # canonicalization can never reissue a shard's live qid.
+            if peek_qid() < high_qid:
+                set_next_qid(high_qid)
+            services = recovered
         coordinator = cls(backends, partition=partition,
                           batch_window_ms=batch_window_ms,
                           default_ttl_ms=default_ttl_ms, clock=clock,
                           overload=overload, vnodes=vnodes,
                           services=services)
-        coordinator._adopt_recovered_anchors()
+        root_dir = root / ROOT_DIR_NAME
+        if ((root_dir / SNAPSHOT_FILENAME).exists()
+                or (root_dir / WAL_FILENAME).exists()):
+            coordinator._recover_root(root_dir)
+        else:
+            # Legacy durability directory (pre-root-WAL): re-adopt from
+            # the shards once, then start journaling so the *next*
+            # recovery restores from the root log.
+            coordinator._adopt_recovered_anchors()
+            coordinator._attach_root_durability(root_dir, fresh=True)
+            coordinator._root_snapshot(coordinator._clock())
         return coordinator
+
+    def _recover_root(self, root_dir: Path) -> None:
+        snapshot_seq = 0
+        stale_ops = 0
+        replayed_ops = 0
+        replay_errors = 0
+        self._replaying = True
+        try:
+            state = SnapshotStore.load(root_dir / SNAPSHOT_FILENAME)
+            if state is not None:
+                self._restore_root_snapshot(state)
+                snapshot_seq = self._root_op_seq
+            records, torn = WriteAheadLog.load(root_dir / WAL_FILENAME)
+            high_seq = self._root_op_seq
+            for record in records:
+                seq = int(record.get("seq", 0))
+                high_seq = max(high_seq, seq)
+                if record.get("op") == "boot" or seq <= snapshot_seq:
+                    stale_ops += 1
+                    continue
+                try:
+                    self._apply_root_record(record)
+                    replayed_ops += 1
+                except Exception:
+                    replay_errors += 1
+            self._root_op_seq = high_seq
+        finally:
+            self._replaying = False
+        relinked, zombies = self._relink_shards()
+        self._attach_root_durability(root_dir, fresh=False)
+        self._m_root_recoveries.inc()
+        self._m_root_replayed.inc(replayed_ops)
+        self._m_root_torn.inc(torn)
+        self.last_root_recovery = RecoveryReport(
+            snapshot_loaded=state is not None,
+            wal_records=len(records),
+            replayed_ops=replayed_ops,
+            torn_records=torn,
+            stale_ops=stale_ops,
+            replay_errors=replay_errors,
+            reinjected=relinked,
+            zombies_aborted=zombies,
+        )
+
+    def _restore_root_snapshot(self, state: dict) -> None:
+        self._root_op_seq = int(state.get("op_seq", 0))
+        self._fan_seq = int(state.get("fan_seq", 0))
+        self._sessions.restore(state.get("sessions", {}))
+        self._shard_sessions = {
+            sid: {int(shard_id): shard_sid
+                  for shard_id, shard_sid in per.items()}
+            for sid, per in state.get("shard_sessions", {}).items()}
+        self._root_sessions = {
+            int(shard_id): shard_sid
+            for shard_id, shard_sid in state.get("root_sessions",
+                                                 {}).items()}
+        for payload in state.get("tickets", []):
+            ticket = self._ticket_from_dict(payload)
+            self._tickets[ticket.ticket_id] = ticket
+        for payload in state.get("anchors", []):
+            fan_query = query_from_dict(payload["fan_query"])
+            key = canonical_key(fan_query)
+            anchor = _RootAnchor(key=key, fan_query=fan_query,
+                                 targets=tuple(payload["targets"]))
+            self._anchors[key] = anchor
+            self._root_cache.insert(key, fan_query)
+            self._sub_ids[key] = {
+                int(shard_id): tid
+                for shard_id, tid in payload["subtickets"].items()}
+        for ticket in self._tickets.values():
+            if (ticket.scope == ClusterScope.FANOUT
+                    and not ticket.terminated
+                    and ticket.fan_key in self._anchors):
+                entry = self._root_cache.lookup(ticket.fan_key)
+                self._root_cache.acquire(entry)
+        self._pending_terminates = {
+            int(shard_id): [(sid, int(tid)) for sid, tid in pairs]
+            for shard_id, pairs in state.get("pending_terminates",
+                                             {}).items()}
+        self._pending_closes = {
+            int(shard_id): list(sids)
+            for shard_id, sids in state.get("pending_closes", {}).items()}
+
+    def _apply_root_record(self, rec: dict) -> None:
+        op = rec.get("op")
+        if op == "open":
+            session = self._sessions.open(rec["client"], rec["now"],
+                                          rec["ttl"])
+            if session.session_id != rec["sid"]:
+                raise ValueError(
+                    f"root WAL replay regenerated session "
+                    f"{session.session_id!r}, expected {rec['sid']!r}")
+        elif op == "renew":
+            self._sessions.renew(rec["sid"], rec["now"], rec.get("ttl"))
+        elif op == "close":
+            self._replay_close(rec["sid"])
+        elif op == "expire":
+            for sid in rec["sids"]:
+                self._replay_close(sid)
+                self._sessions.expired_total += 1
+        elif op == "shard_session":
+            self._shard_sessions.setdefault(
+                rec["sid"], {})[int(rec["shard"])] = rec["shard_sid"]
+        elif op == "root_session":
+            self._root_sessions[int(rec["shard"])] = rec["shard_sid"]
+        elif op == "submit":
+            self._replay_submit(rec)
+        elif op == "terminate":
+            ticket = self._tickets.get(rec["ticket_id"])
+            if ticket is not None and not ticket.terminated:
+                self._release_ticket_bookkeeping(ticket)
+                try:
+                    self._sessions.get(ticket.session_id).tickets.discard(
+                        ticket.ticket_id)
+                except Exception:
+                    pass
+        elif op == "fanout_sub":
+            key = canonical_key(query_from_dict(rec["fan_query"]))
+            if key in self._anchors:
+                self._sub_ids.setdefault(key, {})[int(rec["shard"])] = \
+                    int(rec["shard_ticket"])
+        elif op == "abort_orphans":
+            for key in [k for k, e in self._root_cache.entries().items()
+                        if e.refcount == 0]:
+                entry = self._root_cache.entries()[key]
+                self._root_cache.acquire(entry)
+                self._root_cache.release(key)
+                self._anchors.pop(key, None)
+                self._sub_ids.pop(key, None)
+        elif op == "shutdown":
+            for ticket in self._tickets.values():
+                ticket.terminated = True
+            self._anchors.clear()
+            self._sub_ids.clear()
+            self._ticket_sub_ids.clear()
+            for key in list(self._root_cache.entries()):
+                entry = self._root_cache.entries()[key]
+                if entry.refcount == 0:
+                    self._root_cache.acquire(entry)
+                while key in self._root_cache.entries():
+                    self._root_cache.release(key)
+        elif op == "boot":
+            pass
+        else:
+            raise ValueError(f"unknown root WAL op {op!r}")
+
+    def _replay_close(self, sid: str) -> None:
+        try:
+            session = self._sessions.get(sid)
+        except Exception:
+            return
+        for ticket_id in sorted(session.tickets):
+            ticket = self._tickets.get(ticket_id)
+            if ticket is not None:
+                self._release_ticket_bookkeeping(ticket)
+        session.tickets.clear()
+        self._shard_sessions.pop(sid, None)
+        self._sessions.close(sid)
+
+    def _release_ticket_bookkeeping(self, ticket: ClusterTicket) -> None:
+        """Replay-side mirror of :meth:`_terminate_ticket`: root state
+        only, no shard calls (the shards' own WALs hold those)."""
+        if ticket.terminated:
+            return
+        ticket.terminated = True
+        if ticket.scope == ClusterScope.FANOUT \
+                and ticket.fan_key is not None:
+            try:
+                dead = self._root_cache.release(ticket.fan_key)
+            except KeyError:
+                dead = None
+            anchor = self._anchors.get(ticket.fan_key)
+            if anchor is not None:
+                anchor.watchers = [w for w in anchor.watchers
+                                   if w.ticket_id != ticket.ticket_id]
+            if dead is not None and anchor is not None:
+                del self._anchors[ticket.fan_key]
+                self._sub_ids.pop(ticket.fan_key, None)
+                anchor.queues.clear()
+        self._ticket_sub_ids.pop(ticket.ticket_id, None)
+
+    def _replay_submit(self, rec: dict) -> None:
+        ticket = self._ticket_from_dict(rec["ticket"])
+        self._tickets[ticket.ticket_id] = ticket
+        try:
+            self._sessions.get(ticket.session_id).tickets.add(
+                ticket.ticket_id)
+        except Exception:
+            pass
+        if ticket.ticket_id.startswith("root:"):
+            self._fan_seq = max(self._fan_seq,
+                                int(ticket.ticket_id.split(":", 1)[1]))
+        if ticket.scope != ClusterScope.FANOUT or ticket.terminated:
+            return
+        entry = self._root_cache.lookup(ticket.fan_key)
+        if entry is None:
+            fan_query = query_from_dict(rec["ticket"]["fan_query"])
+            anchor = _RootAnchor(key=ticket.fan_key, fan_query=fan_query,
+                                 targets=ticket.targets)
+            self._anchors[ticket.fan_key] = anchor
+            entry = self._root_cache.insert(ticket.fan_key, fan_query)
+            self._sub_ids[ticket.fan_key] = {
+                int(shard_id): tid
+                for shard_id, tid in (rec.get("anchor_subs")
+                                      or {}).items()}
+        self._root_cache.acquire(entry)
+
+    def _relink_shards(self) -> Tuple[int, int]:
+        """Resolve recovered ticket ids into live shard tickets; sweep
+        shard-side zombies with no surviving root claim.  Returns
+        ``(queues_reinjected, zombies_aborted)``."""
+        now = self._clock()
+        relinked = 0
+        claimed: Dict[int, Set[int]] = {}
+        for key, subs in sorted(self._sub_ids.items(), key=lambda i:
+                                repr(i[0])):
+            anchor = self._anchors.get(key)
+            if anchor is None:
+                continue
+            for shard_id, shard_tid in sorted(subs.items()):
+                if shard_id in self._down_shards:
+                    continue
+                shard = self._shard(shard_id)
+                try:
+                    sub = shard.service.ticket(shard_tid)
+                except KeyError:
+                    continue
+                anchor.subtickets[shard_id] = sub
+                claimed.setdefault(shard_id, set()).add(shard_tid)
+                root_sid = self._root_sessions.get(shard_id)
+                if (shard.has_results and root_sid is not None
+                        and sub.status in (TicketStatus.LIVE,
+                                           TicketStatus.PENDING)):
+                    try:
+                        anchor.queues[shard_id] = shard.service.subscribe(
+                            root_sid, sub.ticket_id, maxsize=0)
+                        relinked += 1
+                    except (KeyError, ValueError):
+                        pass
+            if not anchor.targets:
+                anchor.targets = tuple(sorted(anchor.subtickets))
+        for ticket in self._tickets.values():
+            if ticket.terminated:
+                continue
+            subs = self._ticket_sub_ids.get(ticket.ticket_id)
+            if ticket.scope == ClusterScope.LOCAL and subs:
+                handles = []
+                for shard_id, shard_tid in sorted(subs.items()):
+                    if shard_id in self._down_shards:
+                        continue
+                    try:
+                        handles.append(
+                            self._shard(shard_id).service.ticket(shard_tid))
+                        claimed.setdefault(shard_id, set()).add(shard_tid)
+                    except KeyError:
+                        pass
+                ticket.shard_tickets = tuple(handles)
+            elif (ticket.scope == ClusterScope.FANOUT
+                    and ticket.fan_key in self._anchors):
+                anchor = self._anchors[ticket.fan_key]
+                ticket.shard_tickets = tuple(
+                    anchor.subtickets[s] for s in ticket.targets
+                    if s in anchor.subtickets)
+        self._sub_ids.clear()
+        self._ticket_sub_ids.clear()
+        # Zombie sweep: shard tickets under root fan-out sessions that no
+        # recovered anchor claims were orphaned by the crash (e.g. a
+        # submit that died before its journal record landed).
+        zombies = 0
+        root_sids = {sid for sid in self._root_sessions.values()}
+        tenant_sids: Set[str] = set()
+        for per in self._shard_sessions.values():
+            tenant_sids.update(per.values())
+        claimed_tenant: Dict[int, Set[int]] = {}
+        for ticket in self._tickets.values():
+            if ticket.scope == ClusterScope.LOCAL \
+                    and not ticket.terminated:
+                for handle in ticket.shard_tickets:
+                    claimed_tenant.setdefault(
+                        ticket.targets[0], set()).add(handle.ticket_id)
+        for shard in self._shards:
+            if shard.shard_id in self._down_shards:
+                continue
+            for sub in shard.service.live_tickets():
+                shard_claimed = claimed.get(shard.shard_id, set())
+                tenant_claimed = claimed_tenant.get(shard.shard_id, set())
+                if sub.session_id in root_sids:
+                    if sub.ticket_id in shard_claimed:
+                        continue
+                elif sub.session_id in tenant_sids:
+                    if sub.ticket_id in tenant_claimed:
+                        continue
+                else:
+                    continue  # not a coordinator-owned ticket
+                try:
+                    shard.service.terminate(sub.session_id, sub.ticket_id,
+                                            now_ms=now)
+                    zombies += 1
+                except (KeyError, ServiceClosed):
+                    pass
+        return relinked, zombies
 
     def _adopt_recovered_anchors(self) -> None:
         for shard in self._shards:
@@ -880,17 +1693,119 @@ class ClusterCoordinator:
             aborted = 0
             for key in self.orphan_anchors():
                 anchor = self._anchors.pop(key)
+                self._sub_ids.pop(key, None)
                 entry = self._root_cache.entries()[key]
                 # insert() left refcount 0; bump to 1 so release() drops
                 # the entry through the ordinary path.
                 self._root_cache.acquire(entry)
                 self._root_cache.release(key)
                 for shard_id in sorted(anchor.subtickets):
-                    self._shard(shard_id).service.terminate(
-                        self._root_sessions[shard_id],
-                        anchor.subtickets[shard_id].ticket_id, now_ms=now)
+                    self._shard_terminate(
+                        shard_id, self._root_sessions[shard_id],
+                        anchor.subtickets[shard_id].ticket_id, now)
                 aborted += 1
+            if aborted:
+                self._journal({"op": "abort_orphans", "now": now})
+                self._maybe_snapshot()
             return aborted
+
+    # ------------------------------------------------------------------
+    # Shard healing (supervisor hooks)
+    # ------------------------------------------------------------------
+    def replace_shard_service(self, shard_id: int,
+                              service: QueryService,
+                              now_ms: Optional[float] = None) -> None:
+        """Swap in a recovered/promoted service for a down shard.
+
+        Relinks every anchor's subticket on the healed shard (healing a
+        missing subquery by resubmitting the fan query when the
+        replacement lost it), refreshes tenant ticket handles, and
+        drains the terminates/closes queued during the outage.
+        """
+        with self._lock:
+            now = self._now(now_ms)
+            shard = self._shard(shard_id)
+            service.name = shard.name
+            shard.service = service
+            self._down_shards.discard(shard_id)
+            # The replacement may have recovered different session ids:
+            # trust what it reports for the root fan-out session.
+            root_sids = service.find_sessions(ROOT_CLIENT)
+            if root_sids:
+                self._root_sessions[shard_id] = root_sids[0]
+            else:
+                self._root_sessions.pop(shard_id, None)
+            # Tenant shard sessions that did not survive are dropped so
+            # the next submit reopens them lazily.
+            for per in self._shard_sessions.values():
+                shard_sid = per.get(shard_id)
+                if shard_sid is not None:
+                    try:
+                        service.renew_session(shard_sid, now_ms=now)
+                    except Exception:
+                        per.pop(shard_id, None)
+            for key in sorted(self._anchors, key=repr):
+                anchor = self._anchors[key]
+                members = anchor.targets or tuple(
+                    sorted(anchor.subtickets))
+                if shard_id not in members:
+                    continue
+                sub = anchor.subtickets.get(shard_id)
+                relinked = None
+                if sub is not None:
+                    try:
+                        relinked = service.ticket(sub.ticket_id)
+                    except KeyError:
+                        relinked = None
+                if relinked is None:
+                    # The replacement lost (or never had) the subquery:
+                    # heal the fan-out by resubmitting it.
+                    try:
+                        root_sid = self._root_session(shard, now)
+                        relinked = service.submit(
+                            root_sid, anchor.fan_query, now_ms=now)
+                        self._m_subqueries.inc()
+                        self._journal({
+                            "op": "fanout_sub", "shard": shard_id,
+                            "fan_query": query_to_dict(anchor.fan_query),
+                            "shard_ticket": relinked.ticket_id,
+                            "now": now})
+                    except ServiceClosed:
+                        self._mark_down(shard_id)
+                        return
+                anchor.subtickets[shard_id] = relinked
+                if shard.has_results:
+                    try:
+                        anchor.queues[shard_id] = service.subscribe(
+                            self._root_sessions[shard_id],
+                            relinked.ticket_id, maxsize=0)
+                    except (KeyError, ValueError):
+                        anchor.queues.pop(shard_id, None)
+            # Refresh stale ticket handles now that the anchor holds the
+            # replacement's Ticket objects.
+            for ticket in self._tickets.values():
+                if ticket.terminated:
+                    continue
+                if (ticket.scope == ClusterScope.FANOUT
+                        and ticket.fan_key in self._anchors
+                        and shard_id in ticket.targets):
+                    anchor = self._anchors[ticket.fan_key]
+                    ticket.shard_tickets = tuple(
+                        anchor.subtickets[s] for s in ticket.targets
+                        if s in anchor.subtickets)
+                elif (ticket.scope == ClusterScope.LOCAL
+                        and ticket.targets == (shard_id,)
+                        and ticket.shard_tickets):
+                    try:
+                        ticket.shard_tickets = (service.ticket(
+                            ticket.shard_tickets[0].ticket_id),)
+                    except KeyError:
+                        pass  # did not survive; status stays visible
+            self._drain_pending(shard_id, now)
+
+    def shard_backends(self) -> List[object]:
+        """The per-shard backends, by shard id (supervisor restarts)."""
+        return [shard.backend for shard in self._shards]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -937,12 +1852,15 @@ class ClusterCoordinator:
                                              - base["dup_dropped"]),
                 per_shard=tuple(shard.service.stats()
                                 for shard in self._shards),
+                shards_down=len(self._down_shards),
             )
 
     def validate(self) -> None:
         """Cross-tier invariants (stress/chaos hooks)."""
         with self._lock:
             for shard in self._shards:
+                if shard.shard_id in self._down_shards:
+                    continue
                 shard.service.validate()
             live_by_key: Dict[CanonicalKey, int] = {}
             for ticket in self._tickets.values():

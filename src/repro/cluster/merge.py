@@ -90,4 +90,5 @@ def user_aggregates_view(user_query: Query,
         epoch_time=merged.epoch_time,
         values=user_view(user_query, merged.values),
         group_key=merged.group_key,
+        completeness=merged.completeness,
     )

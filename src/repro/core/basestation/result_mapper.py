@@ -32,6 +32,9 @@ class MappedRow:
     epoch_time: float
     origin: int
     values: Dict[str, float]
+    #: Fraction of the answering deployment that contributed (< 1.0 only
+    #: when the cluster tier merges around a down shard — degraded mode).
+    completeness: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,9 @@ class MappedAggregates:
     epoch_time: float
     values: Dict[Aggregate, Optional[float]]
     group_key: tuple = ()
+    #: Fraction of target shards whose partials reached the merge (< 1.0
+    #: only for cluster epochs finalised while a shard was down).
+    completeness: float = 1.0
 
 
 class ResultMapper:

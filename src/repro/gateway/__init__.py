@@ -18,7 +18,7 @@ growing server memory.
   for tests, benchmarks and ``python -m repro gateway --load``.
 """
 
-from .client import GatewayClient, GatewayError
+from .client import GatewayClient, GatewayError, GatewayTimeout
 from .loadgen import SocketLoadReport, run_socket_load
 from .protocol import MAX_FRAME_BYTES, ProtocolError
 from .server import GatewayServer
@@ -26,6 +26,7 @@ from .server import GatewayServer
 __all__ = [
     "GatewayClient",
     "GatewayError",
+    "GatewayTimeout",
     "GatewayServer",
     "MAX_FRAME_BYTES",
     "ProtocolError",

@@ -26,16 +26,56 @@ class GatewayError(RuntimeError):
     """The server answered ``ok=false``; the message is its ``error``."""
 
 
+class GatewayTimeout(GatewayError):
+    """A request exceeded ``op_deadline_s`` waiting for its reply."""
+
+
 class GatewayClient:
-    """Blocking, single-connection gateway client (context manager)."""
+    """Blocking, single-connection gateway client (context manager).
+
+    Resilience knobs (all optional, defaults preserve the strict
+    one-connection behaviour):
+
+    * ``connect_timeout_s`` bounds the TCP connect (falls back to
+      ``timeout_s``);
+    * ``op_deadline_s`` bounds each request/reply round-trip, raising
+      :class:`GatewayTimeout` instead of hanging on a stalled server;
+    * ``max_reconnects`` > 0 lets the client survive a dead connection
+      (e.g. a gateway failing over to its warm standby): the op that
+      observed the death still raises, but the *next* op transparently
+      reconnects with exponential backoff (``reconnect_backoff_s``
+      doubling per attempt).  Sessions live server-side, so a reconnect
+      resumes where the tenant left off.
+    """
 
     def __init__(self, host: str, port: int,
-                 timeout_s: Optional[float] = 30.0) -> None:
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout_s)
+                 timeout_s: Optional[float] = 30.0, *,
+                 connect_timeout_s: Optional[float] = None,
+                 op_deadline_s: Optional[float] = None,
+                 max_reconnects: int = 0,
+                 reconnect_backoff_s: float = 0.2) -> None:
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._connect_timeout_s = (connect_timeout_s
+                                   if connect_timeout_s is not None
+                                   else timeout_s)
+        self._op_deadline_s = op_deadline_s
+        self._max_reconnects = max_reconnects
+        self._reconnect_backoff_s = reconnect_backoff_s
+        #: Reconnections performed over this client's lifetime.
+        self.reconnects_total = 0
+        self._dead = False
+        self._sock = self._connect()
         self._next_id = 0
         #: ticket_id -> result items that arrived between replies.
         self._results: Dict[int, List[dict]] = {}
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout_s)
+        sock.settimeout(self._timeout_s)
+        return sock
 
     def __enter__(self) -> "GatewayClient":
         return self
@@ -53,24 +93,65 @@ class GatewayClient:
     # ------------------------------------------------------------------
     # Request/reply plumbing
     # ------------------------------------------------------------------
+    def _reconnect(self) -> None:
+        """Bounded exponential-backoff reconnect; raises on exhaustion."""
+        last_error: Optional[Exception] = None
+        backoff = self._reconnect_backoff_s
+        for _ in range(self._max_reconnects):
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            try:
+                self._sock = self._connect()
+                self._dead = False
+                self.reconnects_total += 1
+                return
+            except OSError as exc:
+                last_error = exc
+                time.sleep(backoff)
+                backoff *= 2
+        self._dead = True
+        raise GatewayError(
+            f"gateway {self._host}:{self._port} unreachable after "
+            f"{self._max_reconnects} reconnect attempts") from last_error
+
     def _call(self, op: str, **fields) -> dict:
+        if self._dead and self._max_reconnects > 0:
+            self._reconnect()
         self._next_id += 1
         request = {"op": op, "id": self._next_id}
         request.update(fields)
-        send_frame(self._sock, request)
-        while True:
-            frame = recv_frame(self._sock)
-            if frame is None:
-                raise ProtocolError(
-                    f"connection closed awaiting reply to {op!r}")
-            if frame.get("kind") == "result":
-                self._buffer_result(frame)
-                continue
-            if frame.get("id") != self._next_id:
-                continue  # stale reply (should not happen on one socket)
-            if not frame.get("ok", False):
-                raise GatewayError(frame.get("error", "request failed"))
-            return frame
+        deadline = (time.monotonic() + self._op_deadline_s
+                    if self._op_deadline_s is not None else None)
+        try:
+            send_frame(self._sock, request)
+            while True:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not select.select(
+                            [self._sock], [], [], remaining)[0]:
+                        raise GatewayTimeout(
+                            f"no reply to {op!r} within "
+                            f"{self._op_deadline_s}s")
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    raise ProtocolError(
+                        f"connection closed awaiting reply to {op!r}")
+                if frame.get("kind") == "result":
+                    self._buffer_result(frame)
+                    continue
+                if frame.get("id") != self._next_id:
+                    continue  # stale reply (should not happen on one socket)
+                if not frame.get("ok", False):
+                    raise GatewayError(frame.get("error", "request failed"))
+                return frame
+        except (ProtocolError, OSError):
+            # The connection died mid-op.  This op was possibly applied
+            # server-side, so it must fail loudly — but mark the socket
+            # dead so the *next* op can reconnect (if allowed).
+            self._dead = True
+            raise
 
     def _buffer_result(self, frame: dict) -> None:
         self._results.setdefault(int(frame["ticket"]), []).append(

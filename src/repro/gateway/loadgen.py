@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from ..service.load import _QUERY_POOL, _perturb
 from .client import GatewayClient, GatewayError
+from .protocol import ProtocolError
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -46,6 +47,9 @@ class SocketLoadReport:
     shed: int = 0
     errors: int = 0
     terminated: int = 0
+    #: Transparent reconnections performed by clients mid-run (e.g.
+    #: surviving a gateway promotion).
+    reconnects: int = 0
     duration_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list, repr=False)
 
@@ -69,6 +73,7 @@ class SocketLoadReport:
             "shed": self.shed,
             "errors": self.errors,
             "terminated": self.terminated,
+            "reconnects": self.reconnects,
             "duration_s": self.duration_s,
             "submits_per_s": self.submits_per_s,
             "latency_ms": {
@@ -87,8 +92,18 @@ def run_socket_load(host: str, port: int, *,
                     seed: int = 0,
                     qos: str = "best-effort",
                     terminate_fraction: float = 0.25,
-                    timeout_s: float = 60.0) -> SocketLoadReport:
-    """Drive ``n_clients`` concurrent TCP clients against one gateway."""
+                    timeout_s: float = 60.0,
+                    connect_timeout_s: Optional[float] = None,
+                    op_deadline_s: Optional[float] = None,
+                    max_reconnects: int = 0,
+                    reconnect_backoff_s: float = 0.2) -> SocketLoadReport:
+    """Drive ``n_clients`` concurrent TCP clients against one gateway.
+
+    ``max_reconnects`` > 0 makes each client resilient to a mid-run
+    connection loss (e.g. the gateway failing over to its standby): the
+    op that saw the death counts as an error, and the client carries on
+    over a fresh connection instead of aborting the run.
+    """
     if n_unique < 1 or n_unique > len(_QUERY_POOL):
         raise ValueError(
             f"n_unique must be in 1..{len(_QUERY_POOL)} (got {n_unique})")
@@ -102,8 +117,15 @@ def run_socket_load(host: str, port: int, *,
         local: Dict[str, object] = {
             "requests": 0, "admitted": 0, "cache_hits": 0, "shed": 0,
             "errors": 0, "terminated": 0, "latencies": []}
+        client: Optional[GatewayClient] = None
         try:
-            with GatewayClient(host, port, timeout_s=timeout_s) as client:
+            client = GatewayClient(
+                host, port, timeout_s=timeout_s,
+                connect_timeout_s=connect_timeout_s,
+                op_deadline_s=op_deadline_s,
+                max_reconnects=max_reconnects,
+                reconnect_backoff_s=reconnect_backoff_s)
+            with client:
                 session = client.open(f"load-{index:03d}")
                 open_tickets: List[int] = []
                 for step in range(submits_per_client):
@@ -114,6 +136,13 @@ def run_socket_load(host: str, port: int, *,
                         reply = client.submit(session, text, qos=qos)
                     except GatewayError:
                         local["errors"] += 1
+                        continue
+                    except (ProtocolError, OSError):
+                        # Connection death: an error for this op, fatal
+                        # for the run only when reconnects are off.
+                        local["errors"] += 1
+                        if max_reconnects <= 0:
+                            raise
                         continue
                     finally:
                         local["requests"] += 1
@@ -129,9 +158,16 @@ def run_socket_load(host: str, port: int, *,
                         open_tickets.append(int(reply["ticket"]))
                         if (open_tickets
                                 and rng.random() < terminate_fraction):
-                            client.terminate(session, open_tickets.pop(0))
-                            local["terminated"] += 1
-                client.close_session(session)
+                            try:
+                                client.terminate(session,
+                                                 open_tickets.pop(0))
+                                local["terminated"] += 1
+                            except GatewayError:
+                                local["errors"] += 1
+                try:
+                    client.close_session(session)
+                except GatewayError:
+                    local["errors"] += 1
         except BaseException as exc:  # surfaced to the caller below
             with lock:
                 failures.append(exc)
@@ -142,6 +178,8 @@ def run_socket_load(host: str, port: int, *,
             report.shed += local["shed"]
             report.errors += local["errors"]
             report.terminated += local["terminated"]
+            if client is not None:
+                report.reconnects += client.reconnects_total
             report.latencies_ms.extend(local["latencies"])
 
     started = time.perf_counter()

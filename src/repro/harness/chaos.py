@@ -490,5 +490,492 @@ def run_sigkill_crash(min_ops: int = 8, seed: int = 0,
         shutil.rmtree(state_dir, ignore_errors=True)
 
 
+# ----------------------------------------------------------------------
+# Cluster chaos: shard/coordinator crashes under supervision
+# ----------------------------------------------------------------------
+#: Region-spanning + band-local questions the cluster chaos script cycles
+#: through (side=8, K=2 partition: bands are nodes 1..31 / 32..63).
+_CLUSTER_POOL = (
+    "SELECT light FROM sensors WHERE light > 300 EPOCH DURATION 4096",
+    "SELECT temp FROM sensors WHERE nodeid BETWEEN 1 AND 31 "
+    "EPOCH DURATION 4096",
+    "SELECT MAX(light) FROM sensors EPOCH DURATION 8192",
+    "SELECT temp FROM sensors WHERE nodeid BETWEEN 32 AND 63 "
+    "EPOCH DURATION 4096",
+    "SELECT AVG(temp) FROM sensors EPOCH DURATION 8192",
+)
+
+
+@dataclass
+class ClusterChaosStats:
+    """Outcome of one cluster chaos cell vs. its no-crash twin."""
+
+    kill: str
+    crashed: bool
+    #: Submissions acknowledged (ticket returned) in each run.
+    acked_crash: int
+    acked_baseline: int
+    #: Acked tickets missing or unexpectedly terminated after recovery.
+    lost_acked: int
+    #: Submissions refused with ShardDownError during the outage (each
+    #: was retried after the heal — refusals are not acknowledgements).
+    shard_down_refusals: int
+    terminated_crash: int
+    terminated_baseline: int
+    orphans_after: int
+    refcounts_ok: bool
+    validate_failures: List[str]
+    #: Failure-detector latency (virtual ms); 0 for coordinator kills.
+    detect_ms: float
+    #: Detection-to-heal latency (virtual ms); for coordinator kills the
+    #: wall-clock cost of ClusterCoordinator.recover instead.
+    recover_ms: float
+    recovery_mode: str
+    root_wal_replayed: int
+    root_wal_torn: int
+
+    @property
+    def ok(self) -> bool:
+        """Every cluster fault-tolerance invariant held for this cell."""
+        return (self.lost_acked == 0 and self.orphans_after == 0
+                and self.refcounts_ok
+                and self.acked_crash == self.acked_baseline
+                and self.terminated_crash == self.terminated_baseline)
+
+
+@dataclass(frozen=True, eq=True)
+class ClusterChaosCellSpec:
+    """One seeded cluster crash experiment (virtual clock, in-process).
+
+    ``kill`` selects the victim: ``"shard"`` crashes one shard service
+    mid-run (the way SIGKILL kills a shard child) and lets the
+    :class:`~repro.cluster.ShardSupervisor` detect and restart it from
+    the shard's WAL; ``"coordinator"`` crashes the root itself and
+    rebuilds it with :meth:`ClusterCoordinator.recover` over the *live*
+    shard services, restoring anchors from the root WAL.  Both are
+    verified against an identically-seeded no-crash twin.
+    """
+
+    kill: str = "shard"
+    n_shards: int = 2
+    victim: int = 0
+    n_steps: int = 36
+    step_ms: float = 500.0
+    crash_fraction: float = 0.4
+    deadline_ms: float = 900.0
+    restart_backoff_ms: float = 200.0
+    seed: Optional[int] = None
+
+    def resolved_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        return derive_seed(self)
+
+    def run(self) -> ClusterChaosStats:
+        baseline = _drive_cluster(self, crash=False)
+        crashed = _drive_cluster(self, crash=True)
+        return ClusterChaosStats(
+            kill=self.kill,
+            crashed=True,
+            acked_crash=crashed["acked"],
+            acked_baseline=baseline["acked"],
+            lost_acked=crashed["lost_acked"],
+            shard_down_refusals=crashed["refusals"],
+            terminated_crash=crashed["terminated"],
+            terminated_baseline=baseline["terminated"],
+            orphans_after=crashed["orphans"],
+            refcounts_ok=crashed["refcounts_ok"],
+            validate_failures=crashed["validate_failures"],
+            detect_ms=crashed["detect_ms"],
+            recover_ms=crashed["recover_ms"],
+            recovery_mode=crashed["recovery_mode"],
+            root_wal_replayed=crashed["root_wal_replayed"],
+            root_wal_torn=crashed["root_wal_torn"],
+        )
+
+
+def _drive_cluster(spec: ClusterChaosCellSpec, crash: bool) -> dict:
+    """One scripted cluster run; crash (or not) at the scripted step.
+
+    The script is deterministic given the spec seed: the same sessions,
+    query texts, and terminate steps in both runs, so the no-crash twin
+    gives exact expected totals.  Submissions refused with
+    ``ShardDownError`` during an outage are queued and retried on later
+    steps — a refusal is *not* an acknowledgement, so it may not count
+    as lost.
+    """
+    from ..cluster import (ClusterCoordinator, FieldPartition,
+                           ShardDownError, ShardSupervisor,
+                           SupervisorConfig)
+
+    seed = spec.resolved_seed()
+    state_dir = tempfile.mkdtemp(prefix="repro-cluster-chaos-")
+    out = {"acked": 0, "lost_acked": 0, "refusals": 0, "terminated": 0,
+           "orphans": 0, "refcounts_ok": True, "validate_failures": [],
+           "detect_ms": 0.0, "recover_ms": 0.0, "recovery_mode": "",
+           "root_wal_replayed": 0, "root_wal_torn": 0}
+    try:
+        with fresh_qids():
+            now = {"t": 0.0}
+            clock = lambda: now["t"]  # noqa: E731 - shared virtual clock
+            backends = [_make_backend() for _ in range(spec.n_shards)]
+            partition = FieldPartition(8, spec.n_shards)
+            holder = {"co": ClusterCoordinator(
+                backends, partition=partition, clock=clock,
+                durability_dir=state_dir, default_ttl_ms=1e12)}
+            supervisor = ShardSupervisor(
+                holder["co"],
+                config=SupervisorConfig(
+                    deadline_ms=spec.deadline_ms,
+                    restart_backoff_ms=spec.restart_backoff_ms,
+                    max_backoff_ms=4 * spec.restart_backoff_ms),
+                durability_dir=state_dir, clock=clock)
+            rng = random.Random(seed ^ 0xC7A0)
+            sessions: List[str] = []
+            #: ticket id -> owning session, for acked-and-live tickets.
+            live: Dict[str, str] = {}
+            done: List[str] = []  # deliberately terminated, in order
+            retry: List[Tuple[str, str]] = []
+            crash_step = int(spec.n_steps * spec.crash_fraction)
+            for step in range(spec.n_steps):
+                now["t"] += spec.step_ms
+                co = holder["co"]
+                if step % 4 == 0:
+                    sessions.append(co.open_session(
+                        f"tenant-{step:03d}", now_ms=now["t"]))
+                text = _variant(
+                    _CLUSTER_POOL[step % len(_CLUSTER_POOL)], rng)
+                sid = sessions[rng.randrange(len(sessions))]
+                for queued_sid, queued_text in list(retry):
+                    try:
+                        ticket = co.submit(queued_sid, queued_text,
+                                           now_ms=now["t"])
+                        live[ticket.ticket_id] = queued_sid
+                        out["acked"] += 1
+                        retry.remove((queued_sid, queued_text))
+                    except ShardDownError:
+                        pass  # still down; keep it queued
+                try:
+                    ticket = co.submit(sid, text, now_ms=now["t"])
+                    live[ticket.ticket_id] = sid
+                    out["acked"] += 1
+                except ShardDownError:
+                    out["refusals"] += 1
+                    retry.append((sid, text))
+                if step % 6 == 5 and live:
+                    victim_tid = sorted(live)[0]
+                    co.terminate(live.pop(victim_tid), victim_tid,
+                                 now_ms=now["t"])
+                    done.append(victim_tid)
+                    out["terminated"] += 1
+                if crash and step == crash_step:
+                    if spec.kill == "shard":
+                        co.shard_services()[spec.victim].simulate_crash()
+                    else:
+                        co.simulate_crash()
+                        started = time.perf_counter()
+                        recovered = ClusterCoordinator.recover(
+                            backends, state_dir, partition=partition,
+                            clock=clock, services=co.shard_services())
+                        out["recover_ms"] = (
+                            (time.perf_counter() - started) * 1000.0)
+                        out["recovery_mode"] = "root-wal"
+                        report = recovered.last_root_recovery
+                        if report is not None:
+                            out["root_wal_replayed"] = report.replayed_ops
+                            out["root_wal_torn"] = report.torn_records
+                        holder["co"] = recovered
+                        supervisor.coordinator = recovered
+                        # Acked admissions must already be back, before
+                        # any tenant resubmits (no re-adoption needed).
+                        for tid in sorted(live):
+                            try:
+                                if recovered.ticket(tid).terminated:
+                                    out["lost_acked"] += 1
+                            except KeyError:
+                                out["lost_acked"] += 1
+                supervisor.poll(now["t"])
+                holder["co"].tick(now_ms=now["t"])
+            co = holder["co"]
+            for incident in supervisor.incidents:
+                out["detect_ms"] = incident.time_to_detect_ms
+                if incident.time_to_recover_ms is not None:
+                    out["recover_ms"] = incident.time_to_recover_ms
+                out["recovery_mode"] = incident.mode
+            # Invariants: every acked, unterminated admission survives.
+            for tid in sorted(live):
+                try:
+                    if co.ticket(tid).terminated:
+                        out["lost_acked"] += 1
+                except KeyError:
+                    out["lost_acked"] += 1
+            for tid in done:
+                try:
+                    if not co.ticket(tid).terminated:
+                        out["validate_failures"].append(
+                            f"terminated ticket {tid} resurrected")
+                except KeyError:
+                    pass  # fully garbage-collected is fine
+            out["orphans"] = len(co.orphan_anchors())
+            try:
+                co.validate()
+            except AssertionError as exc:
+                out["refcounts_ok"] = False
+                out["validate_failures"].append(str(exc))
+            co.shutdown(now_ms=now["t"])
+        return out
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def cluster_chaos_grid(kills=("shard", "coordinator"),
+                       **kwargs) -> List[ClusterChaosCellSpec]:
+    """The cluster chaos grid, in deterministic order."""
+    return [ClusterChaosCellSpec(kill=kill, **kwargs) for kill in kills]
+
+
+def run_degraded_merge_probe(seed: int = 0, n_epochs: int = 12,
+                             crash_epoch: int = 4) -> dict:
+    """Measure completeness through a shard outage on simulated shards.
+
+    Runs a fanned-out aggregation over a 2-shard
+    :class:`~repro.cluster.ClusterDeployment`, crashes one shard's
+    service mid-run, lets the supervisor restart it from its WAL, and
+    records the per-epoch ``completeness`` the merge stamped — the
+    degraded-mode contract: 0.5 while one of two shards is down, back
+    to 1.0 after the heal, against a no-crash twin that stays at 1.0.
+    """
+    from ..cluster import (ClusterDeployment, FieldPartition,
+                           ShardSupervisor, SupervisorConfig)
+
+    def _run(crash: bool) -> dict:
+        state_dir = tempfile.mkdtemp(prefix="repro-degraded-")
+        epoch_ms = 4096.0
+        connect_at = 500.0
+        try:
+            with fresh_qids():
+                cluster = ClusterDeployment(
+                    FieldPartition(4, 2, quality_seed=seed), seed=seed,
+                    durability_dir=state_dir)
+                co = cluster.coordinator
+                supervisor = ShardSupervisor(
+                    co,
+                    config=SupervisorConfig(deadline_ms=epoch_ms / 4,
+                                            restart_backoff_ms=256.0),
+                    durability_dir=state_dir,
+                    clock=lambda: cluster.now)
+                cluster.run_until(connect_at)
+                sid = co.open_session("probe")
+                ticket = co.submit(
+                    sid,
+                    "SELECT MAX(light) FROM sensors EPOCH DURATION 4096")
+                sink = co.subscribe(sid, ticket.ticket_id)
+                completeness: Dict[float, float] = {}
+                for epoch in range(1, n_epochs + 1):
+                    cluster.run_until(connect_at + epoch * epoch_ms)
+                    if crash and epoch == crash_epoch:
+                        co.shard_services()[1].simulate_crash()
+                    supervisor.poll(cluster.now)
+                    cluster.pump()
+                cluster.run_until(connect_at + (n_epochs + 2) * epoch_ms)
+                supervisor.poll(cluster.now)
+                cluster.pump(final=True)
+                while True:
+                    try:
+                        item = sink.get_nowait()
+                    except Exception:
+                        break
+                    completeness[item.epoch_time] = item.completeness
+                incidents = [
+                    {"detect_ms": i.time_to_detect_ms,
+                     "recover_ms": i.time_to_recover_ms, "mode": i.mode}
+                    for i in supervisor.incidents]
+                co.shutdown(now_ms=cluster.now)
+                values = [completeness[t] for t in sorted(completeness)]
+                return {
+                    "epochs": len(values),
+                    "completeness": values,
+                    "min_completeness": min(values) if values else 0.0,
+                    "healed": bool(values) and values[-1] == 1.0,
+                    "incidents": incidents,
+                }
+        finally:
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+    crashed = _run(crash=True)
+    twin = _run(crash=False)
+    return {
+        "crash": crashed,
+        "baseline": twin,
+        "surviving_fraction": 0.5,
+        "degraded_epochs": sum(
+            1 for value in crashed["completeness"] if value < 1.0),
+        "bound_held": all(value >= 0.5
+                          for value in crashed["completeness"]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Cluster SIGKILL mode (real process death of the whole cluster process)
+# ----------------------------------------------------------------------
+def _cluster_sigkill_child(state_dir: str, seed: int) -> None:
+    """Child entry point: drive a durable cluster until killed.
+
+    Appends one line per *acknowledged* operation to
+    ``<state_dir>/acked`` (``sub <ticket_id>`` after submit returns,
+    ``term <ticket_id>`` after terminate returns) so the parent can
+    check zero acknowledged admissions are lost, and bumps
+    ``<state_dir>/progress`` once per loop.
+    """
+    from ..cluster import ClusterCoordinator, FieldPartition
+
+    progress = Path(state_dir) / "progress"
+    acked_log = open(Path(state_dir) / "acked", "a", encoding="utf-8")
+    coordinator = ClusterCoordinator(
+        [_make_backend() for _ in range(2)],
+        partition=FieldPartition(8, 2),
+        durability_dir=state_dir, default_ttl_ms=1e12)
+    rng = random.Random(seed)
+    session = coordinator.open_session("kill-tenant")
+    live: List[str] = []
+    index = 0
+    while True:
+        text = _variant(_CLUSTER_POOL[index % len(_CLUSTER_POOL)], rng)
+        ticket = coordinator.submit(session, text)
+        acked_log.write(f"sub {ticket.ticket_id}\n")
+        acked_log.flush()
+        live.append(ticket.ticket_id)
+        if len(live) > 6:
+            victim = live.pop(0)
+            coordinator.terminate(session, victim)
+            acked_log.write(f"term {victim}\n")
+            acked_log.flush()
+        coordinator.tick()
+        index += 1
+        progress.write_text(str(index), encoding="utf-8")
+        time.sleep(0.002)
+
+
+def run_cluster_sigkill_crash(min_ops: int = 10, seed: int = 0,
+                              timeout_s: float = 60.0) -> dict:
+    """SIGKILL a real cluster process; recover the root from its WAL.
+
+    Like :func:`run_sigkill_crash` but the child drives a whole
+    2-shard :class:`~repro.cluster.ClusterCoordinator` with a root WAL.
+    After the kill the parent recovers the full cluster **twice** —
+    proving double recovery is idempotent — and checks that every
+    acknowledged admission survived and that anchors were restored from
+    the root WAL (no orphans, i.e. no re-adoption was needed).
+    """
+    from ..cluster import ClusterCoordinator, FieldPartition
+
+    state_dir = tempfile.mkdtemp(prefix="repro-cluster-sigkill-")
+    progress = Path(state_dir) / "progress"
+    root_wal = Path(state_dir) / "root" / WAL_FILENAME
+    import repro
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(repro.__file__).resolve().parent.parent)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.chaos", "--cluster",
+         state_dir, str(seed)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.monotonic() + timeout_s
+        ops = 0
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                raise RuntimeError(
+                    f"cluster sigkill child exited early "
+                    f"(rc={child.returncode})")
+            try:
+                ops = int(progress.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                ops = 0
+            try:
+                wal_pending = root_wal.stat().st_size > 0
+            except OSError:
+                wal_pending = False
+            if ops >= min_ops and wal_pending:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError(
+                f"cluster sigkill child reached only {ops}/{min_ops} "
+                f"ops in {timeout_s:.0f}s")
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30.0)
+
+        acked: Dict[str, bool] = {}  # ticket id -> terminated?
+        try:
+            for line in (Path(state_dir) / "acked").read_text(
+                    encoding="utf-8").splitlines():
+                op, _, tid = line.partition(" ")
+                if op == "sub":
+                    acked[tid] = False
+                elif op == "term":
+                    acked[tid] = True
+        except OSError:
+            pass
+
+        def _recover():
+            return ClusterCoordinator.recover(
+                [_make_backend() for _ in range(2)], state_dir,
+                partition=FieldPartition(8, 2))
+
+        def _state(coordinator) -> dict:
+            state = coordinator._root_snapshot_state(0.0)
+            state.pop("saved_ms", None)
+            state.pop("op_seq", None)  # recovery snapshots bump it
+            return state
+
+        def _crash(coordinator) -> None:
+            for service in coordinator.shard_services():
+                service.simulate_crash()
+            coordinator.simulate_crash()
+
+        with fresh_qids():
+            first = _recover()
+            report = first.last_root_recovery
+            lost = 0
+            for tid, terminated in sorted(acked.items()):
+                try:
+                    if first.ticket(tid).terminated != terminated:
+                        lost += 1
+                except KeyError:
+                    lost += 1
+            orphans = len(first.orphan_anchors())
+            first.validate()
+            state_one = _state(first)
+            _crash(first)
+        with fresh_qids():
+            second = _recover()
+            second.validate()
+            state_two = _state(second)
+            second.abort_orphans()  # idempotence: stable when none exist
+            state_three = _state(second)
+            _crash(second)
+        return {
+            "ops_before_kill": ops,
+            "acked_ops": len(acked),
+            "lost_acked": lost,
+            "orphan_anchors": orphans,
+            "root_wal_replayed": report.replayed_ops if report else 0,
+            "root_wal_torn": report.torn_records if report else 0,
+            "root_snapshot_loaded": bool(report.snapshot_loaded
+                                         if report else False),
+            "recovery_idempotent": state_one == state_two == state_three,
+        }
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30.0)
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
-    _sigkill_child(sys.argv[1], int(sys.argv[2]))
+    if sys.argv[1] == "--cluster":
+        _cluster_sigkill_child(sys.argv[2], int(sys.argv[3]))
+    else:
+        _sigkill_child(sys.argv[1], int(sys.argv[2]))

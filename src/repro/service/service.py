@@ -333,6 +333,10 @@ class QueryService:
             self._overload.breaker_failure_threshold,
             self._overload.breaker_cooldown_ms)
         self._closed = False
+        #: Set by :meth:`simulate_crash`: a dead process mutates nothing,
+        #: so every mutating entry point raises instead of quietly
+        #: updating memory the "crash" is supposed to have lost.
+        self._crashed = False
         self._dur: Optional[DurabilityConfig] = None
         self._wal: Optional[WriteAheadLog] = None
         #: Optional WAL-shipping hook (``service.replication``): every
@@ -592,6 +596,23 @@ class QueryService:
     def _ensure_open(self) -> None:
         if self._closed:
             raise ServiceClosed("service is shut down (admission stopped)")
+
+    def _ensure_alive(self) -> None:
+        """Crash fidelity: a SIGKILLed process cannot keep mutating.
+
+        :meth:`simulate_crash` models a killed process; letting the dead
+        instance keep applying ticks/terminates in memory would make the
+        chaos harness compare recovery against state the real crash
+        would never have had.
+        """
+        if self._crashed:
+            raise ServiceClosed(
+                f"service {self.name or id(self)} crashed; recover() it")
+
+    @property
+    def is_open(self) -> bool:
+        """False once the service shut down or simulated a crash."""
+        return not self._closed
 
     # ------------------------------------------------------------------
     # Durability: write-ahead logging
@@ -932,6 +953,7 @@ class QueryService:
                       now_ms: Optional[float] = None) -> None:
         """Extend a lease.  A lapsed lease cannot be renewed."""
         with self._lock:
+            self._ensure_alive()
             now = self._now(now_ms)
             with self._op({"op": "renew", "sid": session_id, "ttl": ttl_ms,
                            "now": now}):
@@ -942,6 +964,7 @@ class QueryService:
                       now_ms: Optional[float] = None) -> None:
         """Terminate every query the session owns and drop it."""
         with self._lock:
+            self._ensure_alive()
             with self._op({"op": "close", "sid": session_id}):
                 session = self._sessions.get(session_id)
                 for ticket_id in sorted(session.tickets):
@@ -1147,6 +1170,7 @@ class QueryService:
     def flush(self, now_ms: Optional[float] = None) -> int:
         """Admit every pending submission now; returns the batch size."""
         with self._lock:
+            self._ensure_alive()
             now = self._now(now_ms)
             record = ({"op": "flush", "now": now}
                       if len(self._batcher) else None)
@@ -1159,6 +1183,7 @@ class QueryService:
         Call periodically (a simulator timer, or a background thread).
         """
         with self._lock:
+            self._ensure_alive()
             now = self._now(now_ms)
             record = ({"op": "tick", "now": now}
                       if self._sessions.expired(now) or self._batcher.due(now)
@@ -1355,6 +1380,7 @@ class QueryService:
                   now_ms: Optional[float] = None) -> None:
         """Terminate one of the session's queries."""
         with self._lock:
+            self._ensure_alive()
             now = self._now(now_ms)
             with self._op({"op": "terminate", "sid": session_id,
                            "ticket": ticket_id, "now": now}):
@@ -1438,6 +1464,7 @@ class QueryService:
         deployment that only ever pumps still enforces TTLs.
         """
         with self._lock:
+            self._ensure_alive()
             now = self._now(now_ms)
             record = ({"op": "expire", "now": now}
                       if self._sessions.expired(now) else None)
@@ -1536,6 +1563,7 @@ class QueryService:
                 self._wal.close()
                 self._wal = None
             self._closed = True
+            self._crashed = True
 
     # ------------------------------------------------------------------
     # Introspection

@@ -213,7 +213,8 @@ class TestStats:
 
 
 class TestRecovery:
-    def test_recover_adopts_fanout_anchors(self, tmp_path):
+    def test_root_wal_restores_sessions_and_anchors(self, tmp_path):
+        """Root-WAL recovery: no orphans, no re-adoption, no re-fanning."""
         with fresh_qids():
             partition = FieldPartition(8, 2)
             coordinator = ClusterCoordinator(
@@ -224,38 +225,57 @@ class TestRecovery:
             local = coordinator.submit(sid, Q_BAND0, now_ms=2.0)
             fan_key = fanout.fan_key
 
-        # Crash: rebuild everything from the shards' WALs alone.
+        # Crash: the root rebuilds from its own WAL; the tenant session
+        # and its anchor refcount come back, so nothing is orphaned.
         with fresh_qids():
             recovered = ClusterCoordinator.recover(
                 make_backends(2), tmp_path, partition=FieldPartition(8, 2))
-        assert recovered.orphan_anchors() == [fan_key]
-        # Shard-side state survived: the fan-out subqueries and the
+        assert recovered.orphan_anchors() == []
+        assert recovered.stats().sessions_open == 1
+        assert recovered.stats().live_anchors == 1
+        report = recovered.last_root_recovery
+        assert report is not None and report.replayed_ops > 0
+        # Shard-side state survived too: the fan-out subqueries and the
         # tenant's local ticket are live again.
         live_counts = [len(s.live_tickets())
                        for s in recovered.shard_services()]
         assert live_counts == [2, 1]  # shard 0: fan + local; shard 1: fan
+        # The acknowledged admissions resolve to live tickets.
+        assert not recovered.ticket(fanout.ticket_id).terminated
+        assert not recovered.ticket(local.ticket_id).terminated
+        assert recovered.ticket(
+            fanout.ticket_id).status is TicketStatus.LIVE
 
-        # A tenant re-asking the same spanning question rides the adopted
-        # anchor instead of re-fanning it out.
-        sid2 = recovered.open_session("alice-again", now_ms=3000.0)
-        again = recovered.submit(sid2, Q_GLOBAL, now_ms=3001.0)
+        # The restored session still works, and a re-ask of the same
+        # spanning question rides the restored anchor.
+        again = recovered.submit(sid, Q_GLOBAL, now_ms=3001.0)
         assert again.cache_hit
         assert again.fan_key == fan_key
         assert recovered.stats().fanout_subqueries == 0
-        assert recovered.orphan_anchors() == []
+        # Nothing to reap: abort_orphans is a no-op after root recovery.
+        assert recovered.abort_orphans(now_ms=3002.0) == 0
+        assert recovered.stats().live_anchors == 1
         recovered.validate()
 
-    def test_abort_orphans_reaps_unclaimed_anchors(self, tmp_path):
+    def test_legacy_dir_without_root_wal_adopts_from_shards(self, tmp_path):
+        """A pre-root-WAL directory still recovers by shard adoption."""
+        import shutil
+
         with fresh_qids():
             coordinator = ClusterCoordinator(
                 make_backends(2), partition=FieldPartition(8, 2),
                 durability_dir=tmp_path)
             sid = coordinator.open_session("alice", now_ms=0.0)
-            coordinator.submit(sid, Q_GLOBAL, now_ms=1.0)
+            fanout = coordinator.submit(sid, Q_GLOBAL, now_ms=1.0)
+            fan_key = fanout.fan_key
+        shutil.rmtree(tmp_path / "root")  # what an old layout looks like
 
         with fresh_qids():
             recovered = ClusterCoordinator.recover(
                 make_backends(2), tmp_path, partition=FieldPartition(8, 2))
+        # The tenant's lease is gone (the root had no log of it), so the
+        # adopted anchor is orphaned until a tenant claims or reaps it.
+        assert recovered.orphan_anchors() == [fan_key]
         assert recovered.abort_orphans(now_ms=5000.0) == 1
         assert recovered.orphan_anchors() == []
         assert recovered.stats().live_anchors == 0
@@ -264,3 +284,89 @@ class TestRecovery:
                     if service.find_sessions(ROOT_CLIENT)
                     and t.session_id in
                     service.find_sessions(ROOT_CLIENT)] == []
+        # Legacy recovery bootstraps a root WAL: the next recovery of
+        # the same directory goes through it.
+        assert (tmp_path / "root").exists()
+
+    def test_double_recovery_is_idempotent(self, tmp_path):
+        """recover -> crash -> recover lands on the identical state."""
+        def _capture(coordinator):
+            state = coordinator._root_snapshot_state(0.0)
+            state.pop("saved_ms", None)
+            state.pop("op_seq", None)  # recovery snapshots bump it
+            return state
+
+        def _crash(coordinator):
+            for service in coordinator.shard_services():
+                service.simulate_crash()
+            coordinator.simulate_crash()
+
+        with fresh_qids():
+            coordinator = ClusterCoordinator(
+                make_backends(2), partition=FieldPartition(8, 2),
+                durability_dir=tmp_path)
+            sids = [coordinator.open_session(f"t{i}", now_ms=0.0)
+                    for i in range(2)]
+            first = coordinator.submit(sids[0], Q_GLOBAL, now_ms=1.0)
+            coordinator.submit(sids[1], Q_GLOBAL, now_ms=2.0)
+            coordinator.submit(sids[0], Q_BAND0, now_ms=3.0)
+            coordinator.terminate(sids[0], first.ticket_id, now_ms=4.0)
+
+        with fresh_qids():
+            once = ClusterCoordinator.recover(
+                make_backends(2), tmp_path, partition=FieldPartition(8, 2))
+            once.validate()
+            assert once.orphan_anchors() == []
+            assert once.abort_orphans(now_ms=10.0) == 0
+            assert once.ticket(first.ticket_id).terminated
+            state_once = _capture(once)
+            _crash(once)
+
+        with fresh_qids():
+            twice = ClusterCoordinator.recover(
+                make_backends(2), tmp_path, partition=FieldPartition(8, 2))
+            twice.validate()
+            assert twice.orphan_anchors() == []
+            state_twice = _capture(twice)
+            # Reaping when there is nothing to reap changes nothing.
+            assert twice.abort_orphans(now_ms=20.0) == 0
+            assert _capture(twice) == state_twice
+        assert state_once == state_twice
+
+    def test_terminate_racing_shard_outage_releases_refcount_once(
+            self, tmp_path):
+        """Regression: a terminate racing a shard outage must not leak
+        the root-anchor refcount — the shard-side terminate is queued
+        and retried, the root bookkeeping is released exactly once."""
+        from repro.service import QueryService
+
+        with fresh_qids():
+            coordinator = ClusterCoordinator(
+                make_backends(2), partition=FieldPartition(8, 2),
+                durability_dir=tmp_path)
+            sids = [coordinator.open_session(f"t{i}", now_ms=0.0)
+                    for i in range(2)]
+            first = coordinator.submit(sids[0], Q_GLOBAL, now_ms=1.0)
+            second = coordinator.submit(sids[1], Q_GLOBAL, now_ms=2.0)
+
+            # Shard 1 dies; both holders terminate during the outage.
+            coordinator.shard_services()[1].simulate_crash()
+            coordinator.terminate(sids[0], first.ticket_id, now_ms=3.0)
+            coordinator.terminate(sids[1], second.ticket_id, now_ms=4.0)
+            assert first.status is TicketStatus.TERMINATED
+            assert second.status is TicketStatus.TERMINATED
+            # Released exactly once each: the anchor is gone, nothing
+            # leaked, even though shard 1 never saw its terminate.
+            assert coordinator.stats().live_anchors == 0
+            assert coordinator.orphan_anchors() == []
+            assert 1 in coordinator.down_shards
+            coordinator.validate()
+
+            # Heal: the queued shard-side terminate drains exactly once.
+            replacement = QueryService.recover(
+                coordinator.shard_backends()[1], tmp_path / "shard-01")
+            coordinator.replace_shard_service(1, replacement, now_ms=5.0)
+            assert not coordinator.down_shards
+            for service in coordinator.shard_services():
+                assert service.live_tickets() == []
+            coordinator.validate()

@@ -230,3 +230,98 @@ class TestResultWire:
             return conn.sendq.qsize()
 
         assert asyncio.run(run()) == 2  # 2 queued, 3 dropped and counted
+
+
+class TestResilience:
+    """Client-side timeout/reconnect knobs (see GatewayClient docs)."""
+
+    def test_op_deadline_raises_gateway_timeout(self):
+        import socket
+
+        # A listener that accepts into its backlog but never replies.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        try:
+            from repro.gateway import GatewayTimeout
+            client = GatewayClient(host, port, op_deadline_s=0.2)
+            try:
+                with pytest.raises(GatewayTimeout) as excinfo:
+                    client.ping()
+                # A timeout is a GatewayError, so existing handlers that
+                # treat server errors as per-op failures also cover it.
+                assert isinstance(excinfo.value, GatewayError)
+            finally:
+                client.close()
+        finally:
+            listener.close()
+
+    def test_next_op_reconnects_after_connection_death(self, gateway):
+        from repro.gateway.protocol import ProtocolError
+
+        host, port = gateway.address
+        client = GatewayClient(host, port, max_reconnects=2,
+                               reconnect_backoff_s=0.01)
+        try:
+            sid = client.open("resilient")
+            reply = client.submit(sid, Q_LIGHT)
+            assert reply["status"] in ("live", "pending")
+            # Kill the connection out from under the client: the op that
+            # observes the death fails loudly...
+            client._sock.close()
+            with pytest.raises((GatewayError, ProtocolError, OSError)):
+                client.ping()
+            # ...and the *next* op transparently reconnects.  Sessions
+            # live server-side, so the tenant resumes where it left off.
+            assert client.ping()
+            assert client.reconnects_total == 1
+            duplicate = client.submit(sid, Q_LIGHT_VARIANT)
+            assert duplicate["cache_hit"]
+            client.close_session(sid)
+        finally:
+            client.close()
+
+    def test_reconnect_disabled_by_default(self, gateway):
+        from repro.gateway.protocol import ProtocolError
+
+        host, port = gateway.address
+        client = GatewayClient(host, port)
+        try:
+            client.ping()
+            client._sock.close()
+            with pytest.raises((GatewayError, ProtocolError, OSError)):
+                client.ping()
+            # Still dead: no reconnect budget, the strict single-
+            # connection behaviour is unchanged.
+            with pytest.raises((GatewayError, ProtocolError, OSError)):
+                client.ping()
+            assert client.reconnects_total == 0
+        finally:
+            client.close()
+
+    def test_reconnect_budget_exhaustion_raises(self):
+        import socket
+
+        # Reserve a port, then close it so nothing is listening.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        client = object.__new__(GatewayClient)
+        client._host, client._port = host, port
+        client._timeout_s = 0.2
+        client._connect_timeout_s = 0.2
+        client._max_reconnects = 2
+        client._reconnect_backoff_s = 0.01
+        client.reconnects_total = 0
+        client._dead = True
+
+        class _ClosedSock:
+            def close(self):
+                pass
+
+        client._sock = _ClosedSock()
+        with pytest.raises(GatewayError, match="unreachable after 2"):
+            client._reconnect()
+        assert client.reconnects_total == 0

@@ -166,3 +166,21 @@ class TestSigkillMode:
         assert outcome["live_tickets"] >= 0
         assert outcome["replayed_ops"] + (
             1 if outcome["snapshot_loaded"] else 0) > 0
+
+
+class TestClusterSigkillMode:
+    def test_cluster_sigkill_loses_no_acked_admissions(self):
+        from repro.harness.chaos import run_cluster_sigkill_crash
+
+        outcome = run_cluster_sigkill_crash(min_ops=8, seed=3,
+                                            timeout_s=90.0)
+        assert outcome["ops_before_kill"] >= 8
+        assert outcome["acked_ops"] > 0
+        # Zero acknowledged admissions lost across a real SIGKILL.
+        assert outcome["lost_acked"] == 0
+        # Anchors came back from the root WAL, not shard re-adoption.
+        assert outcome["orphan_anchors"] == 0
+        assert outcome["root_wal_replayed"] + (
+            1 if outcome["root_snapshot_loaded"] else 0) > 0
+        # Recover -> crash -> recover is idempotent (torn tail and all).
+        assert outcome["recovery_idempotent"]

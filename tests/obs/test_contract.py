@@ -74,13 +74,22 @@ def _planner_families():
         return registry.families()
 
 
-def _cluster_families():
+def _cluster_families(tmp_path_factory):
+    """Cluster + fault tolerance: root WAL, supervisor, shard outage."""
     with scoped() as registry:
-        from repro.cluster import ClusterCoordinator
+        from repro.cluster import (
+            ClusterCoordinator,
+            ShardSupervisor,
+            SupervisorConfig,
+        )
+        base = tmp_path_factory.mktemp("cluster-contract")
+        clock = {"t": 0.0}
         backends = [
             OptimizerBackend(BaseStationOptimizer(default_cost_model(16, 3)))
             for _ in range(2)]
-        coordinator = ClusterCoordinator(backends)
+        coordinator = ClusterCoordinator(
+            backends, clock=lambda: clock["t"],
+            durability_dir=str(base))
         sid = coordinator.open_session("alice", now_ms=0.0)
         coordinator.explain(
             "SELECT light FROM sensors WHERE light > 300 "
@@ -91,6 +100,24 @@ def _cluster_families():
             "EPOCH DURATION 4096",
             now_ms=1.0,
         )
+        # Shard outage -> supervised restart: exercises the
+        # cluster.supervisor.* and outage families.
+        supervisor = ShardSupervisor(
+            coordinator,
+            config=SupervisorConfig(deadline_ms=5.0,
+                                    restart_backoff_ms=5.0),
+            durability_dir=str(base), clock=lambda: clock["t"])
+        coordinator.shard_services()[1].simulate_crash()
+        for step in range(4):
+            clock["t"] = 10.0 * (step + 1)
+            supervisor.poll()
+        # Coordinator crash -> root-WAL recovery: exercises the
+        # cluster.root_wal.* replay families.
+        coordinator.simulate_crash()
+        recovered = ClusterCoordinator.recover(
+            backends, str(base), clock=lambda: clock["t"],
+            services=coordinator.shard_services())
+        recovered.snapshot(now_ms=clock["t"])
         return registry.families()
 
 
@@ -150,7 +177,7 @@ def exported_families(tmp_path_factory):
         families.update(_run_cell_families(strategy))
     families.update(_service_families())
     families.update(_planner_families())
-    families.update(_cluster_families())
+    families.update(_cluster_families(tmp_path_factory))
     families.update(_gateway_families(tmp_path_factory))
     families.update(_sweep_families())
     return sorted(families)
